@@ -1,0 +1,19 @@
+//! Criterion bench for the §5.2.3 "Eval" operation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sns_eval::Program;
+
+fn bench_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval");
+    for slug in ["three_boxes", "wave_boxes", "ferris_wheel", "keyboard", "tessellation"] {
+        let ex = sns_examples::by_slug(slug).expect("example exists");
+        let program = Program::parse(ex.source).expect("parses");
+        group.bench_with_input(BenchmarkId::from_parameter(slug), &program, |b, p| {
+            b.iter(|| p.eval().expect("evaluates"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval);
+criterion_main!(benches);

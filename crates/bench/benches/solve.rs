@@ -1,0 +1,31 @@
+//! Criterion bench for the §5.2.3 "Solve" operation: SolveOne on the
+//! unique pre-equations of a representative example.
+
+use std::rc::Rc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sns_solver::Equation;
+
+fn bench_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve");
+    for slug in ["wave_boxes", "ferris_wheel", "keyboard"] {
+        let ex = sns_examples::by_slug(slug).expect("example exists");
+        let m = bench::measure(ex);
+        group.bench_with_input(BenchmarkId::from_parameter(slug), &m, |b, m| {
+            b.iter(|| {
+                let mut solved = 0usize;
+                for eq in &m.unique_eqs {
+                    let equation = Equation::new(eq.n + 1.0, Rc::clone(&eq.trace));
+                    if sns_solver::solve(&m.rho0, eq.loc, &equation).is_some() {
+                        solved += 1;
+                    }
+                }
+                solved
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solve);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Regenerates the §5.2.3 performance table (Parse / Eval / Prepare /
+//! Solve, min/med/avg/max across the corpus) and, with `--per-example`,
+//! the Appendix G per-example timing table.
+//!
+//! Paper reference (Intel i7, Firefox 45 / Chrome 49):
+//! ```text
+//! Parse   9 ms / 53 ms / 77 ms / 520 ms
+//! Eval   <1 ms /  5 ms / 12 ms / 165 ms
+//! Prepare 1 ms / 13 ms / 200 ms / 6,789 ms
+//! Solve  <1 ms / <1 ms / <1 ms / 14 ms
+//! ```
+//! Absolute numbers differ (different host, native vs. JS); the target is
+//! the *ordering* Solve ≪ Eval ≪ Parse ≪ Prepare and the orders of
+//! magnitude between them.
+
+use bench::{measure, ms, summarize, time_example, time_solves};
+
+const RUNS: usize = 5;
+
+fn main() {
+    let per_example = std::env::args().any(|a| a == "--per-example");
+    sns_eval::with_big_stack(move || run(per_example));
+}
+
+fn run(per_example: bool) {
+    let mut parse = Vec::new();
+    let mut eval = Vec::new();
+    let mut unparse = Vec::new();
+    let mut prepare = Vec::new();
+    let mut run_code = Vec::new();
+    let mut solve = Vec::new();
+
+    if per_example {
+        println!(
+            "{:<24} {:>4} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "Example", "LOC", "Parse", "Eval", "Unparse", "Prepare", "Run"
+        );
+    }
+
+    for ex in sns_examples::ALL {
+        let timings = time_example(ex, RUNS);
+        let m = measure(ex);
+        let solves = time_solves(&m);
+        solve.extend(solves);
+        let avg = |f: fn(&bench::Timing) -> f64| {
+            timings.iter().map(f).sum::<f64>() / timings.len() as f64
+        };
+        if per_example {
+            println!(
+                "{:<24} {:>4} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                ex.name,
+                m.loc,
+                ms(avg(|t| t.parse)),
+                ms(avg(|t| t.eval)),
+                ms(avg(|t| t.unparse)),
+                ms(avg(|t| t.prepare)),
+                ms(avg(|t| t.run)),
+            );
+        }
+        for t in &timings {
+            parse.push(t.parse);
+            eval.push(t.eval);
+            unparse.push(t.unparse);
+            prepare.push(t.prepare);
+            run_code.push(t.run);
+        }
+    }
+
+    println!();
+    println!("== Table §5.2.3: Performance ({RUNS} runs × {} examples) ==", sns_examples::ALL.len());
+    println!("{:<10} {:>10} {:>10} {:>10} {:>10}", "Operation", "Min", "Med", "Avg", "Max");
+    for (name, xs) in [
+        ("Parse", &parse),
+        ("Eval", &eval),
+        ("Unparse", &unparse),
+        ("Prepare", &prepare),
+        ("Run Code", &run_code),
+        ("Solve", &solve),
+    ] {
+        let s = summarize(xs);
+        println!(
+            "{:<10} {:>10} {:>10} {:>10} {:>10}",
+            name,
+            ms(s.min),
+            ms(s.med),
+            ms(s.avg),
+            ms(s.max)
+        );
+    }
+    println!();
+    println!("Paper reference: Parse 9/53/77/520 ms; Eval <1/5/12/165 ms;");
+    println!("Prepare 1/13/200/6789 ms; Solve <1/<1/<1/14 ms.");
+}

@@ -1,0 +1,32 @@
+//! Regenerates the Appendix E user-study analysis (Figure 9's histograms
+//! and the mean-preference tables with 95% bootstrap-t confidence
+//! intervals) from the response counts published in Appendix F.
+
+use sns_stats::{analyze, ascii_histogram, paper_mean, Comparison, Task};
+
+fn main() {
+    println!("== Appendix E/F: user study (25 participants, 10,000 bootstrap resamples) ==");
+    println!();
+    for task in Task::ALL {
+        println!("-- {} --", task.name());
+        for cmp in Comparison::ALL {
+            println!("{}:", cmp.name());
+            print!("{}", ascii_histogram(task, cmp));
+        }
+        println!();
+    }
+
+    println!("{:<14} {:<12} {:>22} {:>12}", "Task", "Comparison", "Mean (95% CI)", "Paper mean");
+    for cell in analyze(10_000, 20160613) {
+        println!(
+            "{:<14} {:<12} {:>22} {:>12.2}",
+            cell.task.name(),
+            cell.comparison.name(),
+            cell.ci.to_string(),
+            paper_mean(cell.task, cell.comparison),
+        );
+    }
+    println!();
+    println!("Hypothesis 1: heuristics beat sliders on Keyboard, tie elsewhere.");
+    println!("Hypothesis 2: both direct modes beat code-only on every task.");
+}

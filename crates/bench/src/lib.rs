@@ -1,0 +1,243 @@
+//! Measurement harness shared by the table binaries and Criterion benches.
+//!
+//! Every table and figure in the paper's evaluation has a regenerating
+//! binary in `src/bin/` (see DESIGN.md's per-experiment index):
+//!
+//! | Experiment | Binary |
+//! |---|---|
+//! | Figure 1D | `fig1_candidates` |
+//! | §5.2.1 Active Zones (+ App. G zone table) | `table_zones` |
+//! | §5.2.2 Solving Equations (+ App. G fragments) | `table_solvability` |
+//! | §5.2.3 Performance (+ App. G timings) | `table_performance` |
+//! | App. G location table | `table_locations` |
+//! | App. E/F user study | `user_study` |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::rc::Rc;
+use std::time::Instant;
+
+use sns_eval::{FreezeMode, Program};
+use sns_examples::Example;
+use sns_lang::{LocId, Subst};
+use sns_solver::Equation;
+use sns_svg::Canvas;
+use sns_sync::{
+    analyze_canvas, location_stats, pre_equations, solvability, unique_pre_equations,
+    Assignments, Heuristic, LocationStats, PreEquation, SolvabilityStats, ZoneStats,
+};
+
+/// Everything the tables need about one corpus example.
+#[derive(Debug)]
+pub struct Measurement {
+    /// Display name (Appendix G row).
+    pub name: &'static str,
+    /// Slug.
+    pub slug: &'static str,
+    /// Lines of `little` code (comments/blanks excluded).
+    pub loc: usize,
+    /// Shape count.
+    pub shapes: usize,
+    /// §5.2.1 zone statistics.
+    pub zones: ZoneStats,
+    /// Appendix G location statistics.
+    pub locations: LocationStats,
+    /// §5.2.2 pre-equations (before deduplication).
+    pub pre_eq_total: usize,
+    /// Unique pre-equations, kept for solver timing.
+    pub unique_eqs: Vec<PreEquation>,
+    /// §5.2.2 solvability statistics on the unique pre-equations.
+    pub solvability: SolvabilityStats,
+    /// The program's substitution ρ0 (for solver timing).
+    pub rho0: Subst,
+}
+
+/// Measures one example: run, prepare (fair heuristic, default freeze
+/// mode), extract statistics.
+///
+/// # Panics
+///
+/// Panics if the example fails to run — corpus integrity is enforced by
+/// the `sns-examples` tests.
+pub fn measure(example: &Example) -> Measurement {
+    let program = Program::parse(example.source).expect("corpus parses");
+    let canvas = Canvas::from_value(&program.eval().expect("corpus evaluates"))
+        .expect("corpus renders");
+    let mode = FreezeMode::default();
+    let frozen = |l: LocId| program.is_frozen(l, mode);
+    let assignments = analyze_canvas(&canvas, &frozen, Heuristic::Fair);
+    measure_prepared(example, &program, &canvas, &assignments)
+}
+
+fn measure_prepared(
+    example: &Example,
+    program: &Program,
+    canvas: &Canvas,
+    assignments: &Assignments,
+) -> Measurement {
+    let mode = FreezeMode::default();
+    let frozen = |l: LocId| program.is_frozen(l, mode);
+    let eqs = pre_equations(assignments);
+    let unique = unique_pre_equations(&eqs);
+    let rho0 = program.subst();
+    let solv = solvability(&rho0, &unique);
+    Measurement {
+        name: example.name,
+        slug: example.slug,
+        loc: example
+            .source
+            .lines()
+            .filter(|l| {
+                let t = l.trim();
+                !t.is_empty() && !t.starts_with(';')
+            })
+            .count(),
+        shapes: canvas.shapes().len(),
+        zones: assignments.zone_stats(),
+        locations: location_stats(canvas, assignments, &frozen),
+        pre_eq_total: eqs.len(),
+        unique_eqs: unique,
+        solvability: solv,
+        rho0,
+    }
+}
+
+/// Measures the whole corpus.
+pub fn measure_corpus() -> Vec<Measurement> {
+    sns_examples::ALL.iter().map(measure).collect()
+}
+
+/// Wall-clock timings of the §5.2.3 operations for one example.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Timing {
+    /// Parse time (seconds).
+    pub parse: f64,
+    /// Eval time (seconds).
+    pub eval: f64,
+    /// Unparse time (seconds).
+    pub unparse: f64,
+    /// Prepare time: assignments + triggers (seconds).
+    pub prepare: f64,
+    /// Full "Run Code": parse + eval + canvas + prepare (seconds).
+    pub run: f64,
+}
+
+/// Times one example `runs` times and returns each run's timings.
+///
+/// # Panics
+///
+/// Panics if the example fails to run.
+pub fn time_example(example: &Example, runs: usize) -> Vec<Timing> {
+    let mut out = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        let program = Program::parse(example.source).expect("parse");
+        let parse = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let value = program.eval().expect("eval");
+        let eval = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let _code = program.code();
+        let unparse = t0.elapsed().as_secs_f64();
+
+        let canvas = Canvas::from_value(&value).expect("canvas");
+        let mode = FreezeMode::default();
+        let frozen = |l: LocId| program.is_frozen(l, mode);
+        let t0 = Instant::now();
+        let assignments = analyze_canvas(&canvas, &frozen, Heuristic::Fair);
+        let mut triggers = 0usize;
+        for z in &assignments.zones {
+            if sns_sync::Trigger::compute(z).is_some() {
+                triggers += 1;
+            }
+        }
+        let prepare = t0.elapsed().as_secs_f64();
+        assert!(triggers <= assignments.zones.len());
+
+        out.push(Timing { parse, eval, unparse, prepare, run: parse + eval + prepare });
+    }
+    out
+}
+
+/// Times `SolveOne` on each unique pre-equation (d = 1), returning seconds
+/// per call.
+pub fn time_solves(m: &Measurement) -> Vec<f64> {
+    let mut out = Vec::with_capacity(m.unique_eqs.len());
+    for eq in &m.unique_eqs {
+        let equation = Equation::new(eq.n + 1.0, Rc::clone(&eq.trace));
+        let t0 = Instant::now();
+        let _ = sns_solver::solve(&m.rho0, eq.loc, &equation);
+        out.push(t0.elapsed().as_secs_f64());
+    }
+    out
+}
+
+/// Min / median / average / max summary of a sample (the §5.2.3 row shape).
+#[derive(Debug, Clone, Copy)]
+pub struct Summary {
+    /// Minimum.
+    pub min: f64,
+    /// Median.
+    pub med: f64,
+    /// Average.
+    pub avg: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Summarizes a non-empty sample.
+///
+/// # Panics
+///
+/// Panics on an empty sample.
+pub fn summarize(xs: &[f64]) -> Summary {
+    assert!(!xs.is_empty(), "summary of empty sample");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    Summary {
+        min: sorted[0],
+        med: sorted[sorted.len() / 2],
+        avg: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        max: sorted[sorted.len() - 1],
+    }
+}
+
+/// Formats seconds as milliseconds for table output.
+pub fn ms(seconds: f64) -> String {
+    if seconds < 0.0005 {
+        "<1 ms".to_string()
+    } else {
+        format!("{:.0} ms", seconds * 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_wave_boxes() {
+        let ex = sns_examples::by_slug("wave_boxes").unwrap();
+        let m = measure(ex);
+        assert_eq!(m.shapes, 12);
+        assert_eq!(m.zones.total, 108);
+        assert!(m.zones.active() > 0);
+        assert!(!m.unique_eqs.is_empty());
+    }
+
+    #[test]
+    fn summarize_orders() {
+        let s = summarize(&[3.0, 1.0, 2.0]);
+        assert_eq!((s.min, s.med, s.max), (1.0, 2.0, 3.0));
+        assert!((s.avg - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ms_formats() {
+        assert_eq!(ms(0.0001), "<1 ms");
+        assert_eq!(ms(0.012), "12 ms");
+    }
+}

@@ -1,0 +1,102 @@
+//! Minimal, dependency-free argument parsing for the `sns` CLI.
+
+use std::collections::HashMap;
+
+/// Parsed command-line: a subcommand, positional arguments, and
+/// `--key value` / `--flag` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first argument).
+    pub command: String,
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+    /// `--key value` options.
+    pub options: HashMap<String, String>,
+    /// Bare `--flag` options.
+    pub flags: Vec<String>,
+}
+
+/// Splits raw arguments into subcommand, positionals, options, and flags.
+/// An option consumes the next argument as its value unless that argument
+/// also starts with `--`.
+pub fn parse(raw: impl IntoIterator<Item = String>) -> Args {
+    let mut iter = raw.into_iter().peekable();
+    let command = iter.next().unwrap_or_default();
+    let mut args = Args { command, ..Args::default() };
+    while let Some(a) = iter.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            match iter.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    let v = iter.next().expect("peeked");
+                    args.options.insert(key.to_string(), v);
+                }
+                _ => args.flags.push(key.to_string()),
+            }
+        } else {
+            args.positional.push(a);
+        }
+    }
+    args
+}
+
+impl Args {
+    /// Required positional argument `i`.
+    pub fn positional(&self, i: usize, what: &str) -> Result<&str, String> {
+        self.positional
+            .get(i)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing {what}"))
+    }
+
+    /// Required `--key` option.
+    pub fn option(&self, key: &str) -> Result<&str, String> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing --{key}"))
+    }
+
+    /// Required `--key` option parsed as `f64`.
+    pub fn option_f64(&self, key: &str) -> Result<f64, String> {
+        self.option(key)?
+            .parse()
+            .map_err(|e| format!("--{key}: {e}"))
+    }
+
+    /// Whether a bare flag is present.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_strs(raw: &[&str]) -> Args {
+        parse(raw.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_positionals_options_flags() {
+        let a = parse_strs(&["drag", "file.little", "--shape", "2", "--dx", "4.5", "--quiet"]);
+        assert_eq!(a.command, "drag");
+        assert_eq!(a.positional(0, "file").unwrap(), "file.little");
+        assert_eq!(a.option("shape").unwrap(), "2");
+        assert_eq!(a.option_f64("dx").unwrap(), 4.5);
+        assert!(a.has_flag("quiet"));
+        assert!(a.option("zone").is_err());
+    }
+
+    #[test]
+    fn negative_numbers_are_option_values() {
+        let a = parse_strs(&["drag", "--dy", "-12"]);
+        assert_eq!(a.option_f64("dy").unwrap(), -12.0);
+    }
+
+    #[test]
+    fn empty_input_is_empty_command() {
+        let a = parse_strs(&[]);
+        assert_eq!(a.command, "");
+    }
+}

@@ -1,0 +1,15 @@
+//! The `sns` binary: see [`sns_cli`] for the command surface.
+
+fn main() {
+    let args = sns_cli::args::parse(std::env::args().skip(1));
+    // little evaluation recurses with list length; give the CLI the same
+    // headroom the test suite gets.
+    let result = sns_eval::with_big_stack(move || sns_cli::run(args));
+    match result {
+        Ok(out) => print!("{out}"),
+        Err(msg) => {
+            eprintln!("sns: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Editor errors.
+
+use std::error::Error;
+use std::fmt;
+
+use sns_eval::EvalError;
+use sns_lang::ParseError;
+use sns_sync::LiveError;
+
+/// Any error the editor can surface to the user.
+#[derive(Debug)]
+pub enum EditorError {
+    /// The program text does not parse.
+    Parse(ParseError),
+    /// The program failed to evaluate or render.
+    Live(LiveError),
+    /// A user action referred to something that does not exist or is not
+    /// currently possible (e.g. dragging an inactive zone).
+    Action(String),
+}
+
+impl EditorError {
+    pub(crate) fn action(msg: impl Into<String>) -> Self {
+        EditorError::Action(msg.into())
+    }
+}
+
+impl fmt::Display for EditorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditorError::Parse(e) => write!(f, "editor: {e}"),
+            EditorError::Live(e) => write!(f, "editor: {e}"),
+            EditorError::Action(m) => write!(f, "editor: {m}"),
+        }
+    }
+}
+
+impl Error for EditorError {}
+
+impl From<ParseError> for EditorError {
+    fn from(e: ParseError) -> Self {
+        EditorError::Parse(e)
+    }
+}
+
+impl From<LiveError> for EditorError {
+    fn from(e: LiveError) -> Self {
+        EditorError::Live(e)
+    }
+}
+
+impl From<EvalError> for EditorError {
+    fn from(e: EvalError) -> Self {
+        EditorError::Live(LiveError::Eval(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefixes_editor() {
+        let err = EditorError::action("no such shape");
+        assert_eq!(err.to_string(), "editor: no such shape");
+    }
+}

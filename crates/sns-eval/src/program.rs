@@ -1,0 +1,410 @@
+//! Programs: user code + Prelude, with location metadata.
+//!
+//! A [`Program`] couples the user's `little` source with the Prelude it is
+//! implicitly wrapped in, tracks per-location metadata (canonical name,
+//! freeze/thaw annotation, range annotation, Prelude membership), and knows
+//! how to evaluate itself and how to apply local updates.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use sns_lang::{
+    loc_names, parse_with_locs, program_subst, unparse, Expr, FreezeAnnotation, LocId, ParseError,
+    Pat, Subst,
+};
+
+use crate::env::Env;
+use crate::eval::{match_pat, EvalError, Evaluator, Limits};
+use crate::value::{Closure, Value};
+
+/// The `little` Prelude source embedded in every program (Appendix C).
+pub const PRELUDE_SRC: &str = include_str!("prelude.little");
+
+/// Metadata about one program location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocInfo {
+    /// Canonical name when the literal is bound directly to a variable.
+    pub name: Option<String>,
+    /// Freeze/thaw annotation written on the literal.
+    pub annotation: FreezeAnnotation,
+    /// Range annotation `{lo-hi}` (slider request).
+    pub range: Option<(f64, f64)>,
+    /// Whether the location lives in the Prelude.
+    pub prelude: bool,
+}
+
+/// Controls which constants the synthesizer may change (§2.2, App. C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FreezeMode {
+    /// Treat every Prelude constant as frozen (the paper's default).
+    pub prelude_frozen: bool,
+    /// Freeze *all* constants except those explicitly thawed with `?`.
+    pub all_except_thawed: bool,
+}
+
+impl Default for FreezeMode {
+    fn default() -> Self {
+        FreezeMode { prelude_frozen: true, all_except_thawed: false }
+    }
+}
+
+impl FreezeMode {
+    /// The paper's default: Prelude frozen, user constants free unless `!`.
+    pub fn annotated_only() -> Self {
+        Self::default()
+    }
+
+    /// Everything frozen except `?`-thawed constants (App. C "Thawing and
+    /// Freezing Constants").
+    pub fn all_except_thawed() -> Self {
+        FreezeMode { prelude_frozen: true, all_except_thawed: true }
+    }
+
+    /// Nothing implicitly frozen — even the Prelude. Used to reproduce the
+    /// full Figure 1D candidate set (which includes Prelude locations ℓ0
+    /// and ℓ1 before the freezing discussion).
+    pub fn nothing_frozen() -> Self {
+        FreezeMode { prelude_frozen: false, all_except_thawed: false }
+    }
+}
+
+fn prelude_template() -> &'static (Expr, u32) {
+    static TEMPLATE: OnceLock<(Expr, u32)> = OnceLock::new();
+    TEMPLATE.get_or_init(|| {
+        let parsed =
+            sns_lang::parse(PRELUDE_SRC).expect("the embedded Prelude must always parse");
+        (parsed.expr, parsed.next_loc)
+    })
+}
+
+/// A complete program: Prelude + user code.
+///
+/// # Examples
+///
+/// ```
+/// use sns_eval::Program;
+///
+/// let program = Program::parse("(svg [(rect 'gold' 10 20 30 40)])").unwrap();
+/// let value = program.eval().unwrap();
+/// assert!(value.to_vec().is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Program {
+    prelude_expr: Expr,
+    user_expr: Expr,
+    prelude_next_loc: u32,
+    next_loc: u32,
+    loc_info: HashMap<LocId, LocInfo>,
+    limits: Limits,
+}
+
+impl Program {
+    /// Parses user source against the standard Prelude.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] if the user source is malformed.
+    pub fn parse(user_src: &str) -> Result<Program, ParseError> {
+        let (prelude_expr, prelude_next_loc) = prelude_template().clone();
+        let user = parse_with_locs(user_src, prelude_next_loc)?;
+        Ok(Self::assemble(prelude_expr, prelude_next_loc, user.expr, user.next_loc))
+    }
+
+    /// Parses user source with *no* Prelude (for tests and micro-benchmarks).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] if the source is malformed.
+    pub fn parse_without_prelude(user_src: &str) -> Result<Program, ParseError> {
+        let user = sns_lang::parse(user_src)?;
+        // A trivial prelude: a single dummy literal that binds nothing.
+        let prelude_expr = Expr::Bool(true);
+        Ok(Self::assemble(prelude_expr, 0, user.expr, user.next_loc))
+    }
+
+    fn assemble(prelude_expr: Expr, prelude_next_loc: u32, user_expr: Expr, next_loc: u32) -> Program {
+        let mut program = Program {
+            prelude_expr,
+            user_expr,
+            prelude_next_loc,
+            next_loc,
+            loc_info: HashMap::new(),
+            limits: Limits::default(),
+        };
+        program.rebuild_loc_info();
+        program
+    }
+
+    fn rebuild_loc_info(&mut self) {
+        let mut info = HashMap::new();
+        let mut names = loc_names(&self.prelude_expr);
+        names.extend(loc_names(&self.user_expr));
+        for (expr, prelude) in [(&self.prelude_expr, true), (&self.user_expr, false)] {
+            expr.walk(&mut |e| {
+                if let Expr::Num(n) = e {
+                    info.insert(
+                        n.loc,
+                        LocInfo {
+                            name: names.get(&n.loc).cloned(),
+                            annotation: n.annotation,
+                            range: n.range,
+                            prelude,
+                        },
+                    );
+                }
+            });
+        }
+        self.loc_info = info;
+    }
+
+    /// Overrides the evaluation resource limits.
+    pub fn set_limits(&mut self, limits: Limits) {
+        self.limits = limits;
+    }
+
+    /// The user-program AST (excluding the Prelude).
+    pub fn user_expr(&self) -> &Expr {
+        &self.user_expr
+    }
+
+    /// The Prelude AST.
+    pub fn prelude_expr(&self) -> &Expr {
+        &self.prelude_expr
+    }
+
+    /// One past the largest location id in use.
+    pub fn next_loc(&self) -> u32 {
+        self.next_loc
+    }
+
+    /// Whether `loc` belongs to the Prelude.
+    pub fn is_prelude_loc(&self, loc: LocId) -> bool {
+        loc.0 < self.prelude_next_loc
+    }
+
+    /// Metadata for a location, if it exists in the program.
+    pub fn loc_info(&self, loc: LocId) -> Option<&LocInfo> {
+        self.loc_info.get(&loc)
+    }
+
+    /// Canonical display name for a location (`x0` / `sep` / `l17`).
+    pub fn display_loc(&self, loc: LocId) -> String {
+        self.loc_info
+            .get(&loc)
+            .and_then(|i| i.name.clone())
+            .unwrap_or_else(|| loc.to_string())
+    }
+
+    /// Whether the given freeze mode forbids changing `loc` (§2.2).
+    pub fn is_frozen(&self, loc: LocId, mode: FreezeMode) -> bool {
+        let Some(info) = self.loc_info.get(&loc) else {
+            // Unknown locations are conservatively frozen.
+            return true;
+        };
+        match info.annotation {
+            FreezeAnnotation::Frozen => true,
+            FreezeAnnotation::Thawed => false,
+            FreezeAnnotation::None => {
+                (info.prelude && mode.prelude_frozen) || mode.all_except_thawed
+            }
+        }
+    }
+
+    /// The substitution ρ₀ recording the current value of every literal.
+    pub fn subst(&self) -> Subst {
+        let mut rho = program_subst(&self.prelude_expr);
+        rho.extend(program_subst(&self.user_expr).iter());
+        rho
+    }
+
+    /// Applies a local update to the program (both user code and, when the
+    /// update mentions Prelude locations, the Prelude copy).
+    pub fn apply_subst(&mut self, rho: &Subst) {
+        rho.apply(&mut self.user_expr);
+        if rho.domain().any(|l| self.is_prelude_loc(l)) {
+            rho.apply(&mut self.prelude_expr);
+        }
+    }
+
+    /// Returns a copy of the program with `rho` applied (the paper's `ρe`).
+    pub fn with_subst(&self, rho: &Subst) -> Program {
+        let mut p = self.clone();
+        p.apply_subst(rho);
+        p
+    }
+
+    /// The current user-program source text.
+    pub fn code(&self) -> String {
+        unparse(&self.user_expr)
+    }
+
+    /// Evaluates the program: Prelude definitions first, then user code.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EvalError`] from either Prelude or user evaluation.
+    pub fn eval(&self) -> Result<Value, EvalError> {
+        let mut ev = Evaluator::new(self.limits);
+        let env = extend_with_defs(&mut ev, Env::new(), &self.prelude_expr)?;
+        ev.eval(&env, &self.user_expr)
+    }
+
+    /// All locations that carry a range annotation, i.e. requested sliders
+    /// (§2.4), in location order.
+    pub fn slider_locs(&self) -> Vec<(LocId, (f64, f64))> {
+        let mut out: Vec<(LocId, (f64, f64))> = self
+            .loc_info
+            .iter()
+            .filter_map(|(l, i)| i.range.map(|r| (*l, r)))
+            .collect();
+        out.sort_by_key(|(l, _)| *l);
+        out
+    }
+}
+
+/// Evaluates a chain of `def`/`defrec` bindings into an environment,
+/// stopping at the first non-`let` expression (the Prelude's end marker).
+fn extend_with_defs(ev: &mut Evaluator, env: Env, expr: &Expr) -> Result<Env, EvalError> {
+    let mut env = env;
+    let mut cur = expr;
+    while let Expr::Let { recursive, pat, bound, body, .. } = cur {
+        let bound_v = ev.eval(&env, bound)?;
+        let bound_v = if *recursive {
+            match (pat, bound_v) {
+                (Pat::Var(name), Value::Closure(c)) => Value::Closure(std::rc::Rc::new(Closure {
+                    rec_name: Some(name.clone()),
+                    params: c.params.clone(),
+                    body: c.body.clone(),
+                    env: c.env.clone(),
+                })),
+                _ => return Err(EvalError::new("defrec requires a function")),
+            }
+        } else {
+            bound_v
+        };
+        env = match_pat(pat, &bound_v, &env)
+            .ok_or_else(|| EvalError::new("def pattern does not match value"))?;
+        cur = body;
+    }
+    Ok(env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prelude_parses_and_evaluates() {
+        let p = Program::parse("(map (λ x (* x x)) (zeroTo 4))").unwrap();
+        let v = p.eval().unwrap();
+        let nums: Vec<f64> =
+            v.to_vec().unwrap().iter().map(|x| x.as_num().unwrap().0).collect();
+        assert_eq!(nums, vec![0.0, 1.0, 4.0, 9.0]);
+    }
+
+    #[test]
+    fn prelude_locations_are_frozen_by_default() {
+        let p = Program::parse("1").unwrap();
+        let mode = FreezeMode::default();
+        // Location 0 is in the Prelude.
+        assert!(p.is_frozen(LocId(0), mode));
+        // The user's literal is not frozen.
+        let user_loc = LocId(p.next_loc() - 1);
+        assert!(!p.is_frozen(user_loc, mode));
+        // Unless everything is frozen.
+        assert!(p.is_frozen(user_loc, FreezeMode::all_except_thawed()));
+    }
+
+    #[test]
+    fn explicit_annotations_override_modes() {
+        let p = Program::parse("[1! 2?]").unwrap();
+        let frozen = LocId(p.next_loc() - 2);
+        let thawed = LocId(p.next_loc() - 1);
+        assert!(p.is_frozen(frozen, FreezeMode::default()));
+        assert!(!p.is_frozen(thawed, FreezeMode::all_except_thawed()));
+    }
+
+    #[test]
+    fn nothing_frozen_mode_thaws_prelude() {
+        let p = Program::parse("1").unwrap();
+        assert!(!p.is_frozen(LocId(10), FreezeMode::nothing_frozen()));
+    }
+
+    #[test]
+    fn apply_subst_updates_code() {
+        let mut p = Program::parse("(def sep 30) (* 2 sep)").unwrap();
+        let sep_loc = LocId(p.next_loc() - 2);
+        assert_eq!(p.display_loc(sep_loc), "sep");
+        let rho = Subst::from_pairs([(sep_loc, 52.5)]);
+        p.apply_subst(&rho);
+        assert_eq!(p.code(), "(def sep 52.5) (* 2 sep)");
+        assert_eq!(p.eval().unwrap().as_num().unwrap().0, 105.0);
+    }
+
+    #[test]
+    fn subst_on_prelude_loc_changes_library_behaviour() {
+        // This is exactly why the Prelude is frozen by default: changing l
+        // of `1` in `range` changes every program's loop stride.
+        let p = Program::parse("(zeroTo 3)").unwrap();
+        let v = p.eval().unwrap();
+        assert_eq!(v.to_vec().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn slider_locs_reports_ranges() {
+        let p = Program::parse("(def n 12!{3-30}) n").unwrap();
+        let sliders = p.slider_locs();
+        assert_eq!(sliders.len(), 1);
+        assert_eq!(sliders[0].1, (3.0, 30.0));
+    }
+
+    #[test]
+    fn nstar_produces_polygon() {
+        let p = Program::parse("(nStar 'gold' 'black' 2 6 50 20 0 100 100)").unwrap();
+        let v = p.eval().unwrap();
+        let node = v.to_vec().unwrap();
+        assert_eq!(node[0].as_str(), Some("polygon"));
+    }
+
+    #[test]
+    fn sliders_return_value_and_ghost_shapes() {
+        let p = Program::parse("(numSlider 50 200 30 0 5 'n = ' 3.25)").unwrap();
+        let pair = p.eval().unwrap().to_vec().unwrap();
+        assert_eq!(pair[0].as_num().unwrap().0, 3.25);
+        let shapes = pair[1].to_vec().unwrap();
+        assert_eq!(shapes.len(), 5);
+    }
+
+    #[test]
+    fn int_slider_rounds() {
+        let p = Program::parse("(fst (intSlider 50 200 30 0 5 'i = ' 3.25))").unwrap();
+        assert_eq!(p.eval().unwrap().as_num().unwrap().0, 3.0);
+    }
+
+    #[test]
+    fn n_points_on_circle_matches_figure_4b() {
+        // Index 0 must sit at the top of the circle: (cx, cy - r).
+        let p = Program::parse("(nPointsOnCircle 4 0 100 200 50)").unwrap();
+        let pts = p.eval().unwrap().to_vec().unwrap();
+        let p0 = pts[0].to_vec().unwrap();
+        let (x, _) = p0[0].as_num().unwrap();
+        let (y, _) = p0[1].as_num().unwrap();
+        assert!((x - 100.0).abs() < 1e-9);
+        assert!((y - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn without_prelude_is_bare() {
+        let p = Program::parse_without_prelude("(+ 1 2)").unwrap();
+        assert_eq!(p.eval().unwrap().as_num().unwrap().0, 3.0);
+        assert!(!p.is_prelude_loc(LocId(0)));
+    }
+
+    #[test]
+    fn mult_has_addition_only_trace() {
+        let p = Program::parse("(mult 3 7)").unwrap();
+        let (n, t) = p.eval().unwrap().as_num().map(|(n, t)| (n, t.clone())).unwrap();
+        assert_eq!(n, 21.0);
+        assert!(t.is_addition_only());
+    }
+}

@@ -1,0 +1,162 @@
+//! Run-time traces (§2.1).
+//!
+//! Evaluation of `little` is instrumented so that every number it produces
+//! carries a trace `t ::= ℓ | (opm t1 … tm)` recording the *data flow* that
+//! produced it — which program constants flowed through which primitive
+//! operations. Traces deliberately ignore control flow (the paper's
+//! "Dataflow-Only Traces" design note).
+//!
+//! A value `n` paired with its trace `t` forms a *value-trace equation*
+//! `n = t`, the raw material of trace-based program synthesis.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::rc::Rc;
+
+use sns_lang::{LocId, Op};
+
+/// A run-time trace: either a program location or a primitive operation
+/// applied to sub-traces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Trace {
+    /// The number originated at program location ℓ.
+    Loc(LocId),
+    /// The number is the result of `op` applied to traced arguments.
+    Op(Op, Vec<Rc<Trace>>),
+}
+
+impl Trace {
+    /// A shared location trace.
+    pub fn loc(l: LocId) -> Rc<Trace> {
+        Rc::new(Trace::Loc(l))
+    }
+
+    /// A shared operation trace.
+    pub fn op(op: Op, args: Vec<Rc<Trace>>) -> Rc<Trace> {
+        Rc::new(Trace::Op(op, args))
+    }
+
+    /// The set of locations mentioned anywhere in the trace.
+    ///
+    /// This is the paper's `Locs(t)` *before* frozen-location filtering;
+    /// callers exclude frozen locations themselves because frozenness
+    /// depends on the editor's freeze mode.
+    pub fn locs(&self) -> BTreeSet<LocId> {
+        let mut out = BTreeSet::new();
+        self.collect_locs(&mut out);
+        out
+    }
+
+    fn collect_locs(&self, out: &mut BTreeSet<LocId>) {
+        match self {
+            Trace::Loc(l) => {
+                out.insert(*l);
+            }
+            Trace::Op(_, args) => {
+                for a in args {
+                    a.collect_locs(out);
+                }
+            }
+        }
+    }
+
+    /// Counts the occurrences of `loc` in the trace (distinguishes the
+    /// "single-occurrence" solver fragment from the general case).
+    pub fn count_loc(&self, loc: LocId) -> usize {
+        match self {
+            Trace::Loc(l) => usize::from(*l == loc),
+            Trace::Op(_, args) => args.iter().map(|a| a.count_loc(loc)).sum(),
+        }
+    }
+
+    /// Counts occurrences of every location (used by the biased heuristic's
+    /// `Count(ℓ)` and by trace-size statistics).
+    pub fn count_locs_into(&self, counts: &mut std::collections::HashMap<LocId, usize>) {
+        match self {
+            Trace::Loc(l) => *counts.entry(*l).or_insert(0) += 1,
+            Trace::Op(_, args) => {
+                for a in args {
+                    a.count_locs_into(counts);
+                }
+            }
+        }
+    }
+
+    /// Number of tree nodes in the trace (the paper reports a mean trace
+    /// size of ~141 nodes across its corpus).
+    pub fn size(&self) -> usize {
+        match self {
+            Trace::Loc(_) => 1,
+            Trace::Op(_, args) => 1 + args.iter().map(|a| a.size()).sum::<usize>(),
+        }
+    }
+
+    /// Whether the trace uses only the `+` operation (the `SolveA`
+    /// "addition-only" fragment).
+    pub fn is_addition_only(&self) -> bool {
+        match self {
+            Trace::Loc(_) => true,
+            Trace::Op(Op::Add, args) => args.iter().all(|a| a.is_addition_only()),
+            Trace::Op(..) => false,
+        }
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trace::Loc(l) => write!(f, "{l}"),
+            Trace::Op(op, args) => {
+                write!(f, "({op}")?;
+                for a in args {
+                    write!(f, " {a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u32) -> Rc<Trace> {
+        Trace::loc(LocId(i))
+    }
+
+    #[test]
+    fn locs_deduplicates() {
+        let t = Trace::op(Op::Add, vec![l(1), Trace::op(Op::Mul, vec![l(1), l(2)])]);
+        let locs: Vec<u32> = t.locs().into_iter().map(|x| x.0).collect();
+        assert_eq!(locs, vec![1, 2]);
+    }
+
+    #[test]
+    fn count_loc_counts_occurrences() {
+        let t = Trace::op(Op::Add, vec![l(1), Trace::op(Op::Mul, vec![l(1), l(2)])]);
+        assert_eq!(t.count_loc(LocId(1)), 2);
+        assert_eq!(t.count_loc(LocId(2)), 1);
+        assert_eq!(t.count_loc(LocId(3)), 0);
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let t = Trace::op(Op::Add, vec![l(1), Trace::op(Op::Mul, vec![l(1), l(2)])]);
+        assert_eq!(t.size(), 5);
+    }
+
+    #[test]
+    fn addition_only_fragment() {
+        let t = Trace::op(Op::Add, vec![l(1), Trace::op(Op::Add, vec![l(2), l(3)])]);
+        assert!(t.is_addition_only());
+        let t = Trace::op(Op::Add, vec![l(1), Trace::op(Op::Mul, vec![l(2), l(3)])]);
+        assert!(!t.is_addition_only());
+    }
+
+    #[test]
+    fn display_uses_prefix_notation() {
+        let t = Trace::op(Op::Add, vec![l(0), Trace::op(Op::Mul, vec![l(1), l(2)])]);
+        assert_eq!(t.to_string(), "(+ l0 (* l1 l2))");
+    }
+}

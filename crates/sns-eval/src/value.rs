@@ -1,0 +1,210 @@
+//! Run-time values of `little` (Figure 2's `v`), with traced numbers.
+
+use std::fmt;
+use std::rc::Rc;
+
+use sns_lang::{fmt_num, Expr, Pat};
+
+use crate::env::Env;
+use crate::trace::Trace;
+
+/// A run-time value.
+///
+/// Lists are cons cells as in the paper's core language; [`Value::to_vec`]
+/// converts a proper list into a `Vec` for consumers such as the SVG layer.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// A number with its run-time trace (`nᵗ`).
+    Num(f64, Rc<Trace>),
+    /// A string.
+    Str(Rc<str>),
+    /// A boolean.
+    Bool(bool),
+    /// The empty list `[]`.
+    Nil,
+    /// A cons cell `[v1|v2]`.
+    Cons(Rc<Value>, Rc<Value>),
+    /// A function closure.
+    Closure(Rc<Closure>),
+}
+
+/// A function closure: parameters, body, captured environment, and — for
+/// `letrec`-bound functions — the name under which the closure can refer to
+/// itself.
+#[derive(Debug)]
+pub struct Closure {
+    /// For recursive closures, the self-reference name bound at application.
+    pub rec_name: Option<String>,
+    /// Parameter patterns (multi-parameter lambdas are applied curried).
+    pub params: Vec<Pat>,
+    /// The function body.
+    pub body: Expr,
+    /// The captured environment.
+    pub env: Env,
+}
+
+impl Value {
+    /// Builds a traced number.
+    pub fn num(n: f64, t: Rc<Trace>) -> Value {
+        Value::Num(n, t)
+    }
+
+    /// Builds a string value.
+    pub fn str(s: impl Into<Rc<str>>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Builds a proper list from a vector of values.
+    pub fn from_vec(items: Vec<Value>) -> Value {
+        let mut out = Value::Nil;
+        for v in items.into_iter().rev() {
+            out = Value::Cons(Rc::new(v), Rc::new(out));
+        }
+        out
+    }
+
+    /// Converts a proper cons list to a vector; `None` if the value is not a
+    /// nil-terminated list.
+    pub fn to_vec(&self) -> Option<Vec<Value>> {
+        let mut out = Vec::new();
+        let mut cur = self;
+        loop {
+            match cur {
+                Value::Nil => return Some(out),
+                Value::Cons(h, t) => {
+                    out.push((**h).clone());
+                    cur = t;
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// The number and trace, if this is a numeric value.
+    pub fn as_num(&self) -> Option<(f64, &Rc<Trace>)> {
+        match self {
+            Value::Num(n, t) => Some((*n, t)),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// A short name for the value's shape, used in error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Num(..) => "number",
+            Value::Str(_) => "string",
+            Value::Bool(_) => "boolean",
+            Value::Nil => "empty list",
+            Value::Cons(..) => "list",
+            Value::Closure(_) => "function",
+        }
+    }
+
+    /// Structural equality ignoring traces; closures are never equal.
+    /// This is the dynamic behaviour of the `=` primitive on lists and the
+    /// basis of value-context comparison in the synthesis framework.
+    pub fn structurally_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Num(a, _), Value::Num(b, _)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Nil, Value::Nil) => true,
+            (Value::Cons(h1, t1), Value::Cons(h2, t2)) => {
+                h1.structurally_eq(h2) && t1.structurally_eq(t2)
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Num(n, _) => f.write_str(&fmt_num(*n)),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Bool(b) => f.write_str(if *b { "true" } else { "false" }),
+            Value::Nil => f.write_str("[]"),
+            Value::Cons(..) => {
+                f.write_str("[")?;
+                let mut cur = self;
+                let mut first = true;
+                loop {
+                    match cur {
+                        Value::Cons(h, t) => {
+                            if !first {
+                                f.write_str(" ")?;
+                            }
+                            write!(f, "{h}")?;
+                            first = false;
+                            cur = t;
+                        }
+                        Value::Nil => break,
+                        other => {
+                            write!(f, "|{other}")?;
+                            break;
+                        }
+                    }
+                }
+                f.write_str("]")
+            }
+            Value::Closure(_) => f.write_str("<function>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sns_lang::LocId;
+
+    #[test]
+    fn vec_roundtrip() {
+        let v = Value::from_vec(vec![
+            Value::num(1.0, Trace::loc(LocId(0))),
+            Value::str("a"),
+            Value::Bool(true),
+        ]);
+        let back = v.to_vec().unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[1].as_str(), Some("a"));
+    }
+
+    #[test]
+    fn improper_list_is_not_a_vec() {
+        let v = Value::Cons(Rc::new(Value::Bool(true)), Rc::new(Value::Bool(false)));
+        assert!(v.to_vec().is_none());
+    }
+
+    #[test]
+    fn display_list() {
+        let v = Value::from_vec(vec![
+            Value::num(1.0, Trace::loc(LocId(0))),
+            Value::num(2.5, Trace::loc(LocId(1))),
+        ]);
+        assert_eq!(v.to_string(), "[1 2.5]");
+    }
+
+    #[test]
+    fn structural_equality_ignores_traces() {
+        let a = Value::num(3.0, Trace::loc(LocId(0)));
+        let b = Value::num(3.0, Trace::loc(LocId(9)));
+        assert!(a.structurally_eq(&b));
+        assert!(!a.structurally_eq(&Value::Bool(true)));
+    }
+}

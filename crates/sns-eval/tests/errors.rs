@@ -1,0 +1,94 @@
+//! Failure-injection tests: every class of run-time error must surface as
+//! a clean `EvalError` with a useful message — never a panic and never a
+//! wrong answer.
+
+use sns_eval::{EvalError, Limits, Program};
+
+fn eval_err(src: &str) -> EvalError {
+    Program::parse(src)
+        .unwrap_or_else(|e| panic!("{src}: parse failed: {e}"))
+        .eval()
+        .expect_err("expected an evaluation error")
+}
+
+#[test]
+fn unbound_variable() {
+    assert!(eval_err("mystery").msg.contains("unbound variable `mystery`"));
+}
+
+#[test]
+fn applying_a_non_function() {
+    let err = eval_err("(let f 5 (f 1))");
+    assert!(err.msg.contains("cannot apply"), "{err}");
+}
+
+#[test]
+fn if_on_a_number() {
+    assert!(eval_err("(if 3 1 2)").msg.contains("boolean"));
+}
+
+#[test]
+fn failed_case_match() {
+    assert!(eval_err("(case [1] ([] 0))").msg.contains("no case branch"));
+}
+
+#[test]
+fn failed_let_pattern() {
+    assert!(eval_err("(let [a b] [1] a)").msg.contains("does not match"));
+}
+
+#[test]
+fn failed_argument_pattern() {
+    let err = eval_err("((λ [a b] a) 5)");
+    assert!(err.msg.contains("parameter pattern"), "{err}");
+}
+
+#[test]
+fn letrec_of_non_function() {
+    assert!(eval_err("(letrec x 5 x)").msg.contains("function"));
+}
+
+#[test]
+fn prim_type_errors_name_the_operator() {
+    assert!(eval_err("(cos 'hi')").msg.contains("`cos` expects a number"));
+    assert!(eval_err("(+ 'hi' 1)").msg.contains("argument"));
+    assert!(eval_err("(not 5)").msg.contains("`not` expects a boolean"));
+    assert!(eval_err("(< 'a' 'b')").msg.contains("number"));
+}
+
+#[test]
+fn step_and_depth_limits_are_configurable() {
+    let mut p = Program::parse("(letrec spin (λ n (spin (+ n 1))) (spin 0))").unwrap();
+    p.set_limits(Limits { max_steps: 5_000, max_depth: 1_000_000 });
+    assert!(p.eval().unwrap_err().msg.contains("step limit"));
+
+    let mut p = Program::parse("(len (zeroTo 100000))").unwrap();
+    p.set_limits(Limits { max_steps: u64::MAX - 1, max_depth: 2_000 });
+    assert!(p.eval().unwrap_err().msg.contains("recursion limit"));
+}
+
+#[test]
+fn division_by_zero_produces_infinity_not_error() {
+    // little follows IEEE semantics, like the original; the *solver* is
+    // where non-finite results get rejected.
+    let v = Program::parse("(/ 1 0)").unwrap().eval().unwrap();
+    assert!(v.as_num().unwrap().0.is_infinite());
+}
+
+#[test]
+fn nth_out_of_bounds_is_a_case_error() {
+    assert!(eval_err("(nth [1 2] 5)").msg.contains("no case branch"));
+}
+
+#[test]
+fn errors_display_cleanly() {
+    let err = eval_err("nope");
+    assert!(err.to_string().starts_with("evaluation error: "));
+}
+
+#[test]
+fn deep_but_legal_programs_still_run() {
+    // A 5,000-element list sits well inside the default limits.
+    let v = Program::parse("(len (zeroTo 5000))").unwrap().eval().unwrap();
+    assert_eq!(v.as_num().unwrap().0, 5000.0);
+}

@@ -1,0 +1,241 @@
+//! Conformance tests for every Prelude function (Appendix C): the standard
+//! library included in all `little` programs.
+
+use sns_eval::{Program, Value};
+
+fn eval(src: &str) -> Value {
+    Program::parse(src).unwrap_or_else(|e| panic!("{src}: {e}")).eval().unwrap_or_else(|e| {
+        panic!("{src}: {e}")
+    })
+}
+
+fn eval_num(src: &str) -> f64 {
+    eval(src).as_num().map(|(n, _)| n).unwrap_or_else(|| panic!("{src}: not a number"))
+}
+
+fn eval_nums(src: &str) -> Vec<f64> {
+    eval(src)
+        .to_vec()
+        .unwrap_or_else(|| panic!("{src}: not a list"))
+        .iter()
+        .map(|v| v.as_num().expect("number").0)
+        .collect()
+}
+
+fn eval_bool(src: &str) -> bool {
+    eval(src).as_bool().unwrap_or_else(|| panic!("{src}: not a boolean"))
+}
+
+#[test]
+fn combinators() {
+    assert_eq!(eval_num("(id 42)"), 42.0);
+    assert_eq!(eval_num("(always 1 2)"), 1.0);
+    assert_eq!(eval_num("((compose (λ x (* x 2)) (λ x (+ x 1))) 5)"), 12.0);
+    assert_eq!(eval_num("(flip (λ(a b) (- a b)) 1 10)"), 9.0);
+    assert_eq!(eval_num("(fst [7 8 9])"), 7.0);
+    assert_eq!(eval_num("(snd [7 8 9])"), 8.0);
+}
+
+#[test]
+fn list_basics() {
+    assert_eq!(eval_nums("(cons 1 [2 3])"), vec![1.0, 2.0, 3.0]);
+    assert!(eval_bool("(nil? [])"));
+    assert!(!eval_bool("(nil? [1])"));
+    assert_eq!(eval_num("(len [4 5 6])"), 3.0);
+    assert_eq!(eval_nums("(append [1 2] [3 4])"), vec![1.0, 2.0, 3.0, 4.0]);
+    assert_eq!(eval_nums("(concat [[1] [] [2 3]])"), vec![1.0, 2.0, 3.0]);
+    assert_eq!(eval_nums("(reverse [1 2 3])"), vec![3.0, 2.0, 1.0]);
+    assert_eq!(eval_nums("(take 2 [1 2 3 4])"), vec![1.0, 2.0]);
+    assert_eq!(eval_nums("(drop 2 [1 2 3 4])"), vec![3.0, 4.0]);
+    assert_eq!(eval_num("(nth [9 8 7] 2)"), 7.0);
+    assert!(eval_bool("(elem 2 [1 2 3])"));
+    assert!(!eval_bool("(elem 9 [1 2 3])"));
+}
+
+#[test]
+fn higher_order_functions() {
+    assert_eq!(eval_nums("(map (λ x (* x x)) [1 2 3])"), vec![1.0, 4.0, 9.0]);
+    assert_eq!(eval_nums("(map2 plus [1 2] [10 20])"), vec![11.0, 22.0]);
+    assert_eq!(eval_num("(foldl plus 0 [1 2 3 4])"), 10.0);
+    assert_eq!(eval_num("(foldr (λ(x acc) (- x acc)) 0 [10 3])"), 7.0);
+    assert_eq!(eval_nums("(filter (λ x (< x 3)) [1 5 2 8])"), vec![1.0, 2.0]);
+    assert_eq!(eval_nums("(concatMap (λ x [x x]) [1 2])"), vec![1.0, 1.0, 2.0, 2.0]);
+    assert_eq!(
+        eval_nums("(map (λ [a b] (+ a b)) (zip [1 2] [30 40]))"),
+        vec![31.0, 42.0]
+    );
+    assert_eq!(
+        eval_nums("(map (λ [i x] (* i x)) (mapi (λ p p) [5 6 7]))"),
+        vec![0.0, 6.0, 14.0]
+    );
+    assert_eq!(eval_num("(len (cartProd [1 2 3] [4 5]))"), 6.0);
+}
+
+#[test]
+fn ranges() {
+    assert_eq!(eval_nums("(range 2 5)"), vec![2.0, 3.0, 4.0, 5.0]);
+    assert_eq!(eval_nums("(range 5 2)"), Vec::<f64>::new());
+    assert_eq!(eval_nums("(zeroTo 4)"), vec![0.0, 1.0, 2.0, 3.0]);
+    assert_eq!(eval_nums("(list0N 3)"), vec![0.0, 1.0, 2.0, 3.0]);
+    assert_eq!(eval_nums("(list1N 3)"), vec![1.0, 2.0, 3.0]);
+    assert_eq!(eval_nums("(repeat 3 7)"), vec![7.0, 7.0, 7.0]);
+}
+
+#[test]
+fn booleans() {
+    assert!(eval_bool("(and true true)"));
+    assert!(!eval_bool("(and true false)"));
+    assert!(eval_bool("(or false true)"));
+    assert!(!eval_bool("(or false false)"));
+}
+
+#[test]
+fn arithmetic_helpers() {
+    assert_eq!(eval_num("(neg 5)"), -5.0);
+    assert_eq!(eval_num("(abs -4)"), 4.0);
+    assert_eq!(eval_num("(abs 4)"), 4.0);
+    assert_eq!(eval_num("(min 2 9)"), 2.0);
+    assert_eq!(eval_num("(max 2 9)"), 9.0);
+    assert_eq!(eval_num("(clamp 0 10 99)"), 10.0);
+    assert_eq!(eval_num("(clamp 0 10 -5)"), 0.0);
+    assert_eq!(eval_num("(clamp 0 10 7)"), 7.0);
+    assert!(eval_bool("(between 1 5 3)"));
+    assert!(!eval_bool("(between 1 5 9)"));
+    assert_eq!(eval_num("(sum [1 2 3])"), 6.0);
+    assert_eq!(eval_num("(average [2 4 6])"), 4.0);
+    assert!((eval_num("twoPi") - std::f64::consts::TAU).abs() < 1e-12);
+    assert!((eval_num("halfPi") - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    assert!((eval_num("(degToRad 180)") - std::f64::consts::PI).abs() < 1e-12);
+}
+
+#[test]
+fn integer_flavoured_ops() {
+    assert_eq!(eval_num("(mult 4 6)"), 24.0);
+    assert_eq!(eval_num("(mult 0 6)"), 0.0);
+    assert_eq!(eval_num("(minus 10 3)"), 7.0);
+    assert_eq!(eval_num("(div 10 4)"), 2.5);
+    // The Appendix C property: mult produces addition-only traces.
+    let v = eval("(mult 3 9)");
+    let (_, t) = v.as_num().unwrap();
+    assert!(t.is_addition_only());
+}
+
+#[test]
+fn shape_constructors_have_expected_attrs() {
+    for (src, kind, attrs) in [
+        ("(circle 'red' 1 2 3)", "circle", vec!["cx", "cy", "r", "fill"]),
+        ("(ring 'red' 2 1 2 3)", "circle", vec!["cx", "cy", "r", "fill", "stroke"]),
+        ("(ellipse 'red' 1 2 3 4)", "ellipse", vec!["cx", "cy", "rx", "ry"]),
+        ("(rect 'red' 1 2 3 4)", "rect", vec!["x", "y", "width", "height"]),
+        ("(square 'red' 1 2 3)", "rect", vec!["x", "y"]),
+        ("(line 'red' 1 1 2 3 4)", "line", vec!["x1", "y1", "x2", "y2"]),
+        ("(polygon 'red' 'black' 1 [[0 0]])", "polygon", vec!["points"]),
+        ("(polyline 'red' 'black' 1 [[0 0]])", "polyline", vec!["points"]),
+        ("(path 'red' 'black' 1 ['M' 0 0])", "path", vec!["d"]),
+        ("(text 5 6 'hi')", "text", vec!["x", "y"]),
+    ] {
+        let node = eval(src).to_vec().unwrap();
+        assert_eq!(node[0].as_str(), Some(kind), "{src}");
+        let attr_list = node[1].to_vec().unwrap();
+        let keys: Vec<String> = attr_list
+            .iter()
+            .map(|kv| kv.to_vec().unwrap()[0].as_str().unwrap().to_string())
+            .collect();
+        for want in attrs {
+            assert!(keys.iter().any(|k| k == want), "{src}: missing {want} in {keys:?}");
+        }
+    }
+}
+
+#[test]
+fn centered_shapes_are_centered() {
+    let v = eval("(squareCenter 'red' 100 60 40)").to_vec().unwrap();
+    let attrs = v[1].to_vec().unwrap();
+    let get = |name: &str| -> f64 {
+        attrs
+            .iter()
+            .map(|kv| kv.to_vec().unwrap())
+            .find(|kv| kv[0].as_str() == Some(name))
+            .unwrap()[1]
+            .as_num()
+            .unwrap()
+            .0
+    };
+    assert_eq!(get("x"), 80.0);
+    assert_eq!(get("y"), 40.0);
+    assert_eq!(get("width"), 40.0);
+    assert_eq!(get("height"), 40.0);
+}
+
+#[test]
+fn attr_helpers() {
+    let v = eval("(addAttr (rect 'r' 1 2 3 4) ['rx' 5])").to_vec().unwrap();
+    let attrs = v[1].to_vec().unwrap();
+    let last = attrs.last().unwrap().to_vec().unwrap();
+    assert_eq!(last[0].as_str(), Some("rx"));
+    let v = eval("(consAttr (rect 'r' 1 2 3 4) ['rx' 5])").to_vec().unwrap();
+    let attrs = v[1].to_vec().unwrap();
+    let first = attrs.first().unwrap().to_vec().unwrap();
+    assert_eq!(first[0].as_str(), Some("rx"));
+}
+
+#[test]
+fn svg_wrappers() {
+    let v = eval("(svg [(circle 'red' 1 2 3)])").to_vec().unwrap();
+    assert_eq!(v[0].as_str(), Some("svg"));
+    let v = eval("(svgViewBox 400 300 [])").to_vec().unwrap();
+    assert_eq!(v[0].as_str(), Some("svg"));
+    assert_eq!(v[1].to_vec().unwrap().len(), 2);
+}
+
+#[test]
+fn ghosts_mark_hidden() {
+    let v = eval("(ghosts [(circle 'red' 1 2 3) (rect 'b' 1 2 3 4)])").to_vec().unwrap();
+    for shape in &v {
+        let attrs = shape.to_vec().unwrap()[1].to_vec().unwrap();
+        assert!(attrs
+            .iter()
+            .any(|kv| kv.to_vec().unwrap()[0].as_str() == Some("HIDDEN")));
+    }
+}
+
+#[test]
+fn n_points_on_circle_count_and_radius() {
+    let pts = eval("(nPointsOnCircle 8 0.5 100 100 50)").to_vec().unwrap();
+    assert_eq!(pts.len(), 8);
+    for p in &pts {
+        let xy = p.to_vec().unwrap();
+        let x = xy[0].as_num().unwrap().0;
+        let y = xy[1].as_num().unwrap().0;
+        let r = ((x - 100.0).powi(2) + (y - 100.0).powi(2)).sqrt();
+        assert!((r - 50.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn n_star_has_2n_points() {
+    let v = eval("(nStar 'gold' 'black' 2 7 50 20 0 100 100)").to_vec().unwrap();
+    let attrs = v[1].to_vec().unwrap();
+    let points = attrs
+        .iter()
+        .map(|kv| kv.to_vec().unwrap())
+        .find(|kv| kv[0].as_str() == Some("points"))
+        .unwrap()[1]
+        .to_vec()
+        .unwrap();
+    assert_eq!(points.len(), 14);
+}
+
+#[test]
+fn sliders_clamp_round_and_ghost() {
+    // Clamping: source 99 with range [0, 5] yields 5.
+    assert_eq!(eval_num("(fst (numSlider 0 100 0 0 5 'x' 99))"), 5.0);
+    // Rounding.
+    assert_eq!(eval_num("(fst (intSlider 0 100 0 0 5 'x' 2.7))"), 3.0);
+    // Booleans from thresholds.
+    assert!(eval_bool("(fst (boolSlider 0 100 0 'b' 0.2))"));
+    assert!(!eval_bool("(fst (boolSlider 0 100 0 'b' 0.8))"));
+    // All five shapes are ghosts.
+    let shapes = eval("(snd (numSlider 0 100 0 0 5 'x' 2))").to_vec().unwrap();
+    assert_eq!(shapes.len(), 5);
+}

@@ -1,0 +1,54 @@
+//! Parse errors and source positions.
+
+use std::error::Error;
+use std::fmt;
+
+/// A line/column source position (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// An error produced while lexing or parsing `little` source code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Where the error occurred.
+    pub pos: Pos,
+    /// Human-readable description of the problem.
+    pub msg: String,
+}
+
+impl ParseError {
+    /// Creates a new parse error at `pos`.
+    pub fn new(pos: Pos, msg: impl Into<String>) -> Self {
+        ParseError { pos, msg: msg.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.pos, self.msg)
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let err = ParseError::new(Pos { line: 3, col: 7 }, "expected `)`");
+        assert_eq!(err.to_string(), "parse error at 3:7: expected `)`");
+    }
+}

@@ -1,0 +1,268 @@
+//! Unparser: renders an AST back to `little` source text.
+//!
+//! After live synchronization applies a substitution to the program, the
+//! editor re-displays the *source code* with the new constants. The unparser
+//! therefore preserves surface style: `def` sequences stay `def`s, `if`
+//! stays `if`, annotations (`!`, `?`, `{lo-hi}`) are re-printed, and lists
+//! are printed with brackets.
+//!
+//! The unparser guarantees a parse round-trip: `parse(unparse(e))` produces
+//! an AST equal to `e` up to location identifiers (locations are fresh on
+//! every parse). This property is checked by tests in this module and by
+//! property-based tests in the crate's test suite.
+
+use crate::ast::{Expr, FreezeAnnotation, LetStyle, NumLit, Pat};
+use crate::fmt_num;
+
+/// Renders an expression as `little` source text.
+///
+/// # Examples
+///
+/// ```
+/// let parsed = sns_lang::parse("(def x 50) (+ x 1!)").unwrap();
+/// assert_eq!(sns_lang::unparse(&parsed.expr), "(def x 50) (+ x 1!)");
+/// ```
+pub fn unparse(expr: &Expr) -> String {
+    let mut out = String::new();
+    write_expr(&mut out, expr, true);
+    out
+}
+
+/// Renders a pattern as `little` source text.
+pub fn unparse_pat(pat: &Pat) -> String {
+    let mut out = String::new();
+    write_pat(&mut out, pat);
+    out
+}
+
+/// Renders a numeric literal with its annotations, e.g. `12!{3-30}`.
+pub fn unparse_num(n: &NumLit) -> String {
+    let mut s = fmt_num(n.value);
+    match n.annotation {
+        FreezeAnnotation::None => {}
+        FreezeAnnotation::Frozen => s.push('!'),
+        FreezeAnnotation::Thawed => s.push('?'),
+    }
+    if let Some((lo, hi)) = n.range {
+        s.push('{');
+        s.push_str(&fmt_num(lo));
+        s.push('-');
+        s.push_str(&fmt_num(hi));
+        s.push('}');
+    }
+    s
+}
+
+fn escape_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('\'');
+    for c in s.chars() {
+        match c {
+            '\'' => out.push_str("\\'"),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('\'');
+    out
+}
+
+/// `top` is true only in def-sequence position, where `(def p e) rest` is
+/// printed as consecutive forms rather than nested parens.
+fn write_expr(out: &mut String, expr: &Expr, top: bool) {
+    match expr {
+        Expr::Num(n) => out.push_str(&unparse_num(n)),
+        Expr::Str(s) => out.push_str(&escape_str(s)),
+        Expr::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Expr::Var(x) => out.push_str(x),
+        Expr::List(elems, tail) => {
+            out.push('[');
+            for (i, e) in elems.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                write_expr(out, e, false);
+            }
+            if let Some(t) = tail {
+                out.push('|');
+                write_expr(out, t, false);
+            }
+            out.push(']');
+        }
+        Expr::Lambda(params, body) => {
+            out.push_str("(λ");
+            if params.len() == 1 {
+                out.push(' ');
+                write_pat(out, &params[0]);
+            } else {
+                out.push('(');
+                for (i, p) in params.iter().enumerate() {
+                    if i > 0 {
+                        out.push(' ');
+                    }
+                    write_pat(out, p);
+                }
+                out.push(')');
+            }
+            out.push(' ');
+            write_expr(out, body, false);
+            out.push(')');
+        }
+        Expr::App(head, args) => {
+            out.push('(');
+            write_expr(out, head, false);
+            for a in args {
+                out.push(' ');
+                write_expr(out, a, false);
+            }
+            out.push(')');
+        }
+        Expr::Prim(op, args) => {
+            out.push('(');
+            out.push_str(op.name());
+            for a in args {
+                out.push(' ');
+                write_expr(out, a, false);
+            }
+            out.push(')');
+        }
+        Expr::Let { recursive, style, pat, bound, body } => {
+            let is_def = top && *style == LetStyle::Def;
+            if is_def {
+                out.push('(');
+                out.push_str(if *recursive { "defrec" } else { "def" });
+                out.push(' ');
+                write_pat(out, pat);
+                out.push(' ');
+                write_expr(out, bound, false);
+                out.push_str(") ");
+                write_expr(out, body, true);
+            } else {
+                out.push('(');
+                out.push_str(if *recursive { "letrec" } else { "let" });
+                out.push(' ');
+                write_pat(out, pat);
+                out.push(' ');
+                write_expr(out, bound, false);
+                out.push(' ');
+                write_expr(out, body, false);
+                out.push(')');
+            }
+        }
+        Expr::If(c, t, e) => {
+            out.push_str("(if ");
+            write_expr(out, c, false);
+            out.push(' ');
+            write_expr(out, t, false);
+            out.push(' ');
+            write_expr(out, e, false);
+            out.push(')');
+        }
+        Expr::Case(scrut, branches) => {
+            out.push_str("(case ");
+            write_expr(out, scrut, false);
+            for (p, e) in branches {
+                out.push_str(" (");
+                write_pat(out, p);
+                out.push(' ');
+                write_expr(out, e, false);
+                out.push(')');
+            }
+            out.push(')');
+        }
+    }
+}
+
+fn write_pat(out: &mut String, pat: &Pat) {
+    match pat {
+        Pat::Var(x) => out.push_str(x),
+        Pat::Num(n) => out.push_str(&fmt_num(*n)),
+        Pat::Str(s) => out.push_str(&escape_str(s)),
+        Pat::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Pat::List(elems, tail) => {
+            out.push('[');
+            for (i, p) in elems.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                write_pat(out, p);
+            }
+            if let Some(t) = tail {
+                out.push('|');
+                write_pat(out, t);
+            }
+            out.push(']');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    /// Strips locations so ASTs from different parses can be compared.
+    fn strip_locs(e: &mut Expr) {
+        e.walk_mut(&mut |e| {
+            if let Expr::Num(n) = e {
+                n.loc = crate::LocId(0);
+            }
+        });
+    }
+
+    fn roundtrip(src: &str) {
+        let mut e1 = parse(src).unwrap().expr;
+        let printed = unparse(&e1);
+        let mut e2 = parse(&printed)
+            .unwrap_or_else(|err| panic!("reparse of `{printed}` failed: {err}"))
+            .expr;
+        strip_locs(&mut e1);
+        strip_locs(&mut e2);
+        assert_eq!(e1, e2, "round-trip changed the AST for `{src}`");
+    }
+
+    #[test]
+    fn roundtrips_representative_programs() {
+        roundtrip("(+ 1 2)");
+        roundtrip("(def x 50) (def y 60!) (+ x y)");
+        roundtrip("(defrec f (λ n (if (< n 1) 0 (f (- n 1))))) (f 10)");
+        roundtrip("[1 2 3]");
+        roundtrip("[1 2|rest]");
+        roundtrip("(case xs ([] 0) ([x|r] x))");
+        roundtrip("(λ(a b) [a b])");
+        roundtrip("12!{3-30}");
+        roundtrip("0!{-3.14-3.14}");
+        roundtrip("'hello world'");
+        roundtrip("(let [a b] [1 2] (* a b))");
+    }
+
+    #[test]
+    fn def_style_is_preserved() {
+        let src = "(def x 5) (svg x)";
+        let e = parse(src).unwrap().expr;
+        assert_eq!(unparse(&e), "(def x 5) (svg x)");
+    }
+
+    #[test]
+    fn let_style_is_preserved() {
+        let src = "(let x 5 x)";
+        let e = parse(src).unwrap().expr;
+        assert_eq!(unparse(&e), "(let x 5 x)");
+    }
+
+    #[test]
+    fn annotations_are_reprinted() {
+        let e = parse("3.14!").unwrap().expr;
+        assert_eq!(unparse(&e), "3.14!");
+        let e = parse("0.5?").unwrap().expr;
+        assert_eq!(unparse(&e), "0.5?");
+        let e = parse("5{0-10}").unwrap().expr;
+        assert_eq!(unparse(&e), "5{0-10}");
+    }
+
+    #[test]
+    fn strings_with_quotes_escape() {
+        roundtrip(r"'it\'s'");
+    }
+}

@@ -1,0 +1,101 @@
+//! The user study's background and closing questions (Appendix F), with
+//! the summary statistics Appendix E quotes from them.
+
+/// A multiple-choice question with its published response counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChoiceQuestion {
+    /// The survey prompt.
+    pub prompt: &'static str,
+    /// `(option label, respondent count)` pairs, in survey order.
+    pub options: &'static [(&'static str, u32)],
+}
+
+impl ChoiceQuestion {
+    /// Total respondents.
+    pub fn total(&self) -> u32 {
+        self.options.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Fraction of respondents at or above option index `i`.
+    pub fn fraction_at_least(&self, i: usize) -> f64 {
+        let above: u32 = self.options[i..].iter().map(|(_, n)| n).sum();
+        above as f64 / self.total() as f64
+    }
+}
+
+/// "How often do you use graphic design applications?"
+pub const DESIGN_FREQUENCY: ChoiceQuestion = ChoiceQuestion {
+    prompt: "How often do you use graphic design applications?",
+    options: &[
+        ("Less than once a year", 0),
+        ("A few times a year", 9),
+        ("A few times a month", 11),
+        ("A few times a week", 5),
+        ("Every day or almost every day", 0),
+    ],
+};
+
+/// "How many years of programming experience do you have?"
+pub const PROGRAMMING_EXPERIENCE: ChoiceQuestion = ChoiceQuestion {
+    prompt: "How many years of programming experience do you have?",
+    options: &[
+        ("Less than 1", 3),
+        ("1-2", 6),
+        ("3-5", 8),
+        ("6-10", 8),
+        ("11-20", 0),
+        ("More than 20", 0),
+    ],
+};
+
+/// "Do you plan to try using Sketch-n-Sketch to create graphics?"
+pub const PLAN_TO_USE: ChoiceQuestion = ChoiceQuestion {
+    prompt: "Do you plan to try using Sketch-n-Sketch to create graphics?",
+    options: &[
+        ("Certainly not", 0),
+        ("Probably not", 2),
+        ("Maybe", 8),
+        ("Likely", 12),
+        ("Certainly", 3),
+    ],
+};
+
+/// Appendix E quotes two slider-scale means: participants generate 18% of
+/// their graphic-design work programmatically, and report that 50% of
+/// their past direct-manipulation designs would have benefited from
+/// programmatic manipulation (Hypothesis 3).
+pub const PERCENT_PROGRAMMATIC: f64 = 0.18;
+
+/// See [`PERCENT_PROGRAMMATIC`].
+pub const PERCENT_WOULD_BENEFIT: f64 = 0.50;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_questions_have_25_respondents() {
+        for q in [&DESIGN_FREQUENCY, &PROGRAMMING_EXPERIENCE, &PLAN_TO_USE] {
+            assert_eq!(q.total(), 25, "{}", q.prompt);
+        }
+    }
+
+    #[test]
+    fn sixty_four_percent_have_three_plus_years() {
+        // Appendix E: "64% reporting at least 3 years of experience".
+        let frac = PROGRAMMING_EXPERIENCE.fraction_at_least(2);
+        assert!((frac - 0.64).abs() < 1e-9, "{frac}");
+    }
+
+    #[test]
+    fn most_participants_would_try_the_tool() {
+        // 15 of 25 answered Likely or Certainly.
+        let frac = PLAN_TO_USE.fraction_at_least(3);
+        assert!((frac - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hypothesis_3_headline_numbers() {
+        assert!(PERCENT_WOULD_BENEFIT > PERCENT_PROGRAMMATIC);
+    }
+}

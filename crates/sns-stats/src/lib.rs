@@ -1,0 +1,31 @@
+//! Statistics for the paper's user study (Appendix E/F).
+//!
+//! Humans cannot be re-run, but the analysis can: Appendix F publishes the
+//! raw response counts, and this crate recomputes the means and 95%
+//! bootstrap-t confidence intervals reported in Appendix E / Figure 9.
+//!
+//! # Examples
+//!
+//! ```
+//! use sns_stats::{ratings, mean, Comparison, Task};
+//!
+//! // The paper reports a −0.52 mean for Ferris (A) vs (B).
+//! let m = mean(&ratings(Task::Ferris, Comparison::AvsB));
+//! assert!((m - -0.52).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod background;
+pub mod bootstrap;
+pub mod study;
+
+pub use background::{
+    ChoiceQuestion, DESIGN_FREQUENCY, PERCENT_PROGRAMMATIC, PERCENT_WOULD_BENEFIT, PLAN_TO_USE,
+    PROGRAMMING_EXPERIENCE,
+};
+pub use bootstrap::{bootstrap_t_ci, mean, std_dev, std_err, ConfidenceInterval};
+pub use study::{
+    analyze, ascii_histogram, histogram, paper_mean, ratings, CellAnalysis, Comparison, Task,
+};

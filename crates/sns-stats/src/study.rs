@@ -1,0 +1,216 @@
+//! The user study of Appendix E/F, reproduced from the published data.
+//!
+//! 25 participants rated three editing tasks (Ferris Wheel, Keyboard,
+//! Tessellation) on three pairwise comparisons between interaction modes:
+//!
+//! * **(A)** sliders + unambiguous direct manipulation;
+//! * **(B)** heuristics + freezing;
+//! * **(C)** manual code edits only.
+//!
+//! Appendix F publishes the per-option response counts; this module embeds
+//! them and recomputes the means and 95% bootstrap-t confidence intervals
+//! of Figure 9 / Appendix E.
+
+use crate::bootstrap::{bootstrap_t_ci, ConfidenceInterval};
+#[cfg(test)]
+use crate::bootstrap::mean;
+
+/// The three study tasks (Figure 9 rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Task {
+    /// The Ferris wheel editing task.
+    Ferris,
+    /// The keyboard editing task.
+    Keyboard,
+    /// The tessellation editing task.
+    Tessellation,
+}
+
+impl Task {
+    /// All tasks in paper order.
+    pub const ALL: [Task; 3] = [Task::Ferris, Task::Keyboard, Task::Tessellation];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Task::Ferris => "Ferris Wheel",
+            Task::Keyboard => "Keyboard",
+            Task::Tessellation => "Tessellation",
+        }
+    }
+}
+
+/// The three pairwise comparisons (edges of the Figure 9 triangles).
+/// Ratings are in `[-2, 2]`: negative favors the first mode, positive the
+/// second.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Comparison {
+    /// (A) sliders vs. (B) heuristics.
+    AvsB,
+    /// (C) code-only vs. (A) sliders.
+    CvsA,
+    /// (C) code-only vs. (B) heuristics.
+    CvsB,
+}
+
+impl Comparison {
+    /// All comparisons in paper order.
+    pub const ALL: [Comparison; 3] = [Comparison::AvsB, Comparison::CvsA, Comparison::CvsB];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Comparison::AvsB => "(A) vs (B)",
+            Comparison::CvsA => "(C) vs (A)",
+            Comparison::CvsB => "(C) vs (B)",
+        }
+    }
+}
+
+/// Histogram of responses on the five-option scale `[-2, -1, 0, +1, +2]`
+/// (Appendix F publishes these counts; 25 participants per question).
+pub fn histogram(task: Task, cmp: Comparison) -> [u32; 5] {
+    use Comparison::*;
+    use Task::*;
+    match (task, cmp) {
+        (Ferris, AvsB) => [3, 14, 2, 5, 1],
+        (Ferris, CvsA) => [0, 3, 1, 11, 10],
+        (Ferris, CvsB) => [1, 3, 4, 9, 8],
+        (Keyboard, AvsB) => [0, 5, 3, 10, 7],
+        (Keyboard, CvsA) => [0, 1, 5, 14, 5],
+        (Keyboard, CvsB) => [0, 2, 2, 9, 12],
+        (Tessellation, AvsB) => [0, 7, 9, 6, 3],
+        (Tessellation, CvsA) => [1, 0, 8, 11, 5],
+        (Tessellation, CvsB) => [1, 0, 4, 13, 7],
+    }
+}
+
+/// Expands a histogram into individual ratings.
+pub fn ratings(task: Task, cmp: Comparison) -> Vec<f64> {
+    let h = histogram(task, cmp);
+    let mut out = Vec::with_capacity(25);
+    for (i, &count) in h.iter().enumerate() {
+        let rating = i as f64 - 2.0;
+        for _ in 0..count {
+            out.push(rating);
+        }
+    }
+    out
+}
+
+/// The analysis of one (task, comparison) cell.
+#[derive(Debug, Clone, Copy)]
+pub struct CellAnalysis {
+    /// The task.
+    pub task: Task,
+    /// The comparison.
+    pub comparison: Comparison,
+    /// Mean rating with 95% bootstrap-t confidence interval.
+    pub ci: ConfidenceInterval,
+}
+
+/// Recomputes the full Appendix E analysis: 95% bootstrap-t confidence
+/// intervals with `resamples` bootstrap resamples and a fixed seed.
+pub fn analyze(resamples: usize, seed: u64) -> Vec<CellAnalysis> {
+    let mut out = Vec::new();
+    for (ti, task) in Task::ALL.into_iter().enumerate() {
+        for (ci_idx, cmp) in Comparison::ALL.into_iter().enumerate() {
+            let xs = ratings(task, cmp);
+            let ci =
+                bootstrap_t_ci(&xs, 0.95, resamples, seed ^ ((ti as u64) << 8 | ci_idx as u64));
+            out.push(CellAnalysis { task, comparison: cmp, ci });
+        }
+    }
+    out
+}
+
+/// The paper's reported mean for a cell (for cross-checking).
+pub fn paper_mean(task: Task, cmp: Comparison) -> f64 {
+    use Comparison::*;
+    use Task::*;
+    match (task, cmp) {
+        (Ferris, AvsB) => -0.52,
+        (Ferris, CvsA) => 1.12,
+        (Ferris, CvsB) => 0.80,
+        (Keyboard, AvsB) => 0.76,
+        (Keyboard, CvsA) => 0.92,
+        (Keyboard, CvsB) => 1.24,
+        (Tessellation, AvsB) => 0.20,
+        (Tessellation, CvsA) => 0.76,
+        (Tessellation, CvsB) => 1.00,
+    }
+}
+
+/// Renders a small ASCII histogram (the "Histograms" column of Figure 9).
+pub fn ascii_histogram(task: Task, cmp: Comparison) -> String {
+    let h = histogram(task, cmp);
+    let mut s = String::new();
+    for (i, &count) in h.iter().enumerate() {
+        let rating = i as i32 - 2;
+        s.push_str(&format!("{rating:+} |{} {count}\n", "#".repeat(count as usize)));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histograms_have_25_participants() {
+        for task in Task::ALL {
+            for cmp in Comparison::ALL {
+                let total: u32 = histogram(task, cmp).iter().sum();
+                assert_eq!(total, 25, "{} {}", task.name(), cmp.name());
+            }
+        }
+    }
+
+    #[test]
+    fn means_match_the_paper_exactly() {
+        for task in Task::ALL {
+            for cmp in Comparison::ALL {
+                let m = mean(&ratings(task, cmp));
+                let expected = paper_mean(task, cmp);
+                assert!(
+                    (m - expected).abs() < 1e-9,
+                    "{} {}: {m} vs paper {expected}",
+                    task.name(),
+                    cmp.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn confidence_intervals_match_the_paper_within_bootstrap_noise() {
+        // Paper Appendix E, e.g. Ferris (A)vs(B): (−0.92, 0.01);
+        // Keyboard (A)vs(B): (0.26, 1.18); Tessellation (C)vs(B): (0.53, 1.32).
+        let analysis = analyze(10_000, 20160613);
+        for cell in &analysis {
+            assert!(cell.ci.contains(paper_mean(cell.task, cell.comparison)));
+        }
+        let ferris_ab = analysis
+            .iter()
+            .find(|c| c.task == Task::Ferris && c.comparison == Comparison::AvsB)
+            .unwrap();
+        assert!((ferris_ab.ci.lo - -0.92).abs() < 0.12, "lo = {}", ferris_ab.ci.lo);
+        assert!((ferris_ab.ci.hi - 0.01).abs() < 0.12, "hi = {}", ferris_ab.ci.hi);
+    }
+
+    #[test]
+    fn hypothesis_2_direct_manipulation_preferred_over_code() {
+        // (C) vs (A) and (C) vs (B) means are positive on every task.
+        for task in Task::ALL {
+            assert!(mean(&ratings(task, Comparison::CvsA)) > 0.0);
+            assert!(mean(&ratings(task, Comparison::CvsB)) > 0.0);
+        }
+    }
+
+    #[test]
+    fn ascii_histogram_shape() {
+        let s = ascii_histogram(Task::Ferris, Comparison::AvsB);
+        assert!(s.contains("-1 |##############"));
+        assert_eq!(s.lines().count(), 5);
+    }
+}

@@ -1,0 +1,37 @@
+//! The SVG substrate of Sketch-n-Sketch (paper §2, §4.2, Appendix A/B).
+//!
+//! Connects `little` program outputs to the graphical world:
+//!
+//! * [`node_from_value`] / [`SvgNode`] — typed SVG values with the run-time
+//!   traces of every numeric attribute preserved;
+//! * [`Canvas`] — a flattened, identity-bearing shape list;
+//! * [`render`] — translation to SVG/XML text, including the specialized
+//!   encodings for `points`, RGBA fills, color numbers, and path data;
+//! * [`zones_of`] / [`Zone`] — Figure 5's direct-manipulation zones and the
+//!   covariant/contravariant attribute offsets each controls.
+//!
+//! # Examples
+//!
+//! ```
+//! use sns_eval::Program;
+//! use sns_svg::Canvas;
+//!
+//! let program = Program::parse("(svg [(circle 'coral' 100 100 40)])").unwrap();
+//! let canvas = Canvas::from_value(&program.eval().unwrap()).unwrap();
+//! assert_eq!(canvas.shapes().len(), 1);
+//! // Each shape exposes zones: Interior, RightEdge, BotEdge for a circle.
+//! assert_eq!(canvas.shapes()[0].zones().len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod canvas;
+pub mod node;
+pub mod render;
+pub mod zones;
+
+pub use canvas::{Canvas, Shape, ShapeId};
+pub use node::{node_from_value, AttrValue, NumTr, PathCmd, SvgChild, SvgError, SvgNode};
+pub use render::{render, RenderOptions};
+pub use zones::{resolve_attr, zones_of, AttrRef, Offset, ParseZoneError, Zone, ZoneSpec};

@@ -1,0 +1,428 @@
+//! The SVG value model (paper §2 "Representing SVG Values", Appendix A).
+//!
+//! A `little` program's output is a value `[kind attrs children]`. This
+//! module converts such values into a typed [`SvgNode`] tree, *preserving
+//! the run-time traces of every numeric attribute* — the traces are what
+//! live synchronization solves against.
+
+use std::error::Error;
+use std::fmt;
+use std::rc::Rc;
+
+use sns_eval::{Trace, Value};
+
+/// A number together with its run-time trace, as it appears in an SVG
+/// attribute.
+#[derive(Debug, Clone)]
+pub struct NumTr {
+    /// The numeric value.
+    pub n: f64,
+    /// The trace that produced it.
+    pub t: Rc<Trace>,
+}
+
+impl NumTr {
+    /// Creates a traced number.
+    pub fn new(n: f64, t: Rc<Trace>) -> Self {
+        NumTr { n, t }
+    }
+}
+
+/// One command of an SVG path `d` attribute, encoded in `little` as a flat
+/// list like `['M' 10 20 'C' 30 40 50 60 70 80 'Z']`.
+#[derive(Debug, Clone)]
+pub struct PathCmd {
+    /// The command letter (`M`, `L`, `C`, `Q`, `Z`, …).
+    pub cmd: String,
+    /// The numeric arguments, traces preserved.
+    pub args: Vec<NumTr>,
+}
+
+/// One command of an SVG `transform` attribute, encoded in `little` as
+/// `['transform' ['rotate' deg cx cy]]` (the editor's built-in rotation
+/// zones, mentioned in §5.2.2's discussion of rotation, hang off these).
+#[derive(Debug, Clone)]
+pub struct TransformCmd {
+    /// The transform function name (`rotate`, `translate`, `scale`,
+    /// `matrix`).
+    pub cmd: String,
+    /// The numeric arguments, traces preserved.
+    pub args: Vec<NumTr>,
+}
+
+/// A typed SVG attribute value (the specialized encodings of Appendix A).
+#[derive(Debug, Clone)]
+pub enum AttrValue {
+    /// A plain traced number (interpreted as pixels).
+    Num(NumTr),
+    /// A string, passed through to SVG verbatim.
+    Str(String),
+    /// `['points' [[x1 y1] [x2 y2] …]]` for polygons and polylines.
+    Points(Vec<(NumTr, NumTr)>),
+    /// `['fill' [r g b a]]` RGBA color components.
+    Rgba([NumTr; 4]),
+    /// `['fill' n]` — a *color number* in `[0, 500]` mapped onto a spectrum
+    /// (Appendix C); directly manipulable via a color slider.
+    ColorNum(NumTr),
+    /// `['d' ['M' 10 20 …]]` path commands.
+    Path(Vec<PathCmd>),
+    /// `['transform' ['rotate' deg cx cy …]]` transform commands.
+    Transform(Vec<TransformCmd>),
+}
+
+impl AttrValue {
+    /// Every traced number inside this attribute, in order.
+    pub fn nums(&self) -> Vec<&NumTr> {
+        match self {
+            AttrValue::Num(n) | AttrValue::ColorNum(n) => vec![n],
+            AttrValue::Str(_) => vec![],
+            AttrValue::Points(pts) => pts.iter().flat_map(|(x, y)| [x, y]).collect(),
+            AttrValue::Rgba(c) => c.iter().collect(),
+            AttrValue::Path(cmds) => cmds.iter().flat_map(|c| c.args.iter()).collect(),
+            AttrValue::Transform(cmds) => cmds.iter().flat_map(|c| c.args.iter()).collect(),
+        }
+    }
+}
+
+/// A child of an SVG node: a nested element or raw text content.
+#[derive(Debug, Clone)]
+pub enum SvgChild {
+    /// A nested element.
+    Node(SvgNode),
+    /// Text content (for `text` elements).
+    Text(String),
+}
+
+/// A typed SVG element.
+#[derive(Debug, Clone)]
+pub struct SvgNode {
+    /// The element kind (`'svg'`, `'rect'`, `'circle'`, …).
+    pub kind: String,
+    /// Attributes in program order.
+    pub attrs: Vec<(String, AttrValue)>,
+    /// Child elements / text.
+    pub children: Vec<SvgChild>,
+}
+
+impl SvgNode {
+    /// Looks up an attribute by name (first occurrence wins, matching the
+    /// behaviour of `consAttr` overrides which *prepend*).
+    pub fn attr(&self, name: &str) -> Option<&AttrValue> {
+        self.attrs.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// The traced number stored in attribute `name`, if it is numeric.
+    pub fn num_attr(&self, name: &str) -> Option<&NumTr> {
+        match self.attr(name)? {
+            AttrValue::Num(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Whether the node carries the non-standard `'HIDDEN'` attribute
+    /// (helper shapes, §6.3).
+    pub fn hidden(&self) -> bool {
+        self.attr("HIDDEN").is_some()
+    }
+
+    /// Every traced number in this node's attributes (not children).
+    pub fn attr_nums(&self) -> Vec<&NumTr> {
+        self.attrs.iter().flat_map(|(_, v)| v.nums()).collect()
+    }
+}
+
+/// An error converting a `little` value into SVG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvgError {
+    /// Description of the malformed structure.
+    pub msg: String,
+}
+
+impl SvgError {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        SvgError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for SvgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "svg conversion error: {}", self.msg)
+    }
+}
+
+impl Error for SvgError {}
+
+/// Converts a `little` output value `[kind attrs children]` into an
+/// [`SvgNode`] tree.
+///
+/// # Errors
+///
+/// Returns an [`SvgError`] when the value does not have the node shape or
+/// when a specialized attribute encoding is malformed.
+pub fn node_from_value(value: &Value) -> Result<SvgNode, SvgError> {
+    let parts = value
+        .to_vec()
+        .ok_or_else(|| SvgError::new(format!("node must be a list, found {value}")))?;
+    if parts.len() != 3 {
+        return Err(SvgError::new(format!(
+            "node must be [kind attrs children], found {} element(s)",
+            parts.len()
+        )));
+    }
+    let kind = parts[0]
+        .as_str()
+        .ok_or_else(|| SvgError::new("node kind must be a string"))?
+        .to_string();
+    let attr_items = parts[1]
+        .to_vec()
+        .ok_or_else(|| SvgError::new("node attributes must be a list"))?;
+    let mut attrs = Vec::with_capacity(attr_items.len());
+    for item in &attr_items {
+        attrs.push(attr_from_value(item)?);
+    }
+    let child_items = parts[2]
+        .to_vec()
+        .ok_or_else(|| SvgError::new("node children must be a list"))?;
+    let mut children = Vec::with_capacity(child_items.len());
+    for item in &child_items {
+        match item {
+            Value::Str(s) => children.push(SvgChild::Text(s.to_string())),
+            other => children.push(SvgChild::Node(node_from_value(other)?)),
+        }
+    }
+    Ok(SvgNode { kind, attrs, children })
+}
+
+fn attr_from_value(value: &Value) -> Result<(String, AttrValue), SvgError> {
+    let pair = value
+        .to_vec()
+        .ok_or_else(|| SvgError::new("attribute must be a [key value] pair"))?;
+    if pair.len() != 2 {
+        return Err(SvgError::new("attribute must have exactly [key value]"));
+    }
+    let key = pair[0]
+        .as_str()
+        .ok_or_else(|| SvgError::new("attribute key must be a string"))?
+        .to_string();
+    let v = &pair[1];
+    let attr = match (key.as_str(), v) {
+        (_, Value::Str(s)) => AttrValue::Str(s.to_string()),
+        ("points", v) => AttrValue::Points(points_from_value(v)?),
+        ("fill" | "stroke", Value::Num(n, t)) => {
+            AttrValue::ColorNum(NumTr::new(*n, Rc::clone(t)))
+        }
+        ("fill" | "stroke", v @ (Value::Cons(..) | Value::Nil)) => {
+            let comps = v
+                .to_vec()
+                .filter(|items| items.len() == 4)
+                .ok_or_else(|| SvgError::new("rgba color must be [r g b a]"))?;
+            let mut nums = Vec::with_capacity(4);
+            for c in &comps {
+                let (n, t) = c
+                    .as_num()
+                    .ok_or_else(|| SvgError::new("rgba components must be numbers"))?;
+                nums.push(NumTr::new(n, Rc::clone(t)));
+            }
+            let [r, g, b, a]: [NumTr; 4] =
+                nums.try_into().expect("length checked above");
+            AttrValue::Rgba([r, g, b, a])
+        }
+        ("d", v) => AttrValue::Path(path_from_value(v)?),
+        ("transform", v) => AttrValue::Transform(transform_from_value(v)?),
+        (_, Value::Num(n, t)) => AttrValue::Num(NumTr::new(*n, Rc::clone(t))),
+        (k, other) => {
+            return Err(SvgError::new(format!(
+                "unsupported value for attribute `{k}`: {other}"
+            )))
+        }
+    };
+    Ok((key, attr))
+}
+
+fn points_from_value(value: &Value) -> Result<Vec<(NumTr, NumTr)>, SvgError> {
+    let items = value
+        .to_vec()
+        .ok_or_else(|| SvgError::new("points must be a list of [x y] pairs"))?;
+    let mut pts = Vec::with_capacity(items.len());
+    for item in &items {
+        let pair = item
+            .to_vec()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| SvgError::new("each point must be [x y]"))?;
+        let (x, tx) =
+            pair[0].as_num().ok_or_else(|| SvgError::new("point x must be a number"))?;
+        let (y, ty) =
+            pair[1].as_num().ok_or_else(|| SvgError::new("point y must be a number"))?;
+        pts.push((NumTr::new(x, Rc::clone(tx)), NumTr::new(y, Rc::clone(ty))));
+    }
+    Ok(pts)
+}
+
+fn path_from_value(value: &Value) -> Result<Vec<PathCmd>, SvgError> {
+    let items = value
+        .to_vec()
+        .ok_or_else(|| SvgError::new("path data must be a flat list"))?;
+    let mut cmds: Vec<PathCmd> = Vec::new();
+    for item in &items {
+        match item {
+            Value::Str(s) => cmds.push(PathCmd { cmd: s.to_string(), args: Vec::new() }),
+            Value::Num(n, t) => {
+                let cur = cmds
+                    .last_mut()
+                    .ok_or_else(|| SvgError::new("path data must start with a command"))?;
+                cur.args.push(NumTr::new(*n, Rc::clone(t)));
+            }
+            other => {
+                return Err(SvgError::new(format!(
+                    "path data elements must be strings or numbers, found {other}"
+                )))
+            }
+        }
+    }
+    Ok(cmds)
+}
+
+fn transform_from_value(value: &Value) -> Result<Vec<TransformCmd>, SvgError> {
+    // Accept both a single command ['rotate' a cx cy] and a list of
+    // commands [['rotate' …] ['translate' …]].
+    let items = value
+        .to_vec()
+        .ok_or_else(|| SvgError::new("transform must be a list"))?;
+    let single = items.first().is_some_and(|v| matches!(v, Value::Str(_)));
+    let cmds: Vec<Value> = if single { vec![value.clone()] } else { items };
+    let mut out = Vec::with_capacity(cmds.len());
+    for cmd in &cmds {
+        let parts = cmd
+            .to_vec()
+            .ok_or_else(|| SvgError::new("transform command must be a list"))?;
+        let name = parts
+            .first()
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| SvgError::new("transform command must start with a name"))?
+            .to_string();
+        let mut args = Vec::with_capacity(parts.len() - 1);
+        for p in &parts[1..] {
+            let (n, t) = p
+                .as_num()
+                .ok_or_else(|| SvgError::new("transform arguments must be numbers"))?;
+            args.push(NumTr::new(n, Rc::clone(t)));
+        }
+        out.push(TransformCmd { cmd: name, args });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sns_eval::Program;
+
+    fn node_of(src: &str) -> SvgNode {
+        let v = Program::parse(src).unwrap().eval().unwrap();
+        node_from_value(&v).unwrap()
+    }
+
+    #[test]
+    fn rect_converts_with_traces() {
+        let n = node_of("(rect 'gold' 10 20 30 40)");
+        assert_eq!(n.kind, "rect");
+        let x = n.num_attr("x").unwrap();
+        assert_eq!(x.n, 10.0);
+        assert!(matches!(&*x.t, Trace::Loc(_)));
+        assert!(matches!(n.attr("fill"), Some(AttrValue::Str(s)) if s == "gold"));
+    }
+
+    #[test]
+    fn polygon_points_are_structured() {
+        let n = node_of("(polygon 'red' 'black' 2 [[0 0] [100 0] [50 80]])");
+        match n.attr("points").unwrap() {
+            AttrValue::Points(pts) => {
+                assert_eq!(pts.len(), 3);
+                assert_eq!(pts[2].1.n, 80.0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rgba_fill_is_recognized() {
+        let n = node_of("(rect [255 0 0 1] 0 0 10 10)");
+        assert!(matches!(n.attr("fill"), Some(AttrValue::Rgba(_))));
+    }
+
+    #[test]
+    fn color_number_is_recognized() {
+        let n = node_of("(rect 150 0 0 10 10)");
+        match n.attr("fill").unwrap() {
+            AttrValue::ColorNum(c) => assert_eq!(c.n, 150.0),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn path_data_parses_into_commands() {
+        let n = node_of("(path 'none' 'black' 2 ['M' 10 20 'C' 1 2 3 4 5 6 'Z'])");
+        match n.attr("d").unwrap() {
+            AttrValue::Path(cmds) => {
+                assert_eq!(cmds.len(), 3);
+                assert_eq!(cmds[0].cmd, "M");
+                assert_eq!(cmds[1].args.len(), 6);
+                assert_eq!(cmds[2].cmd, "Z");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn transform_rotate_parses_with_traces() {
+        let n = node_of(
+            "(addAttr (rect 'red' 0 0 10 10) ['transform' ['rotate' 45 5 5]])",
+        );
+        match n.attr("transform").unwrap() {
+            AttrValue::Transform(cmds) => {
+                assert_eq!(cmds.len(), 1);
+                assert_eq!(cmds[0].cmd, "rotate");
+                assert_eq!(cmds[0].args[0].n, 45.0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn transform_command_lists_parse() {
+        let n = node_of(
+            "(addAttr (rect 'red' 0 0 10 10) ['transform' [['rotate' 45 5 5] ['translate' 1 2]]])",
+        );
+        match n.attr("transform").unwrap() {
+            AttrValue::Transform(cmds) => assert_eq!(cmds.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn hidden_attribute_is_detected() {
+        let n = node_of("(ghost (rect 'gold' 0 0 1 1))");
+        assert!(n.hidden());
+    }
+
+    #[test]
+    fn svg_canvas_has_children() {
+        let n = node_of("(svg [(rect 'a' 0 0 1 1) (circle 'b' 5 5 2)])");
+        assert_eq!(n.kind, "svg");
+        assert_eq!(n.children.len(), 2);
+    }
+
+    #[test]
+    fn text_node_has_text_child() {
+        let n = node_of("(text 10 20 'hello')");
+        assert!(matches!(&n.children[0], SvgChild::Text(s) if s == "hello"));
+    }
+
+    #[test]
+    fn malformed_nodes_error() {
+        let v = Program::parse("[1 2]").unwrap().eval().unwrap();
+        assert!(node_from_value(&v).is_err());
+        let v = Program::parse("['rect' 5 []]").unwrap().eval().unwrap();
+        assert!(node_from_value(&v).is_err());
+    }
+}

@@ -1,0 +1,234 @@
+//! Rendering the SVG node tree to XML text (Appendix A's `↪` translation).
+//!
+//! The translation is a thin wrapper over the target format: string
+//! attributes pass through, numbers print as pixels, and the specialized
+//! encodings (`points`, RGBA fills, color numbers, path data) are expanded.
+//! The non-standard `'ZONES'` and `'HIDDEN'` attributes are dropped, as in
+//! the paper.
+
+use std::fmt::Write as _;
+
+use sns_lang::fmt_num;
+
+use crate::node::{AttrValue, NumTr, PathCmd, SvgChild, SvgNode};
+
+/// Rendering options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RenderOptions {
+    /// Skip shapes carrying the `'HIDDEN'` attribute (the editor's
+    /// hidden-layer toggle, Appendix C "Layers").
+    pub hide_hidden: bool,
+}
+
+/// Renders a node tree as an SVG/XML string.
+///
+/// # Examples
+///
+/// ```
+/// use sns_eval::Program;
+/// use sns_svg::{node_from_value, render};
+///
+/// let v = Program::parse("(svg [(rect 'gold' 10 20 30 40)])").unwrap().eval().unwrap();
+/// let node = node_from_value(&v).unwrap();
+/// let xml = render(&node, Default::default());
+/// assert!(xml.contains("<rect x='10' y='20' width='30' height='40' fill='gold'/>"));
+/// ```
+pub fn render(node: &SvgNode, options: RenderOptions) -> String {
+    let mut out = String::new();
+    write_node(&mut out, node, options, 0);
+    out
+}
+
+fn write_node(out: &mut String, node: &SvgNode, options: RenderOptions, depth: usize) {
+    if options.hide_hidden && node.hidden() {
+        return;
+    }
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    let _ = write!(out, "<{}", node.kind);
+    if node.kind == "svg" && depth == 0 {
+        out.push_str(" xmlns='http://www.w3.org/2000/svg'");
+    }
+    for (key, value) in &node.attrs {
+        if key == "ZONES" || key == "HIDDEN" {
+            continue;
+        }
+        let _ = write!(out, " {}='{}'", key, render_attr_value(value));
+    }
+    if node.children.is_empty() {
+        out.push_str("/>\n");
+        return;
+    }
+    out.push_str(">\n");
+    for child in &node.children {
+        match child {
+            SvgChild::Node(n) => write_node(out, n, options, depth + 1),
+            SvgChild::Text(s) => {
+                for _ in 0..depth + 1 {
+                    out.push_str("  ");
+                }
+                out.push_str(&escape_xml(s));
+                out.push('\n');
+            }
+        }
+    }
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    let _ = write!(out, "</{}>\n", node.kind);
+}
+
+fn render_attr_value(value: &AttrValue) -> String {
+    match value {
+        AttrValue::Num(n) => fmt_num(n.n),
+        AttrValue::Str(s) => escape_xml(s),
+        AttrValue::Points(pts) => {
+            let mut s = String::new();
+            for (i, (x, y)) in pts.iter().enumerate() {
+                if i > 0 {
+                    s.push(' ');
+                }
+                let _ = write!(s, "{},{}", fmt_num(x.n), fmt_num(y.n));
+            }
+            s
+        }
+        AttrValue::Rgba([r, g, b, a]) => {
+            format!("rgba({},{},{},{})", fmt_num(r.n), fmt_num(g.n), fmt_num(b.n), fmt_num(a.n))
+        }
+        AttrValue::ColorNum(n) => color_num_to_css(n),
+        AttrValue::Path(cmds) => render_path(cmds),
+        AttrValue::Transform(cmds) => {
+            let mut s = String::new();
+            for (i, cmd) in cmds.iter().enumerate() {
+                if i > 0 {
+                    s.push(' ');
+                }
+                let _ = write!(s, "{}(", cmd.cmd);
+                for (j, a) in cmd.args.iter().enumerate() {
+                    if j > 0 {
+                        s.push(' ');
+                    }
+                    s.push_str(&fmt_num(a.n));
+                }
+                s.push(')');
+            }
+            s
+        }
+    }
+}
+
+/// Maps a *color number* in `[0, 500]` to a CSS color (Appendix C): values
+/// in `[0, 360)` are hues at full saturation; `[360, 500]` is a grayscale
+/// ramp from black to white.
+fn color_num_to_css(n: &NumTr) -> String {
+    let v = n.n.clamp(0.0, 500.0);
+    if v < 360.0 {
+        format!("hsl({},100%,50%)", fmt_num(v.round()))
+    } else {
+        let lightness = ((v - 360.0) / 140.0 * 100.0).round();
+        format!("hsl(0,0%,{}%)", fmt_num(lightness))
+    }
+}
+
+fn render_path(cmds: &[PathCmd]) -> String {
+    let mut s = String::new();
+    for (i, cmd) in cmds.iter().enumerate() {
+        if i > 0 {
+            s.push(' ');
+        }
+        s.push_str(&cmd.cmd);
+        for a in &cmd.args {
+            let _ = write!(s, " {}", fmt_num(a.n));
+        }
+    }
+    s
+}
+
+fn escape_xml(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '\'' => out.push_str("&apos;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::node_from_value;
+    use sns_eval::Program;
+
+    fn render_of(src: &str) -> String {
+        let v = Program::parse(src).unwrap().eval().unwrap();
+        render(&node_from_value(&v).unwrap(), RenderOptions::default())
+    }
+
+    #[test]
+    fn renders_basic_canvas() {
+        let xml = render_of("(svg [(rect 'gold' 10 20 30 40)])");
+        assert!(xml.starts_with("<svg xmlns="));
+        assert!(xml.contains("<rect x='10' y='20' width='30' height='40' fill='gold'/>"));
+        assert!(xml.ends_with("</svg>\n"));
+    }
+
+    #[test]
+    fn renders_points() {
+        let xml = render_of("(polygon 'red' 'black' 2 [[0 0] [10 0] [5 8]])");
+        assert!(xml.contains("points='0,0 10,0 5,8'"));
+    }
+
+    #[test]
+    fn renders_rgba() {
+        let xml = render_of("(rect [255 0 0 0.5] 0 0 1 1)");
+        assert!(xml.contains("fill='rgba(255,0,0,0.5)'"));
+    }
+
+    #[test]
+    fn renders_color_numbers() {
+        let xml = render_of("(rect 120 0 0 1 1)");
+        assert!(xml.contains("fill='hsl(120,100%,50%)'"));
+        let xml = render_of("(rect 430 0 0 1 1)");
+        assert!(xml.contains("fill='hsl(0,0%,50%)'"));
+    }
+
+    #[test]
+    fn renders_path_data() {
+        let xml = render_of("(path 'none' 'black' 2 ['M' 1 2 'L' 3 4 'Z'])");
+        assert!(xml.contains("d='M 1 2 L 3 4 Z'"));
+    }
+
+    #[test]
+    fn renders_transforms() {
+        let xml =
+            render_of("(addAttr (rect 'red' 0 0 10 10) ['transform' ['rotate' 45 5 5]])");
+        assert!(xml.contains("transform='rotate(45 5 5)'"), "{xml}");
+    }
+
+    #[test]
+    fn hidden_shapes_can_be_hidden() {
+        let src = "(svg [(ghost (rect 'gold' 0 0 1 1)) (circle 'red' 5 5 2)])";
+        let v = Program::parse(src).unwrap().eval().unwrap();
+        let node = node_from_value(&v).unwrap();
+        let xml = render(&node, RenderOptions { hide_hidden: true });
+        assert!(!xml.contains("<rect"));
+        assert!(xml.contains("<circle"));
+        // HIDDEN itself is never emitted, even when shown.
+        let xml = render(&node, RenderOptions::default());
+        assert!(xml.contains("<rect"));
+        assert!(!xml.contains("HIDDEN"));
+    }
+
+    #[test]
+    fn escapes_xml_text() {
+        let xml = render_of("(text 0 0 'a < b & c')");
+        assert!(xml.contains("a &lt; b &amp; c"));
+    }
+}

@@ -1,0 +1,296 @@
+//! Live synchronization (§4): the prepare → drag → re-evaluate loop.
+//!
+//! A [`LiveSync`] session owns a program and its current canvas. `prepare`
+//! computes shape assignments and mouse triggers for every zone; `drag`
+//! fires a trigger, applies the inferred local update, and re-evaluates the
+//! program — exactly what the original editor does on every mouse-move
+//! event; `commit` finalizes a drag (mouse-up), after which the session
+//! re-prepares in anticipation of the next user action.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use sns_eval::{EvalError, FreezeMode, Program};
+use sns_lang::Subst;
+use sns_svg::{Canvas, ShapeId, SvgError, Zone};
+
+use crate::assign::{analyze_canvas, Assignments, Heuristic};
+use crate::trigger::{SolverChoice, Trigger, TriggerFire};
+
+/// Configuration of a live-synchronization session.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LiveConfig {
+    /// Disambiguation heuristic (§4.1 / App. B.1).
+    pub heuristic: Heuristic,
+    /// Which constants are changeable (§2.2).
+    pub freeze_mode: FreezeMode,
+    /// Equation solver used by triggers.
+    pub solver: SolverChoice,
+}
+
+/// Errors from running or preparing a program in a live session.
+#[derive(Debug, Clone)]
+pub enum LiveError {
+    /// The program failed to evaluate.
+    Eval(EvalError),
+    /// The program's output is not a well-formed SVG canvas.
+    Svg(SvgError),
+    /// The referenced shape/zone has no active trigger.
+    NoTrigger {
+        /// The shape that was addressed.
+        shape: ShapeId,
+        /// The zone that was addressed.
+        zone: Zone,
+    },
+}
+
+impl fmt::Display for LiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LiveError::Eval(e) => write!(f, "live sync: {e}"),
+            LiveError::Svg(e) => write!(f, "live sync: {e}"),
+            LiveError::NoTrigger { shape, zone } => {
+                write!(f, "live sync: no active trigger for {shape} zone {zone}")
+            }
+        }
+    }
+}
+
+impl Error for LiveError {}
+
+impl From<EvalError> for LiveError {
+    fn from(e: EvalError) -> Self {
+        LiveError::Eval(e)
+    }
+}
+
+impl From<SvgError> for LiveError {
+    fn from(e: SvgError) -> Self {
+        LiveError::Svg(e)
+    }
+}
+
+/// The result of one in-flight drag step.
+#[derive(Debug, Clone)]
+pub struct DragResult {
+    /// The local update inferred for this mouse position.
+    pub subst: Subst,
+    /// Attributes whose equations failed (red highlight).
+    pub failures: Vec<sns_svg::AttrRef>,
+    /// The preview canvas after applying the update.
+    pub canvas: Canvas,
+}
+
+/// A live-synchronization session over one program.
+#[derive(Debug)]
+pub struct LiveSync {
+    program: Program,
+    config: LiveConfig,
+    canvas: Canvas,
+    assignments: Assignments,
+    triggers: HashMap<(ShapeId, Zone), Trigger>,
+}
+
+impl LiveSync {
+    /// Runs the program and prepares assignments and triggers.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the program does not evaluate or its output is not SVG.
+    pub fn new(program: Program, config: LiveConfig) -> Result<LiveSync, LiveError> {
+        let canvas = Canvas::from_value(&program.eval()?)?;
+        let (assignments, triggers) = prepare(&program, &canvas, config);
+        Ok(LiveSync { program, config, canvas, assignments, triggers })
+    }
+
+    /// The current program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The current canvas.
+    pub fn canvas(&self) -> &Canvas {
+        &self.canvas
+    }
+
+    /// The current zone assignments (for captions, highlights, statistics).
+    pub fn assignments(&self) -> &Assignments {
+        &self.assignments
+    }
+
+    /// The trigger prepared for a zone, if it is active.
+    pub fn trigger(&self, shape: ShapeId, zone: Zone) -> Option<&Trigger> {
+        self.triggers.get(&(shape, zone))
+    }
+
+    /// Simulates the mouse moving `(dx, dy)` while holding `zone` of
+    /// `shape`: fires the trigger and re-evaluates a preview. The session's
+    /// program is *not* modified — call [`LiveSync::commit`] on mouse-up.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the zone is inactive or the updated program misbehaves.
+    pub fn drag(
+        &self,
+        shape: ShapeId,
+        zone: Zone,
+        dx: f64,
+        dy: f64,
+    ) -> Result<DragResult, LiveError> {
+        let trigger = self
+            .triggers
+            .get(&(shape, zone))
+            .ok_or(LiveError::NoTrigger { shape, zone })?;
+        let TriggerFire { subst, failures } =
+            trigger.fire(&self.program.subst(), dx, dy, self.config.solver);
+        let preview = self.program.with_subst(&subst);
+        let canvas = Canvas::from_value(&preview.eval()?)?;
+        Ok(DragResult { subst, failures, canvas })
+    }
+
+    /// Commits a drag (mouse-up): applies the final substitution to the
+    /// program, re-evaluates, and re-prepares assignments and triggers for
+    /// the next user action.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the updated program does not evaluate to a canvas.
+    pub fn commit(&mut self, subst: &Subst) -> Result<(), LiveError> {
+        self.program.apply_subst(subst);
+        self.reprepare()
+    }
+
+    /// Replaces the program wholesale (a programmatic edit in the editor's
+    /// code pane) and re-prepares.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the new program does not evaluate to a canvas.
+    pub fn replace_program(&mut self, program: Program) -> Result<(), LiveError> {
+        self.program = program;
+        self.reprepare()
+    }
+
+    fn reprepare(&mut self) -> Result<(), LiveError> {
+        self.canvas = Canvas::from_value(&self.program.eval()?)?;
+        let (assignments, triggers) = prepare(&self.program, &self.canvas, self.config);
+        self.assignments = assignments;
+        self.triggers = triggers;
+        Ok(())
+    }
+}
+
+/// Computes assignments and triggers for every zone — the "Prepare"
+/// operation measured in §5.2.3.
+pub fn prepare(
+    program: &Program,
+    canvas: &Canvas,
+    config: LiveConfig,
+) -> (Assignments, HashMap<(ShapeId, Zone), Trigger>) {
+    let frozen = |l: sns_lang::LocId| program.is_frozen(l, config.freeze_mode);
+    let assignments = analyze_canvas(canvas, &frozen, config.heuristic);
+    let mut triggers = HashMap::new();
+    for analysis in &assignments.zones {
+        if let Some(trigger) = Trigger::compute(analysis) {
+            triggers.insert((analysis.shape, analysis.zone), trigger);
+        }
+    }
+    (assignments, triggers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SINE_WAVE: &str = r#"
+        (def [x0 y0 w h sep amp] [50 120 20 90 30 60])
+        (def n 12!{3-30})
+        (def boxi (λ i
+          (let xi (+ x0 (* i sep))
+          (let yi (- y0 (* amp (sin (* i (/ twoPi n)))))
+            (rect 'lightblue' xi yi w h)))))
+        (svg (map boxi (zeroTo n)))
+    "#;
+
+    fn session(src: &str) -> LiveSync {
+        LiveSync::new(Program::parse(src).unwrap(), LiveConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn drag_preview_does_not_mutate_program() {
+        let live = session(SINE_WAVE);
+        let before = live.program().code();
+        let result = live.drag(ShapeId(0), Zone::Interior, 45.0, 0.0).unwrap();
+        assert!(!result.subst.is_empty());
+        assert_eq!(live.program().code(), before);
+    }
+
+    #[test]
+    fn commit_updates_program_text() {
+        let mut live = session(SINE_WAVE);
+        let result = live.drag(ShapeId(0), Zone::Interior, 45.0, 0.0).unwrap();
+        live.commit(&result.subst).unwrap();
+        // Dragging the first box updates x0 (fair heuristic's first pick).
+        assert!(live.program().code().contains("95"), "{}", live.program().code());
+    }
+
+    #[test]
+    fn dragging_first_box_translates_all_boxes() {
+        // §2.3: the first box's Interior is assigned {x0, y0}; all boxes
+        // move in unison.
+        let mut live = session(SINE_WAVE);
+        let xs_before: Vec<f64> =
+            live.canvas().shapes().iter().map(|s| s.node.num_attr("x").unwrap().n).collect();
+        let result = live.drag(ShapeId(0), Zone::Interior, 45.0, 0.0).unwrap();
+        live.commit(&result.subst).unwrap();
+        let xs_after: Vec<f64> =
+            live.canvas().shapes().iter().map(|s| s.node.num_attr("x").unwrap().n).collect();
+        for (b, a) in xs_before.iter().zip(&xs_after) {
+            assert!((a - b - 45.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dragging_second_box_changes_spacing() {
+        // §2.3: the second box's Interior is assigned {sep, …}; box i moves
+        // by i × Δsep.
+        let mut live = session(SINE_WAVE);
+        let result = live.drag(ShapeId(1), Zone::Interior, 10.0, 0.0).unwrap();
+        live.commit(&result.subst).unwrap();
+        let xs: Vec<f64> =
+            live.canvas().shapes().iter().map(|s| s.node.num_attr("x").unwrap().n).collect();
+        // sep solved from 80 + d = x0 + 1·sep → sep = 40.
+        assert!((xs[0] - 50.0).abs() < 1e-9);
+        assert!((xs[1] - 90.0).abs() < 1e-9);
+        assert!((xs[2] - 130.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inactive_zone_reports_no_trigger() {
+        // Freeze everything: no zone has a trigger.
+        let program = Program::parse("(svg [(rect 'red' 1! 2! 3! 4!)])").unwrap();
+        let live = LiveSync::new(program, LiveConfig::default()).unwrap();
+        let err = live.drag(ShapeId(0), Zone::Interior, 1.0, 1.0).unwrap_err();
+        assert!(matches!(err, LiveError::NoTrigger { .. }));
+    }
+
+    #[test]
+    fn width_drag_affects_all_boxes_sharing_w() {
+        let mut live = session(SINE_WAVE);
+        let result = live.drag(ShapeId(5), Zone::RightEdge, 12.0, 0.0).unwrap();
+        live.commit(&result.subst).unwrap();
+        for s in live.canvas().shapes() {
+            assert_eq!(s.node.num_attr("width").unwrap().n, 32.0);
+        }
+    }
+
+    #[test]
+    fn replace_program_reprepares() {
+        let mut live = session(SINE_WAVE);
+        live.replace_program(Program::parse("(svg [(circle 'red' 50 50 20)])").unwrap())
+            .unwrap();
+        assert_eq!(live.canvas().shapes().len(), 1);
+        assert!(live.trigger(ShapeId(0), Zone::RightEdge).is_some());
+    }
+}

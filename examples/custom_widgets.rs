@@ -1,0 +1,53 @@
+//! The helper-value design pattern (§6.3): user-defined widgets — sliders
+//! built out of ordinary shapes — drive program parameters through their
+//! traces; hidden layers keep them out of the exported design.
+//!
+//! ```sh
+//! cargo run --example custom_widgets
+//! ```
+
+use sketch_n_sketch::editor::Editor;
+use sketch_n_sketch::svg::{ShapeId, Zone};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let source = r#"
+        (def [nPetals s1] (intSlider 60! 260! 30! 3! 12! 'petals = ' 8))
+        (def [size s2] (numSlider 60! 260! 70! 20! 80! 'size = ' 48))
+        (def [cx cy] [260 260])
+        (def petal (λ i
+          (let ang (* i (/ twoPi nPetals))
+            (ellipse 'orchid'
+              (+ cx (* size (cos ang)))
+              (- cy (* size (sin ang)))
+              (* size 0.8!) (* size 0.3!)))))
+        (def flower (append (map petal (zeroTo nPetals)) [(circle 'gold' cx cy (* size 0.5!))]))
+        (svg (concat [s1 s2 flower]))
+    "#;
+    let mut editor = Editor::new(source)?;
+
+    // The widgets' shapes are ghosts: hidden from the rendered canvas.
+    let visible = editor.canvas_svg().matches("<ellipse").count();
+    println!("{} petals visible, widget shapes hidden", visible);
+
+    // Dragging the first slider's ball is direct manipulation of nPetals:
+    // ball of slider 1 is shape 4 (line, text, 2 end dots, ball).
+    let caption = editor.hover(ShapeId(4), Zone::Interior)?;
+    println!("slider ball: {}", caption.text);
+    editor.drag_zone(ShapeId(4), Zone::Interior, 50.0, 0.0)?;
+    let visible = editor.canvas_svg().matches("<ellipse").count();
+    println!("after dragging the petals slider: {visible} petals");
+
+    // Toggle the hidden layer to see the widget chrome, as the editor does.
+    editor.toggle_hidden();
+    println!(
+        "with helpers shown, canvas has {} <circle> elements",
+        editor.canvas_svg().matches("<circle").count()
+    );
+    editor.toggle_hidden();
+
+    // The export never contains helper shapes.
+    let export = editor.export_svg();
+    assert!(!export.contains("<text"));
+    println!("\nexport is clean ({} bytes of SVG)", export.len());
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! The §6.2 detailed case study: developing and editing a Ferris wheel
+//! with programmatic edits, direct manipulation, and sliders together.
+//!
+//! ```sh
+//! cargo run --example ferris_wheel
+//! ```
+
+use sketch_n_sketch::editor::Editor;
+use sketch_n_sketch::svg::{ShapeId, Zone};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Phase 1: initial development (Figure 4A, black text).
+    let phase1 = sketch_n_sketch::examples::by_slug("ferris_task_before")
+        .expect("corpus example")
+        .source;
+    let mut editor = Editor::new(phase1)?;
+    println!("phase 1: {} shapes", editor.shapes().len());
+
+    // Phase 2: direct manipulation. The rim's zones are unambiguous:
+    println!("\nhover captions:");
+    for (zone, what) in [(Zone::Interior, "rim interior"), (Zone::RightEdge, "rim edge")] {
+        let c = editor.hover(ShapeId(0), zone)?;
+        println!("  {what}: {}", c.text);
+    }
+
+    // Move the wheel and grow the spokes by dragging.
+    editor.drag_zone(ShapeId(0), Zone::Interior, 40.0, -40.0)?;
+    editor.drag_zone(ShapeId(0), Zone::RightEdge, 40.0, 0.0)?;
+    // Make the cars bigger: any car's RIGHTEDGE drives the shared wCar.
+    editor.drag_zone(ShapeId(2), Zone::RightEdge, 10.0, 0.0)?;
+    println!("\nafter three drags, the parameter line reads:");
+    println!("  {}", editor.code().lines().next().unwrap_or_default());
+
+    // Dragging a car to rotate the wheel misbehaves (it changes
+    // numSpokes/rotAngle through trigonometry) — so we Undo…
+    let before = editor.code();
+    editor.drag_zone(ShapeId(3), Zone::Interior, 9.0, 4.0)?;
+    println!("\ndragging a car changed the program unpredictably; undoing.");
+    editor.undo()?;
+    assert_eq!(editor.code(), before);
+
+    // …and instead make the §6.2 programmatic edit: freeze the two
+    // parameters, annotate them with ranges, and recolor car 0.
+    let phase2 = before
+        .replace(
+            "(def [numSpokes rotAngle] [5 0])",
+            "(def [numSpokes rotAngle] [5!{3-15} 0!{-3.14-3.14}])",
+        )
+        .replace(
+            "(map (λ [x y] (squareCenter 'lightgray' x y wCar)) spokePts)",
+            "(mapi (λ [i [x y]] (squareCenter (if (= 0 i) 'pink' 'lightgray') x y wCar)) spokePts)",
+        );
+    editor.set_code(&phase2)?;
+
+    // Now the sliders control spokes and rotation safely.
+    let sliders = editor.sliders();
+    println!("\nsliders: {:?}", sliders.iter().map(|s| s.name.as_str()).collect::<Vec<_>>());
+    editor.set_slider(sliders[0].loc, 7.0)?;
+    editor.set_slider(sliders[1].loc, 0.7)?;
+    println!("numSpokes → 7, rotAngle → 0.7: {} shapes", editor.shapes().len());
+
+    println!("\nfinal SVG export:\n{}", editor.export_svg());
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! Logos, the group-box pattern, and SVG export (§6.1, Appendix C/D):
+//! stretch an entire multi-shape design from one corner, then export the
+//! result for use in other tools.
+//!
+//! ```sh
+//! cargo run --example logo_export > logo.svg
+//! ```
+
+use sketch_n_sketch::editor::Editor;
+use sketch_n_sketch::svg::{ShapeId, Zone};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The Sketch-n-Sketch logo with an explicit group box: the transparent
+    // backing rect's corner predictably controls {w, h}.
+    let source = r#"
+        (def [x0 y0 w h delta] [50 50 200 200 10])
+        (def [xw yh] [(+ x0 w) (+ y0 h)])
+        (def groupBox (rect 'none' x0 y0 w h))
+        (def p1 (polygon 'black' 'none' 0
+          [[x0 y0] [(- xw delta) y0] [x0 (- yh delta)]]))
+        (def p2 (polygon 'black' 'none' 0
+          [[xw y0] [xw yh] [(+ x0 delta) yh]]))
+        (def p3 (polygon 'black' 'none' 0
+          [[(+ x0 (/ delta 2!)) (+ y0 (/ delta 2!))]
+           [(- (/ (+ x0 xw) 2!) delta) (/ (+ y0 yh) 2!)]
+           [(+ x0 (/ delta 2!)) (- yh delta)]]))
+        (svg [groupBox p1 p2 p3])
+    "#;
+    let mut editor = Editor::new(source)?;
+
+    // Hovering the group box corner shows it controls the whole design.
+    let caption = editor.hover(ShapeId(0), Zone::BotRightCorner)?;
+    eprintln!("group box corner: {}", caption.text);
+
+    // Stretch the logo 1.5× horizontally, 1.25× vertically, in one drag.
+    editor.drag_zone(ShapeId(0), Zone::BotRightCorner, 100.0, 50.0)?;
+    eprintln!("after stretching: {}", editor.code().lines().next().unwrap_or_default());
+
+    // Print final SVG to stdout (pipe into a file to use elsewhere).
+    println!("{}", editor.export_svg());
+    Ok(())
+}

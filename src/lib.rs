@@ -1,0 +1,41 @@
+//! **Sketch-n-Sketch in Rust** — a from-scratch reproduction of
+//! *Programmatic and Direct Manipulation, Together at Last* (PLDI 2016).
+//!
+//! This façade crate re-exports the whole crate family:
+//!
+//! * [`lang`] — the `little` language front-end (parser, AST, unparser,
+//!   substitutions);
+//! * [`eval`] — the trace-instrumented evaluator and Prelude;
+//! * [`solver`] — value-trace equation solvers (`SolveA`, `SolveB`);
+//! * [`svg`] — the SVG canvas model, renderer, and manipulation zones;
+//! * [`sync`] — trace-based program synthesis and live synchronization
+//!   (the paper's primary contribution);
+//! * [`editor`] — a headless prodirect-manipulation editor;
+//! * [`examples`] — the `little` example corpus;
+//! * [`stats`] — bootstrap statistics for the user-study reproduction.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sketch_n_sketch::editor::Editor;
+//! use sketch_n_sketch::svg::{ShapeId, Zone};
+//!
+//! // A program draws a rectangle…
+//! let mut editor = Editor::new("(svg [(rect 'gold' 10 20 30 40)])").unwrap();
+//! // …the user drags it…
+//! editor.drag_zone(ShapeId(0), Zone::Interior, 25.0, 5.0).unwrap();
+//! // …and the *program text* has been updated to match.
+//! assert_eq!(editor.code(), "(svg [(rect 'gold' 35 25 30 40)])");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sns_editor as editor;
+pub use sns_eval as eval;
+pub use sns_examples as examples;
+pub use sns_lang as lang;
+pub use sns_solver as solver;
+pub use sns_stats as stats;
+pub use sns_svg as svg;
+pub use sns_sync as sync;

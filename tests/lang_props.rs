@@ -1,0 +1,135 @@
+//! Property-based tests for the `little` front-end: unparse/parse
+//! round-trips on randomly generated expressions, and evaluation
+//! determinism.
+
+use proptest::prelude::*;
+
+use sketch_n_sketch::lang::{
+    parse, unparse, Expr, FreezeAnnotation, LetStyle, LocId, NumLit, Op, Pat,
+};
+
+fn arb_num() -> impl Strategy<Value = Expr> {
+    (
+        -1000.0f64..1000.0,
+        prop_oneof![
+            Just(FreezeAnnotation::None),
+            Just(FreezeAnnotation::Frozen),
+            Just(FreezeAnnotation::Thawed)
+        ],
+        proptest::option::of((0.0f64..10.0, 10.0f64..20.0)),
+    )
+        .prop_map(|(v, annotation, range)| {
+            // Two decimal places keep the text form canonical.
+            let value = (v * 100.0).round() / 100.0;
+            Expr::Num(NumLit { value, loc: LocId(0), annotation, range })
+        })
+}
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,6}".prop_map(|s| s)
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_num(),
+        arb_ident().prop_map(Expr::Var),
+        Just(Expr::Bool(true)),
+        Just(Expr::Bool(false)),
+        "[a-z ]{0,8}".prop_map(Expr::Str),
+        Just(Expr::List(vec![], None)),
+    ];
+    leaf.prop_recursive(4, 48, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Prim(
+                Op::Add,
+                vec![a, b]
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Prim(
+                Op::Mul,
+                vec![a, b]
+            )),
+            inner.clone().prop_map(|a| Expr::Prim(Op::Cos, vec![a])),
+            proptest::collection::vec(inner.clone(), 1..4)
+                .prop_map(|es| Expr::List(es, None)),
+            (arb_ident(), inner.clone(), inner.clone()).prop_map(|(x, b, body)| Expr::Let {
+                recursive: false,
+                style: LetStyle::Let,
+                pat: Pat::Var(x),
+                bound: Box::new(b),
+                body: Box::new(body),
+            }),
+            (arb_ident(), inner.clone()).prop_map(|(x, body)| Expr::Lambda(
+                vec![Pat::Var(x)],
+                Box::new(body)
+            )),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, e)| Expr::If(
+                Box::new(c),
+                Box::new(t),
+                Box::new(e)
+            )),
+        ]
+    })
+}
+
+fn strip_locs(e: &mut Expr) {
+    e.walk_mut(&mut |e| {
+        if let Expr::Num(n) = e {
+            n.loc = LocId(0);
+        }
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// unparse ∘ parse is the identity on ASTs (up to location ids).
+    #[test]
+    fn unparse_parse_roundtrip(e in arb_expr()) {
+        let text = unparse(&e);
+        let mut reparsed = parse(&text)
+            .unwrap_or_else(|err| panic!("`{text}` failed to reparse: {err}"))
+            .expr;
+        let mut original = e;
+        strip_locs(&mut original);
+        strip_locs(&mut reparsed);
+        prop_assert_eq!(original, reparsed, "text was `{}`", text);
+    }
+
+    /// Unparsing is stable: parse(unparse(e)) unparses to the same text.
+    #[test]
+    fn unparse_is_idempotent(e in arb_expr()) {
+        let t1 = unparse(&e);
+        let t2 = unparse(&parse(&t1).unwrap().expr);
+        prop_assert_eq!(t1, t2);
+    }
+
+    /// Parsing assigns locations densely from the requested start.
+    #[test]
+    fn locations_are_dense(e in arb_expr(), start in 0u32..1000) {
+        let text = unparse(&e);
+        let parsed = sketch_n_sketch::lang::parse_with_locs(&text, start).unwrap();
+        let mut locs: Vec<u32> =
+            parsed.expr.num_literals().iter().map(|n| n.loc.0).collect();
+        locs.sort();
+        let expected: Vec<u32> = (start..parsed.next_loc).collect();
+        prop_assert_eq!(locs, expected);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Evaluation is deterministic: same program, same value (rendered).
+    #[test]
+    fn evaluation_is_deterministic(seed in 0u64..1000) {
+        use sketch_n_sketch::eval::Program;
+        let n = 3 + (seed % 8);
+        let src = format!(
+            "(svg (map (λ i (rect 'red' (* i 30) (mod (* i {seed}) 90) 20 20)) (zeroTo {n})))"
+        );
+        let p = Program::parse(&src).unwrap();
+        let a = format!("{}", p.eval().unwrap());
+        let b = format!("{}", p.eval().unwrap());
+        prop_assert_eq!(a, b);
+    }
+}
