@@ -1,7 +1,7 @@
 //! Criterion bench for the §5.2.3 "Solve" operation: SolveOne on the
 //! unique pre-equations of a representative example.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sns_solver::Equation;
@@ -15,7 +15,7 @@ fn bench_solve(c: &mut Criterion) {
             b.iter(|| {
                 let mut solved = 0usize;
                 for eq in &m.unique_eqs {
-                    let equation = Equation::new(eq.n + 1.0, Rc::clone(&eq.trace));
+                    let equation = Equation::new(eq.n + 1.0, Arc::clone(&eq.trace));
                     if sns_solver::solve(&m.rho0, eq.loc, &equation).is_some() {
                         solved += 1;
                     }

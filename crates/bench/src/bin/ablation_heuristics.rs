@@ -15,7 +15,7 @@ use sns_svg::Canvas;
 use sns_sync::{analyze_canvas, location_stats, Heuristic};
 
 fn main() {
-    sns_eval::with_big_stack(|| run());
+    sns_eval::with_big_stack(run);
 }
 
 fn corpus_row(heuristic: Heuristic) -> (usize, usize, f64, f64) {
@@ -37,7 +37,12 @@ fn corpus_row(heuristic: Heuristic) -> (usize, usize, f64, f64) {
         rate_sum += ls.avg_rate * ls.assigned as f64;
         n += ls.assigned;
     }
-    (assigned, unfrozen, times_sum / n.max(1) as f64, rate_sum / n.max(1) as f64)
+    (
+        assigned,
+        unfrozen,
+        times_sum / n.max(1) as f64,
+        rate_sum / n.max(1) as f64,
+    )
 }
 
 fn run() {

@@ -8,12 +8,12 @@
 //! * our `solve_extended` (inversion down to an addition-only subproblem),
 //!   which is what recovers the fourth Figure 1D candidate.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sns_solver::{solve, solve_a, solve_b, solve_extended, Equation};
 
 fn main() {
-    sns_eval::with_big_stack(|| run());
+    sns_eval::with_big_stack(run);
 }
 
 fn run() {
@@ -32,7 +32,7 @@ fn run() {
                 (1.0, Some(&mut a1), Some(&mut b1), &mut paper1, &mut ext1),
                 (100.0, None, None, &mut paper100, &mut ext100),
             ] {
-                let equation = Equation::new(eq.n + d, Rc::clone(&eq.trace));
+                let equation = Equation::new(eq.n + d, Arc::clone(&eq.trace));
                 if let Some(pa) = pa {
                     if solve_a(&m.rho0, eq.loc, &equation).is_some() {
                         *pa += 1;
@@ -55,14 +55,44 @@ fn run() {
     let pct = |n: usize| 100.0 * n as f64 / total.max(1) as f64;
     println!("== Ablation: solver power on {total} unique pre-equations ==\n");
     println!("{:<28} {:>8} {:>7}", "Solver", "d=1", "%");
-    println!("{:<28} {:>8} {:>6.1}%", "SolveA (addition-only)", a1, pct(a1));
-    println!("{:<28} {:>8} {:>6.1}%", "SolveB (single-occurrence)", b1, pct(b1));
-    println!("{:<28} {:>8} {:>6.1}%", "Solve = A then B (paper)", paper1, pct(paper1));
-    println!("{:<28} {:>8} {:>6.1}%", "solve_extended (ours)", ext1, pct(ext1));
+    println!(
+        "{:<28} {:>8} {:>6.1}%",
+        "SolveA (addition-only)",
+        a1,
+        pct(a1)
+    );
+    println!(
+        "{:<28} {:>8} {:>6.1}%",
+        "SolveB (single-occurrence)",
+        b1,
+        pct(b1)
+    );
+    println!(
+        "{:<28} {:>8} {:>6.1}%",
+        "Solve = A then B (paper)",
+        paper1,
+        pct(paper1)
+    );
+    println!(
+        "{:<28} {:>8} {:>6.1}%",
+        "solve_extended (ours)",
+        ext1,
+        pct(ext1)
+    );
     println!();
     println!("{:<28} {:>8} {:>7}", "Solver", "d=100", "%");
-    println!("{:<28} {:>8} {:>6.1}%", "Solve = A then B (paper)", paper100, pct(paper100));
-    println!("{:<28} {:>8} {:>6.1}%", "solve_extended (ours)", ext100, pct(ext100));
+    println!(
+        "{:<28} {:>8} {:>6.1}%",
+        "Solve = A then B (paper)",
+        paper100,
+        pct(paper100)
+    );
+    println!(
+        "{:<28} {:>8} {:>6.1}%",
+        "solve_extended (ours)",
+        ext100,
+        pct(ext100)
+    );
     println!();
     println!("Reading: SolveB subsumes SolveA on virtually all equations (the paper's");
     println!("Appendix B.2 observation); the extension adds the repeated-unknown class,");

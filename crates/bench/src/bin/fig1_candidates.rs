@@ -6,7 +6,7 @@
 //! The §2.2 walk-through is included: with the x-target 155 (= 110 + 45)
 //! the four substitutions are x0 ↦ 95, sep ↦ 52.5, ℓ0 ↦ 1.5, ℓ1 ↦ 1.75.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sns_eval::{FreezeMode, Program};
 use sns_lang::LocId;
@@ -14,7 +14,7 @@ use sns_svg::Canvas;
 use sns_sync::{judge, numeric_leaves, synthesize_single, SynthesisOptions, UserUpdate};
 
 fn main() {
-    sns_eval::with_big_stack(|| run());
+    sns_eval::with_big_stack(run);
 }
 
 fn run() {
@@ -37,16 +37,27 @@ fn run() {
     let mode = FreezeMode::nothing_frozen();
     let frozen = |l: LocId| program.is_frozen(l, mode);
     let rho0 = program.subst();
-    let mut candidates =
-        synthesize_single(&rho0, target, &Rc::clone(&x.t), &frozen, SynthesisOptions::default());
+    let mut candidates = synthesize_single(
+        &rho0,
+        target,
+        &Arc::clone(&x.t),
+        &frozen,
+        SynthesisOptions::default(),
+    );
     candidates.sort_by_key(|c| c.locs.clone());
     println!("Figure 1D: {} candidate updates", candidates.len());
 
     // The positions of the dragged x in the output's numeric leaves, for
     // faithful/plausible judgement.
     let leaves = numeric_leaves(&value);
-    let index = leaves.iter().position(|&v| v == x.n).expect("x appears in output");
-    let updates = [UserUpdate { index, new_value: target }];
+    let index = leaves
+        .iter()
+        .position(|&v| v == x.n)
+        .expect("x appears in output");
+    let updates = [UserUpdate {
+        index,
+        new_value: target,
+    }];
 
     for c in &candidates {
         let loc = c.locs[0];
@@ -54,14 +65,20 @@ fn run() {
         let new_value = c.subst.get(loc).expect("bound");
         let updated = program.with_subst(&c.subst);
         let new_output = updated.eval().expect("candidate evaluates");
-        let n_boxes = Canvas::from_value(&new_output).map(|c| c.shapes().len()).unwrap_or(0);
+        let n_boxes = Canvas::from_value(&new_output)
+            .map(|c| c.shapes().len())
+            .unwrap_or(0);
         let judgment = judge(&value, &updates, &new_output);
         println!(
             "  ρ[{name} ↦ {}]  → {} boxes, judgment {:?}{}",
             sns_lang::fmt_num(new_value),
             n_boxes,
             judgment,
-            if program.is_prelude_loc(loc) { "  (Prelude location!)" } else { "" },
+            if program.is_prelude_loc(loc) {
+                "  (Prelude location!)"
+            } else {
+                ""
+            },
         );
     }
     println!();
@@ -72,8 +89,16 @@ fn run() {
     // With the default freeze mode only two candidates remain (§2.2).
     let default_mode = FreezeMode::default();
     let frozen = |l: LocId| program.is_frozen(l, default_mode);
-    let remaining =
-        synthesize_single(&rho0, target, &Rc::clone(&x.t), &frozen, SynthesisOptions::default());
+    let remaining = synthesize_single(
+        &rho0,
+        target,
+        &Arc::clone(&x.t),
+        &frozen,
+        SynthesisOptions::default(),
+    );
     println!();
-    println!("With the Prelude frozen (default), {} candidates remain.", remaining.len());
+    println!(
+        "With the Prelude frozen (default), {} candidates remain.",
+        remaining.len()
+    );
 }

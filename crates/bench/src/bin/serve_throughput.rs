@@ -1,0 +1,187 @@
+//! Benchmarks `sns-server` end to end: N concurrent live-sync sessions
+//! drive drag traffic over loopback HTTP and the harness reports
+//! requests/sec plus latency quantiles into `BENCH_server.json`.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin serve_throughput [SESSIONS] [DRAGS]
+//! ```
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use sns_server::{Server, ServerConfig};
+
+const DEFAULT_SESSIONS: usize = 64;
+const DEFAULT_DRAGS: usize = 50;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let sessions: usize = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(DEFAULT_SESSIONS);
+    let drags: usize = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(DEFAULT_DRAGS);
+
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        // One worker per expected connection plus slack (workers block on
+        // keep-alive reads between requests).
+        threads: sessions + 8,
+        max_sessions: sessions * 2,
+    })
+    .expect("bind server");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = server.shutdown_handle();
+    std::thread::spawn(move || server.run().expect("server run"));
+
+    eprintln!("driving {sessions} sessions x {drags} drags against {addr}");
+    let start = Instant::now();
+    let workers: Vec<_> = (0..sessions)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || drive_session(&addr, i, drags))
+        })
+        .collect();
+    let mut requests = 0u64;
+    for w in workers {
+        requests += w.join().expect("worker");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let rps = requests as f64 / elapsed;
+
+    // Pull the server's own latency histogram before shutting down.
+    let (_, stats) = http(&addr, "GET", "/stats", None);
+    let field = |k: &str| -> f64 {
+        stats
+            .split(&format!("\"{k}\":"))
+            .nth(1)
+            .and_then(|rest| {
+                rest.split([',', '}'])
+                    .next()
+                    .and_then(|v| v.trim().parse().ok())
+            })
+            .unwrap_or(0.0)
+    };
+    let p50 = field("p50_ms");
+    let p99 = field("p99_ms");
+    handle.shutdown();
+
+    println!("== sns-server throughput ==");
+    println!("sessions          {sessions}");
+    println!("drags/session     {drags}");
+    println!("total requests    {requests}");
+    println!("elapsed           {elapsed:.2} s");
+    println!("requests/sec      {rps:.0}");
+    println!("p50 latency       {p50:.3} ms");
+    println!("p99 latency       {p99:.3} ms");
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve_throughput\",\n  \"sessions\": {sessions},\n  \"drags_per_session\": {drags},\n  \"requests\": {requests},\n  \"elapsed_secs\": {elapsed:.3},\n  \"requests_per_sec\": {rps:.1},\n  \"p50_ms\": {p50:.3},\n  \"p99_ms\": {p99:.3}\n}}\n"
+    );
+    std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
+    eprintln!("wrote BENCH_server.json");
+}
+
+/// One client: create a session, fire `drags` drag requests (keep-alive),
+/// commit, and return the number of requests issued.
+fn drive_session(addr: &str, i: usize, drags: usize) -> u64 {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut stream = BufReader::new(stream);
+    let source = format!(
+        "(def [x0 y0 w h sep] [{} 28 60 130 110]) \
+         (def boxi (λ i (rect 'lightblue' (+ x0 (* i sep)) y0 w h))) \
+         (svg (map boxi (zeroTo 3!)))",
+        40 + i
+    );
+    let body = format!(
+        "{{\"source\":\"{}\"}}",
+        source.replace('\\', "\\\\").replace('"', "\\\"")
+    );
+    let (_, resp) = http_on(&mut stream, "POST", "/sessions", Some(&body));
+    let id = resp
+        .split("\"id\":\"")
+        .nth(1)
+        .and_then(|r| r.split('"').next())
+        .expect("session id")
+        .to_string();
+
+    let mut requests = 1u64;
+    for step in 1..=drags {
+        let body = format!(
+            "{{\"shape\":0,\"zone\":\"Interior\",\"dx\":{},\"dy\":{}}}",
+            (step % 40) as f64,
+            (step % 25) as f64 * 0.5
+        );
+        let (status, _) = http_on(
+            &mut stream,
+            "POST",
+            &format!("/sessions/{id}/drag"),
+            Some(&body),
+        );
+        assert_eq!(status, 200, "drag failed");
+        requests += 1;
+    }
+    let (status, _) = http_on(
+        &mut stream,
+        "POST",
+        &format!("/sessions/{id}/commit"),
+        Some("{}"),
+    );
+    assert_eq!(status, 200);
+    requests + 1
+}
+
+/// One-shot request on a fresh connection.
+fn http(addr: &str, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut stream = BufReader::new(stream);
+    http_on(&mut stream, method, path, body)
+}
+
+/// A request on an existing keep-alive connection.
+fn http_on(
+    stream: &mut BufReader<TcpStream>,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> (u16, String) {
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    let mut raw = head.into_bytes();
+    raw.extend_from_slice(body.as_bytes());
+    let out = stream.get_mut();
+    out.write_all(&raw).expect("write request");
+    out.flush().expect("flush");
+
+    let mut status_line = String::new();
+    stream.read_line(&mut status_line).expect("status");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        stream.read_line(&mut line).expect("header");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().expect("length");
+        }
+    }
+    let mut buf = vec![0u8; content_length];
+    stream.read_exact(&mut buf).expect("body");
+    (status, String::from_utf8(buf).expect("utf8"))
+}

@@ -4,7 +4,7 @@
 //! zones per assigned location and the average assignment rate).
 
 fn main() {
-    sns_eval::with_big_stack(|| run());
+    sns_eval::with_big_stack(run);
 }
 
 fn run() {

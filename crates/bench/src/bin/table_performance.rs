@@ -67,8 +67,14 @@ fn run(per_example: bool) {
     }
 
     println!();
-    println!("== Table §5.2.3: Performance ({RUNS} runs × {} examples) ==", sns_examples::ALL.len());
-    println!("{:<10} {:>10} {:>10} {:>10} {:>10}", "Operation", "Min", "Med", "Avg", "Max");
+    println!(
+        "== Table §5.2.3: Performance ({RUNS} runs × {} examples) ==",
+        sns_examples::ALL.len()
+    );
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>10}",
+        "Operation", "Min", "Med", "Avg", "Max"
+    );
     for (name, xs) in [
         ("Parse", &parse),
         ("Eval", &eval),

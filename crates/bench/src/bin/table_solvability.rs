@@ -38,10 +38,17 @@ fn run(fragments: bool) {
     }
 
     let pct = |n: usize| 100.0 * n as f64 / s.total.max(1) as f64;
-    println!("== Table §5.2.2: Solving Equations ({} examples) ==", measurements.len());
+    println!(
+        "== Table §5.2.2: Solving Equations ({} examples) ==",
+        measurements.len()
+    );
     println!("# (shape, zone) equations        {pre_total}");
     println!("Unique Pre-Equations             {}", s.total);
-    println!("  Outside Fragment               {} ({:.0}%)", s.outside_fragment, pct(s.outside_fragment));
+    println!(
+        "  Outside Fragment               {} ({:.0}%)",
+        s.outside_fragment,
+        pct(s.outside_fragment)
+    );
     println!("  Inside Fragment                {}", s.in_fragment);
     println!(
         "    No Solution for d=1          {} ({:.0}%)",
@@ -54,8 +61,15 @@ fn run(fragments: bool) {
         s.solved_d1 - s.solved_d100,
         pct(s.solved_d1 - s.solved_d100)
     );
-    println!("      Solution for d=100         {} ({:.0}%)", s.solved_d100, pct(s.solved_d100));
-    println!("Mean trace size                  {:.2} nodes", s.mean_trace_size());
+    println!(
+        "      Solution for d=100         {} ({:.0}%)",
+        s.solved_d100,
+        pct(s.solved_d100)
+    );
+    println!(
+        "Mean trace size                  {:.2} nodes",
+        s.mean_trace_size()
+    );
     println!();
     println!("Paper reference: 4,574 unique; 20% outside; 4% in-fragment unsolvable at d=1;");
     println!("66% solvable at d=100; mean trace size 141.30.");

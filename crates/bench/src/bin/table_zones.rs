@@ -50,12 +50,23 @@ fn run(per_example: bool) {
         total.ambiguous_choices += m.zones.ambiguous_choices;
     }
     let pct = |n: usize| 100.0 * n as f64 / total.total.max(1) as f64;
-    println!("== Table §5.2.1: Active Zones ({} examples) ==", measurements.len());
+    println!(
+        "== Table §5.2.1: Active Zones ({} examples) ==",
+        measurements.len()
+    );
     println!("Shapes        {shapes}");
     println!("Zones         {}", total.total);
-    println!("  Inactive    {} ({:.0}%)", total.inactive, pct(total.inactive));
+    println!(
+        "  Inactive    {} ({:.0}%)",
+        total.inactive,
+        pct(total.inactive)
+    );
     println!("  Active      {}", total.active());
-    println!("    Unambiguous {} ({:.0}%)", total.unambiguous, pct(total.unambiguous));
+    println!(
+        "    Unambiguous {} ({:.0}%)",
+        total.unambiguous,
+        pct(total.unambiguous)
+    );
     println!(
         "    Ambiguous   {} ({:.0}%)  ({:.2} candidates on average)",
         total.ambiguous,

@@ -16,7 +16,10 @@ fn main() {
         println!();
     }
 
-    println!("{:<14} {:<12} {:>22} {:>12}", "Task", "Comparison", "Mean (95% CI)", "Paper mean");
+    println!(
+        "{:<14} {:<12} {:>22} {:>12}",
+        "Task", "Comparison", "Mean (95% CI)", "Paper mean"
+    );
     for cell in analyze(10_000, 20160613) {
         println!(
             "{:<14} {:<12} {:>22} {:>12.2}",

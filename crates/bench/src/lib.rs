@@ -15,7 +15,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 use sns_eval::{FreezeMode, Program};
@@ -24,8 +24,8 @@ use sns_lang::{LocId, Subst};
 use sns_solver::Equation;
 use sns_svg::Canvas;
 use sns_sync::{
-    analyze_canvas, location_stats, pre_equations, solvability, unique_pre_equations,
-    Assignments, Heuristic, LocationStats, PreEquation, SolvabilityStats, ZoneStats,
+    analyze_canvas, location_stats, pre_equations, solvability, unique_pre_equations, Assignments,
+    Heuristic, LocationStats, PreEquation, SolvabilityStats, ZoneStats,
 };
 
 /// Everything the tables need about one corpus example.
@@ -62,8 +62,8 @@ pub struct Measurement {
 /// the `sns-examples` tests.
 pub fn measure(example: &Example) -> Measurement {
     let program = Program::parse(example.source).expect("corpus parses");
-    let canvas = Canvas::from_value(&program.eval().expect("corpus evaluates"))
-        .expect("corpus renders");
+    let canvas =
+        Canvas::from_value(&program.eval().expect("corpus evaluates")).expect("corpus renders");
     let mode = FreezeMode::default();
     let frozen = |l: LocId| program.is_frozen(l, mode);
     let assignments = analyze_canvas(&canvas, &frozen, Heuristic::Fair);
@@ -157,7 +157,13 @@ pub fn time_example(example: &Example, runs: usize) -> Vec<Timing> {
         let prepare = t0.elapsed().as_secs_f64();
         assert!(triggers <= assignments.zones.len());
 
-        out.push(Timing { parse, eval, unparse, prepare, run: parse + eval + prepare });
+        out.push(Timing {
+            parse,
+            eval,
+            unparse,
+            prepare,
+            run: parse + eval + prepare,
+        });
     }
     out
 }
@@ -167,7 +173,7 @@ pub fn time_example(example: &Example, runs: usize) -> Vec<Timing> {
 pub fn time_solves(m: &Measurement) -> Vec<f64> {
     let mut out = Vec::with_capacity(m.unique_eqs.len());
     for eq in &m.unique_eqs {
-        let equation = Equation::new(eq.n + 1.0, Rc::clone(&eq.trace));
+        let equation = Equation::new(eq.n + 1.0, Arc::clone(&eq.trace));
         let t0 = Instant::now();
         let _ = sns_solver::solve(&m.rho0, eq.loc, &equation);
         out.push(t0.elapsed().as_secs_f64());

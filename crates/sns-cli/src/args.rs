@@ -22,7 +22,10 @@ pub struct Args {
 pub fn parse(raw: impl IntoIterator<Item = String>) -> Args {
     let mut iter = raw.into_iter().peekable();
     let command = iter.next().unwrap_or_default();
-    let mut args = Args { command, ..Args::default() };
+    let mut args = Args {
+        command,
+        ..Args::default()
+    };
     while let Some(a) = iter.next() {
         if let Some(key) = a.strip_prefix("--") {
             match iter.peek() {
@@ -79,7 +82,15 @@ mod tests {
 
     #[test]
     fn parses_command_positionals_options_flags() {
-        let a = parse_strs(&["drag", "file.little", "--shape", "2", "--dx", "4.5", "--quiet"]);
+        let a = parse_strs(&[
+            "drag",
+            "file.little",
+            "--shape",
+            "2",
+            "--dx",
+            "4.5",
+            "--quiet",
+        ]);
         assert_eq!(a.command, "drag");
         assert_eq!(a.positional(0, "file").unwrap(), "file.little");
         assert_eq!(a.option("shape").unwrap(), "2");

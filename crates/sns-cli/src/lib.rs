@@ -51,6 +51,7 @@ pub fn run(args: Args) -> Result<String, String> {
         "export" => cmd_export(&args),
         "stats" => cmd_stats(&args),
         "examples" => cmd_examples(&args),
+        "serve" => cmd_serve(&args),
         other => Err(format!("unknown command `{other}`; try `sns help`")),
     }
 }
@@ -74,6 +75,8 @@ COMMANDS:\n\
   export FILE                           final SVG (helpers hidden)\n\
   stats FILE                            zone/ambiguity statistics\n\
   examples [SLUG]                       list corpus / print one example\n\
+  serve [--addr A] [--threads N] [--max-sessions N]\n\
+                                        run the live-sync HTTP service\n\
 \n\
 FILE may be a path or example:SLUG (e.g. example:wave_boxes).\n\
 Zones: interior, rightedge, botrightcorner, botedge, botleftcorner,\n\
@@ -97,11 +100,17 @@ fn open_editor(args: &Args) -> Result<(Editor, String), String> {
 }
 
 fn parse_shape(args: &Args) -> Result<ShapeId, String> {
-    Ok(ShapeId(args.option("shape")?.parse::<usize>().map_err(|e| format!("--shape: {e}"))?))
+    Ok(ShapeId(
+        args.option("shape")?
+            .parse::<usize>()
+            .map_err(|e| format!("--shape: {e}"))?,
+    ))
 }
 
 fn parse_zone(args: &Args) -> Result<Zone, String> {
-    args.option("zone")?.parse::<Zone>().map_err(|e| e.to_string())
+    args.option("zone")?
+        .parse::<Zone>()
+        .map_err(|e| e.to_string())
 }
 
 /// Writes the program back to `spec` when `--write` was passed (refusing
@@ -175,7 +184,9 @@ fn cmd_drag(args: &Args) -> Result<String, String> {
     let shape = parse_shape(args)?;
     let zone = parse_zone(args)?;
     let (dx, dy) = (args.option_f64("dx")?, args.option_f64("dy")?);
-    let feedback = editor.drag_zone(shape, zone, dx, dy).map_err(|e| e.to_string())?;
+    let feedback = editor
+        .drag_zone(shape, zone, dx, dy)
+        .map_err(|e| e.to_string())?;
     let mut out = String::new();
     let _ = writeln!(out, "inferred update: {}", feedback.subst);
     finish_write(args, &spec, &editor, &mut out)?;
@@ -204,7 +215,9 @@ fn cmd_slider(args: &Args) -> Result<String, String> {
         .into_iter()
         .find(|s| s.name == name)
         .ok_or_else(|| format!("no slider named `{name}`"))?;
-    editor.set_slider(slider.loc, value).map_err(|e| e.to_string())?;
+    editor
+        .set_slider(slider.loc, value)
+        .map_err(|e| e.to_string())?;
     let mut out = String::new();
     finish_write(args, &spec, &editor, &mut out)?;
     Ok(out)
@@ -232,8 +245,12 @@ fn cmd_reconcile(args: &Args) -> Result<String, String> {
         "y2" => "y2",
         other => return Err(format!("unsupported attribute `{other}`")),
     });
-    let edits = [OutputEdit { shape, attr: attr_ref, new_value: value }];
-    let ranked = editor.reconcile_edits(&edits);
+    let edits = [OutputEdit {
+        shape,
+        attr: attr_ref,
+        new_value: value,
+    }];
+    let mut ranked = editor.reconcile_edits(&edits);
     if ranked.is_empty() {
         return Err("no candidate update reconciles that edit".to_string());
     }
@@ -242,7 +259,11 @@ fn cmd_reconcile(args: &Args) -> Result<String, String> {
     for (i, r) in ranked.iter().enumerate() {
         let _ = writeln!(out, "  {}. {}  {:?}", i + 1, r.update.subst, r.judgment);
     }
-    editor.apply_output_edits(&edits).map_err(|e| e.to_string())?;
+    // Apply the best candidate without rerunning the synthesis.
+    let best = ranked.swap_remove(0);
+    editor
+        .apply_reconciliation(best)
+        .map_err(|e| e.to_string())?;
     finish_write(args, &spec, &editor, &mut out)?;
     Ok(out)
 }
@@ -268,6 +289,27 @@ fn cmd_stats(args: &Args) -> Result<String, String> {
     );
     let _ = writeln!(out, "sliders       {}", editor.sliders().len());
     Ok(out)
+}
+
+fn cmd_serve(args: &Args) -> Result<String, String> {
+    let mut config = sns_server::ServerConfig::default();
+    if let Some(addr) = args.options.get("addr") {
+        config.addr = addr.clone();
+    }
+    if let Some(threads) = args.options.get("threads") {
+        config.threads = threads.parse().map_err(|e| format!("--threads: {e}"))?;
+    }
+    if let Some(max) = args.options.get("max-sessions") {
+        config.max_sessions = max.parse().map_err(|e| format!("--max-sessions: {e}"))?;
+    }
+    let server = sns_server::Server::bind(&config).map_err(|e| e.to_string())?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    eprintln!(
+        "sns-server listening on http://{addr} ({} workers, {} session capacity)",
+        config.threads, config.max_sessions
+    );
+    server.run().map_err(|e| e.to_string())?;
+    Ok(String::new())
 }
 
 fn cmd_examples(args: &Args) -> Result<String, String> {
@@ -334,15 +376,14 @@ mod tests {
     }
 
     #[test]
-    fn drag_on_a_file_roundtrips(){
+    fn drag_on_a_file_roundtrips() {
         let dir = std::env::temp_dir().join("sns-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
         let file = dir.join("box.little");
         std::fs::write(&file, "(svg [(rect 'red' 10 20 30 40)])").unwrap();
         let path = file.to_str().unwrap();
         let out = sns(&[
-            "drag", path, "--shape", "0", "--zone", "interior", "--dx", "5", "--dy", "7",
-            "--write",
+            "drag", path, "--shape", "0", "--zone", "interior", "--dx", "5", "--dy", "7", "--write",
         ])
         .unwrap();
         assert!(out.contains("inferred update"));
@@ -415,14 +456,34 @@ mod tests {
 
     #[test]
     fn errors_are_helpful() {
-        assert!(sns(&["frobnicate"]).unwrap_err().contains("unknown command"));
-        assert!(sns(&["run", "example:nope"]).unwrap_err().contains("no corpus example"));
-        assert!(sns(&["run", "/no/such/file.little"]).unwrap_err().contains("cannot read"));
-        assert!(sns(&["drag", "example:wave_boxes", "--shape", "0", "--zone", "weird"])
+        assert!(sns(&["frobnicate"])
             .unwrap_err()
-            .contains("unknown zone"));
-        assert!(sns(&["slider", "example:wave_boxes", "--name", "zz", "--value", "1"])
+            .contains("unknown command"));
+        assert!(sns(&["run", "example:nope"])
             .unwrap_err()
-            .contains("no slider"));
+            .contains("no corpus example"));
+        assert!(sns(&["run", "/no/such/file.little"])
+            .unwrap_err()
+            .contains("cannot read"));
+        assert!(sns(&[
+            "drag",
+            "example:wave_boxes",
+            "--shape",
+            "0",
+            "--zone",
+            "weird"
+        ])
+        .unwrap_err()
+        .contains("unknown zone"));
+        assert!(sns(&[
+            "slider",
+            "example:wave_boxes",
+            "--name",
+            "zz",
+            "--value",
+            "1"
+        ])
+        .unwrap_err()
+        .contains("no slider"));
     }
 }

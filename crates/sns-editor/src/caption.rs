@@ -37,10 +37,17 @@ pub struct Caption {
 /// Builds the hover caption for an analyzed zone.
 pub fn caption_for(program: &Program, analysis: &ZoneAnalysis) -> Caption {
     match analysis.chosen_candidate() {
-        None => Caption { active: false, text: "Inactive".to_string(), locs: Vec::new() },
+        None => Caption {
+            active: false,
+            text: "Inactive".to_string(),
+            locs: Vec::new(),
+        },
         Some(c) => {
-            let locs: Vec<(LocId, String)> =
-                c.loc_set.iter().map(|l| (*l, program.display_loc(*l))).collect();
+            let locs: Vec<(LocId, String)> = c
+                .loc_set
+                .iter()
+                .map(|l| (*l, program.display_loc(*l)))
+                .collect();
             let names: Vec<&str> = locs.iter().map(|(_, n)| n.as_str()).collect();
             Caption {
                 active: true,
@@ -96,8 +103,10 @@ mod tests {
 
     #[test]
     fn active_caption_names_constants() {
-        let (program, z) =
-            analysis_for("(def [cx cy] [100 100]) (svg [(circle 'red' cx cy 20)])", Zone::Interior);
+        let (program, z) = analysis_for(
+            "(def [cx cy] [100 100]) (svg [(circle 'red' cx cy 20)])",
+            Zone::Interior,
+        );
         let c = caption_for(&program, &z);
         assert!(c.active);
         assert_eq!(c.text, "Active: changes cx, cy");

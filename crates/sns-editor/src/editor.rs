@@ -95,8 +95,25 @@ impl Editor {
     /// Fails if the program does not parse, evaluate, or produce SVG.
     pub fn with_config(source: &str, config: EditorConfig) -> Result<Editor, EditorError> {
         let program = Program::parse(source)?;
+        Editor::from_program(program, config)
+    }
+
+    /// Opens the editor on an already-parsed [`Program`], letting callers
+    /// pre-configure it (e.g. the server attaches per-session
+    /// [`sns_eval::Limits`] before the first evaluation).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the program does not evaluate or produce SVG.
+    pub fn from_program(program: Program, config: EditorConfig) -> Result<Editor, EditorError> {
         let live = LiveSync::new(program, config.live())?;
-        Ok(Editor { live, config, undo_stack: Vec::new(), redo_stack: Vec::new(), drag: None })
+        Ok(Editor {
+            live,
+            config,
+            undo_stack: Vec::new(),
+            redo_stack: Vec::new(),
+            drag: None,
+        })
     }
 
     /// The current program text (the code pane).
@@ -116,15 +133,17 @@ impl Editor {
 
     /// The current canvas as SVG text, honoring the hidden-layer toggle.
     pub fn canvas_svg(&self) -> String {
-        self.live
-            .canvas()
-            .to_svg(RenderOptions { hide_hidden: !self.config.show_hidden })
+        self.live.canvas().to_svg(RenderOptions {
+            hide_hidden: !self.config.show_hidden,
+        })
     }
 
     /// Exports final SVG (helper shapes always hidden), for pasting into
     /// other tools (Appendix C "Exporting to SVG").
     pub fn export_svg(&self) -> String {
-        self.live.canvas().to_svg(RenderOptions { hide_hidden: true })
+        self.live
+            .canvas()
+            .to_svg(RenderOptions { hide_hidden: true })
     }
 
     /// Toggles display of hidden helper shapes.
@@ -176,9 +195,15 @@ impl Editor {
             return Err(EditorError::action("a drag is already in progress"));
         }
         if self.live.trigger(shape, zone).is_none() {
-            return Err(EditorError::action(format!("zone {zone} of {shape} is inactive")));
+            return Err(EditorError::action(format!(
+                "zone {zone} of {shape} is inactive"
+            )));
         }
-        self.drag = Some(DragState { shape, zone, pending: None });
+        self.drag = Some(DragState {
+            shape,
+            zone,
+            pending: None,
+        });
         Ok(())
     }
 
@@ -195,10 +220,16 @@ impl Editor {
         };
         let (shape, zone) = (drag.shape, drag.zone);
         let result = self.live.drag(shape, zone, dx, dy)?;
-        let mut highlights: Vec<(LocId, Highlight)> =
-            result.subst.domain().map(|l| (l, Highlight::Green)).collect();
+        let mut highlights: Vec<(LocId, Highlight)> = result
+            .subst
+            .domain()
+            .map(|l| (l, Highlight::Green))
+            .collect();
         if !result.failures.is_empty() {
-            let trigger = self.live.trigger(shape, zone).expect("trigger checked at start");
+            let trigger = self
+                .live
+                .trigger(shape, zone)
+                .expect("trigger checked at start");
             for part in &trigger.parts {
                 if result.failures.contains(&part.attr) {
                     highlights.push((part.loc, Highlight::Red));
@@ -227,6 +258,12 @@ impl Editor {
         Ok(())
     }
 
+    /// Abandons an in-flight drag without committing anything (the editor's
+    /// Escape key). A no-op when no drag is in progress.
+    pub fn cancel_drag(&mut self) {
+        self.drag = None;
+    }
+
     /// Convenience: a full click-drag-release of a zone by `(dx, dy)`.
     ///
     /// # Errors
@@ -243,7 +280,7 @@ impl Editor {
         let feedback = match self.drag_to(dx, dy) {
             Ok(f) => f,
             Err(e) => {
-                self.drag = None;
+                self.cancel_drag();
                 return Err(e);
             }
         };
@@ -377,7 +414,9 @@ impl Editor {
     pub fn color_slider_loc(&self, shape: ShapeId) -> Option<LocId> {
         let s = self.live.canvas().shape(shape)?;
         let fill = s.node.attr("fill")?;
-        let sns_svg::AttrValue::ColorNum(num) = fill else { return None };
+        let sns_svg::AttrValue::ColorNum(num) = fill else {
+            return None;
+        };
         let mode = self.config.freeze_mode;
         num.t
             .locs()
@@ -429,9 +468,24 @@ impl Editor {
             return Err(EditorError::action("no update reconciles those edits"));
         }
         let best = ranked.swap_remove(0);
+        self.apply_reconciliation(best)
+    }
+
+    /// Applies one already-ranked reconciliation (from
+    /// [`Editor::reconcile_edits`]), pushing an undo point. Lets callers
+    /// that show candidates *and* apply the best one avoid running the
+    /// synthesis twice.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the rerun fails.
+    pub fn apply_reconciliation(
+        &mut self,
+        ranked: sns_sync::RankedUpdate,
+    ) -> Result<sns_sync::RankedUpdate, EditorError> {
         self.push_undo();
-        self.live.commit(&best.update.subst)?;
-        Ok(best)
+        self.live.commit(&ranked.update.subst)?;
+        Ok(ranked)
     }
 
     /// Direct access to the live-synchronization session (for statistics
@@ -587,8 +641,7 @@ mod tests {
 
     #[test]
     fn red_highlight_for_unsolvable_attr() {
-        let mut ed =
-            Editor::new("(def x0 10.2) (svg [(rect 'red' (round x0) 20 30 40)])").unwrap();
+        let mut ed = Editor::new("(def x0 10.2) (svg [(rect 'red' (round x0) 20 30 40)])").unwrap();
         let fb = ed.drag_zone(ShapeId(0), Zone::Interior, 1.0, 1.0).unwrap();
         assert!(fb.highlights.iter().any(|(_, h)| *h == Highlight::Red));
     }

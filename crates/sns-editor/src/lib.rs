@@ -37,3 +37,14 @@ pub mod error;
 pub use caption::{caption_for, idle_highlights, Caption, Highlight};
 pub use editor::{DragFeedback, Editor, EditorConfig, Slider};
 pub use error::EditorError;
+
+#[cfg(test)]
+mod send_assertions {
+    /// The server shares sessions across worker threads: the editor (and
+    /// everything a session owns) must stay `Send + Sync`.
+    #[test]
+    fn editor_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<crate::Editor>();
+    }
+}

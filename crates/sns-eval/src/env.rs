@@ -1,17 +1,17 @@
 //! Persistent evaluation environments.
 //!
-//! Environments are immutable linked frames shared via `Rc`, so extending an
+//! Environments are immutable linked frames shared via `Arc`, so extending an
 //! environment for a `let` body or a closure capture is O(1) and never
 //! mutates the parent. This is what makes closures cheap in the interpreter
 //! and keeps re-evaluation fast during live synchronization.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::value::Value;
 
 /// A persistent environment mapping names to values.
 #[derive(Debug, Clone, Default)]
-pub struct Env(Option<Rc<Frame>>);
+pub struct Env(Option<Arc<Frame>>);
 
 #[derive(Debug)]
 struct Frame {
@@ -29,7 +29,11 @@ impl Env {
     /// Returns a new environment with `name` bound to `value`; the receiver
     /// is unchanged.
     pub fn bind(&self, name: impl Into<String>, value: Value) -> Env {
-        Env(Some(Rc::new(Frame { name: name.into(), value, parent: self.clone() })))
+        Env(Some(Arc::new(Frame {
+            name: name.into(),
+            value,
+            parent: self.clone(),
+        })))
     }
 
     /// Looks up the innermost binding of `name`.
@@ -62,7 +66,9 @@ mod tests {
 
     #[test]
     fn lookup_finds_innermost() {
-        let env = Env::new().bind("x", Value::Bool(false)).bind("x", Value::Bool(true));
+        let env = Env::new()
+            .bind("x", Value::Bool(false))
+            .bind("x", Value::Bool(true));
         assert_eq!(env.lookup("x").unwrap().as_bool(), Some(true));
     }
 

@@ -7,7 +7,7 @@
 
 use std::error::Error;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sns_lang::{Expr, Op, Pat};
 
@@ -49,7 +49,10 @@ pub struct Limits {
 
 impl Default for Limits {
     fn default() -> Self {
-        Limits { max_steps: 50_000_000, max_depth: 20_000 }
+        Limits {
+            max_steps: 50_000_000,
+            max_depth: 20_000,
+        }
     }
 }
 
@@ -70,7 +73,11 @@ impl Default for Evaluator {
 impl Evaluator {
     /// Creates an evaluator with the given resource limits.
     pub fn new(limits: Limits) -> Self {
-        Evaluator { steps_left: limits.max_steps, depth: 0, max_depth: limits.max_depth }
+        Evaluator {
+            steps_left: limits.max_steps,
+            depth: 0,
+            max_depth: limits.max_depth,
+        }
     }
 
     /// Evaluates `expr` in `env`.
@@ -114,11 +121,11 @@ impl Evaluator {
                     None => Value::Nil,
                 };
                 for v in items.into_iter().rev() {
-                    out = Value::Cons(Rc::new(v), Rc::new(out));
+                    out = Value::Cons(Arc::new(v), Arc::new(out));
                 }
                 Ok(out)
             }
-            Expr::Lambda(params, body) => Ok(Value::Closure(Rc::new(Closure {
+            Expr::Lambda(params, body) => Ok(Value::Closure(Arc::new(Closure {
                 rec_name: None,
                 params: params.clone(),
                 body: (**body).clone(),
@@ -139,11 +146,17 @@ impl Evaluator {
                 }
                 eval_prim(*op, &vals)
             }
-            Expr::Let { recursive, pat, bound, body, .. } => {
+            Expr::Let {
+                recursive,
+                pat,
+                bound,
+                body,
+                ..
+            } => {
                 let bound_v = self.eval(env, bound)?;
                 let bound_v = if *recursive {
                     match (&pat, bound_v) {
-                        (Pat::Var(name), Value::Closure(c)) => Value::Closure(Rc::new(Closure {
+                        (Pat::Var(name), Value::Closure(c)) => Value::Closure(Arc::new(Closure {
                             rec_name: Some(name.clone()),
                             params: c.params.clone(),
                             body: c.body.clone(),
@@ -203,7 +216,7 @@ impl Evaluator {
         };
         let mut env = clos.env.clone();
         if let Some(name) = &clos.rec_name {
-            env = env.bind(name.clone(), Value::Closure(Rc::clone(&clos)));
+            env = env.bind(name.clone(), Value::Closure(Arc::clone(&clos)));
         }
         let n = args.len().min(clos.params.len());
         let mut args = args;
@@ -218,7 +231,7 @@ impl Evaluator {
         }
         if n < clos.params.len() {
             // Partial application: capture bound arguments, keep the rest.
-            return Ok(Value::Closure(Rc::new(Closure {
+            return Ok(Value::Closure(Arc::new(Closure {
                 rec_name: None,
                 params: clos.params[n..].to_vec(),
                 body: clos.body.clone(),
@@ -286,15 +299,18 @@ pub fn match_pat(pat: &Pat, value: &Value, env: &Env) -> Option<Env> {
 /// (e.g. `(cos 'hi')`).
 pub fn eval_prim(op: Op, args: &[Value]) -> Result<Value, EvalError> {
     use Op::*;
-    let num = |i: usize| -> Result<(f64, Rc<Trace>), EvalError> {
-        args[i].as_num().map(|(n, t)| (n, Rc::clone(t))).ok_or_else(|| {
-            EvalError::new(format!(
-                "`{}` expects a number for argument {}, found {}",
-                op.name(),
-                i + 1,
-                args[i].kind_name()
-            ))
-        })
+    let num = |i: usize| -> Result<(f64, Arc<Trace>), EvalError> {
+        args[i]
+            .as_num()
+            .map(|(n, t)| (n, Arc::clone(t)))
+            .ok_or_else(|| {
+                EvalError::new(format!(
+                    "`{}` expects a number for argument {}, found {}",
+                    op.name(),
+                    i + 1,
+                    args[i].kind_name()
+                ))
+            })
     };
     match op {
         Pi => Ok(Value::Num(std::f64::consts::PI, Trace::op(Pi, vec![]))),
@@ -355,7 +371,7 @@ pub fn eval_prim(op: Op, args: &[Value]) -> Result<Value, EvalError> {
             ))),
         },
         ToString => Ok(match &args[0] {
-            Value::Str(s) => Value::Str(Rc::clone(s)),
+            Value::Str(s) => Value::Str(Arc::clone(s)),
             other => Value::str(other.to_string()),
         }),
     }
@@ -391,12 +407,18 @@ mod tests {
 
     #[test]
     fn partial_application_is_supported() {
-        assert_eq!(run_num("(let add (λ(a b) (+ a b)) (let inc (add 1) (inc 41)))"), 42.0);
+        assert_eq!(
+            run_num("(let add (λ(a b) (+ a b)) (let inc (add 1) (inc 41)))"),
+            42.0
+        );
     }
 
     #[test]
     fn letrec_factorial() {
-        assert_eq!(run_num("(letrec fac (λ n (if (< n 1) 1 (* n (fac (- n 1))))) (fac 5))"), 120.0);
+        assert_eq!(
+            run_num("(letrec fac (λ n (if (< n 1) 1 (* n (fac (- n 1))))) (fac 5))"),
+            120.0
+        );
     }
 
     #[test]
@@ -414,8 +436,10 @@ mod tests {
         let v = run("(defrec range (λ(i j) (if (> i j) [] [i|(range (+ 1 i) j)]))) (range 0 2)")
             .unwrap();
         let items = v.to_vec().unwrap();
-        let traces: Vec<String> =
-            items.iter().map(|v| v.as_num().unwrap().1.to_string()).collect();
+        let traces: Vec<String> = items
+            .iter()
+            .map(|v| v.as_num().unwrap().1.to_string())
+            .collect();
         // l0 is `1` in range, l1 is the `0` argument, l2 is the `2` argument.
         assert_eq!(traces, vec!["l1", "(+ l0 l1)", "(+ l0 (+ l0 l1))"]);
     }
@@ -460,7 +484,10 @@ mod tests {
     #[test]
     fn step_limit_stops_infinite_recursion() {
         let p = parse("(letrec spin (λ n (spin n)) (spin 0))").unwrap();
-        let mut ev = Evaluator::new(Limits { max_steps: 10_000, max_depth: 1_000_000 });
+        let mut ev = Evaluator::new(Limits {
+            max_steps: 10_000,
+            max_depth: 1_000_000,
+        });
         let err = ev.eval(&Env::new(), &p.expr).unwrap_err();
         assert!(err.msg.contains("limit"));
     }
@@ -468,7 +495,10 @@ mod tests {
     #[test]
     fn depth_limit_stops_deep_recursion() {
         let p = parse("(letrec f (λ n (if (< n 1) 0 (+ 1 (f (- n 1))))) (f 100000))").unwrap();
-        let mut ev = Evaluator::new(Limits { max_steps: u64::MAX - 1, max_depth: 5_000 });
+        let mut ev = Evaluator::new(Limits {
+            max_steps: u64::MAX - 1,
+            max_depth: 5_000,
+        });
         assert!(ev.eval(&Env::new(), &p.expr).is_err());
     }
 

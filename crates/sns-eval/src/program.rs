@@ -44,7 +44,10 @@ pub struct FreezeMode {
 
 impl Default for FreezeMode {
     fn default() -> Self {
-        FreezeMode { prelude_frozen: true, all_except_thawed: false }
+        FreezeMode {
+            prelude_frozen: true,
+            all_except_thawed: false,
+        }
     }
 }
 
@@ -57,22 +60,27 @@ impl FreezeMode {
     /// Everything frozen except `?`-thawed constants (App. C "Thawing and
     /// Freezing Constants").
     pub fn all_except_thawed() -> Self {
-        FreezeMode { prelude_frozen: true, all_except_thawed: true }
+        FreezeMode {
+            prelude_frozen: true,
+            all_except_thawed: true,
+        }
     }
 
     /// Nothing implicitly frozen — even the Prelude. Used to reproduce the
     /// full Figure 1D candidate set (which includes Prelude locations ℓ0
     /// and ℓ1 before the freezing discussion).
     pub fn nothing_frozen() -> Self {
-        FreezeMode { prelude_frozen: false, all_except_thawed: false }
+        FreezeMode {
+            prelude_frozen: false,
+            all_except_thawed: false,
+        }
     }
 }
 
 fn prelude_template() -> &'static (Expr, u32) {
     static TEMPLATE: OnceLock<(Expr, u32)> = OnceLock::new();
     TEMPLATE.get_or_init(|| {
-        let parsed =
-            sns_lang::parse(PRELUDE_SRC).expect("the embedded Prelude must always parse");
+        let parsed = sns_lang::parse(PRELUDE_SRC).expect("the embedded Prelude must always parse");
         (parsed.expr, parsed.next_loc)
     })
 }
@@ -107,7 +115,12 @@ impl Program {
     pub fn parse(user_src: &str) -> Result<Program, ParseError> {
         let (prelude_expr, prelude_next_loc) = prelude_template().clone();
         let user = parse_with_locs(user_src, prelude_next_loc)?;
-        Ok(Self::assemble(prelude_expr, prelude_next_loc, user.expr, user.next_loc))
+        Ok(Self::assemble(
+            prelude_expr,
+            prelude_next_loc,
+            user.expr,
+            user.next_loc,
+        ))
     }
 
     /// Parses user source with *no* Prelude (for tests and micro-benchmarks).
@@ -122,7 +135,12 @@ impl Program {
         Ok(Self::assemble(prelude_expr, 0, user.expr, user.next_loc))
     }
 
-    fn assemble(prelude_expr: Expr, prelude_next_loc: u32, user_expr: Expr, next_loc: u32) -> Program {
+    fn assemble(
+        prelude_expr: Expr,
+        prelude_next_loc: u32,
+        user_expr: Expr,
+        next_loc: u32,
+    ) -> Program {
         let mut program = Program {
             prelude_expr,
             user_expr,
@@ -267,16 +285,25 @@ impl Program {
 fn extend_with_defs(ev: &mut Evaluator, env: Env, expr: &Expr) -> Result<Env, EvalError> {
     let mut env = env;
     let mut cur = expr;
-    while let Expr::Let { recursive, pat, bound, body, .. } = cur {
+    while let Expr::Let {
+        recursive,
+        pat,
+        bound,
+        body,
+        ..
+    } = cur
+    {
         let bound_v = ev.eval(&env, bound)?;
         let bound_v = if *recursive {
             match (pat, bound_v) {
-                (Pat::Var(name), Value::Closure(c)) => Value::Closure(std::rc::Rc::new(Closure {
-                    rec_name: Some(name.clone()),
-                    params: c.params.clone(),
-                    body: c.body.clone(),
-                    env: c.env.clone(),
-                })),
+                (Pat::Var(name), Value::Closure(c)) => {
+                    Value::Closure(std::sync::Arc::new(Closure {
+                        rec_name: Some(name.clone()),
+                        params: c.params.clone(),
+                        body: c.body.clone(),
+                        env: c.env.clone(),
+                    }))
+                }
                 _ => return Err(EvalError::new("defrec requires a function")),
             }
         } else {
@@ -297,8 +324,12 @@ mod tests {
     fn prelude_parses_and_evaluates() {
         let p = Program::parse("(map (λ x (* x x)) (zeroTo 4))").unwrap();
         let v = p.eval().unwrap();
-        let nums: Vec<f64> =
-            v.to_vec().unwrap().iter().map(|x| x.as_num().unwrap().0).collect();
+        let nums: Vec<f64> = v
+            .to_vec()
+            .unwrap()
+            .iter()
+            .map(|x| x.as_num().unwrap().0)
+            .collect();
         assert_eq!(nums, vec![0.0, 1.0, 4.0, 9.0]);
     }
 
@@ -403,7 +434,12 @@ mod tests {
     #[test]
     fn mult_has_addition_only_trace() {
         let p = Program::parse("(mult 3 7)").unwrap();
-        let (n, t) = p.eval().unwrap().as_num().map(|(n, t)| (n, t.clone())).unwrap();
+        let (n, t) = p
+            .eval()
+            .unwrap()
+            .as_num()
+            .map(|(n, t)| (n, t.clone()))
+            .unwrap();
         assert_eq!(n, 21.0);
         assert!(t.is_addition_only());
     }

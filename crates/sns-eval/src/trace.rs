@@ -11,7 +11,7 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sns_lang::{LocId, Op};
 
@@ -22,18 +22,18 @@ pub enum Trace {
     /// The number originated at program location ℓ.
     Loc(LocId),
     /// The number is the result of `op` applied to traced arguments.
-    Op(Op, Vec<Rc<Trace>>),
+    Op(Op, Vec<Arc<Trace>>),
 }
 
 impl Trace {
     /// A shared location trace.
-    pub fn loc(l: LocId) -> Rc<Trace> {
-        Rc::new(Trace::Loc(l))
+    pub fn loc(l: LocId) -> Arc<Trace> {
+        Arc::new(Trace::Loc(l))
     }
 
     /// A shared operation trace.
-    pub fn op(op: Op, args: Vec<Rc<Trace>>) -> Rc<Trace> {
-        Rc::new(Trace::Op(op, args))
+    pub fn op(op: Op, args: Vec<Arc<Trace>>) -> Arc<Trace> {
+        Arc::new(Trace::Op(op, args))
     }
 
     /// The set of locations mentioned anywhere in the trace.
@@ -121,7 +121,7 @@ impl fmt::Display for Trace {
 mod tests {
     use super::*;
 
-    fn l(i: u32) -> Rc<Trace> {
+    fn l(i: u32) -> Arc<Trace> {
         Trace::loc(LocId(i))
     }
 

@@ -1,7 +1,7 @@
 //! Run-time values of `little` (Figure 2's `v`), with traced numbers.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sns_lang::{fmt_num, Expr, Pat};
 
@@ -15,17 +15,17 @@ use crate::trace::Trace;
 #[derive(Debug, Clone)]
 pub enum Value {
     /// A number with its run-time trace (`nᵗ`).
-    Num(f64, Rc<Trace>),
+    Num(f64, Arc<Trace>),
     /// A string.
-    Str(Rc<str>),
+    Str(Arc<str>),
     /// A boolean.
     Bool(bool),
     /// The empty list `[]`.
     Nil,
     /// A cons cell `[v1|v2]`.
-    Cons(Rc<Value>, Rc<Value>),
+    Cons(Arc<Value>, Arc<Value>),
     /// A function closure.
-    Closure(Rc<Closure>),
+    Closure(Arc<Closure>),
 }
 
 /// A function closure: parameters, body, captured environment, and — for
@@ -45,12 +45,12 @@ pub struct Closure {
 
 impl Value {
     /// Builds a traced number.
-    pub fn num(n: f64, t: Rc<Trace>) -> Value {
+    pub fn num(n: f64, t: Arc<Trace>) -> Value {
         Value::Num(n, t)
     }
 
     /// Builds a string value.
-    pub fn str(s: impl Into<Rc<str>>) -> Value {
+    pub fn str(s: impl Into<Arc<str>>) -> Value {
         Value::Str(s.into())
     }
 
@@ -58,7 +58,7 @@ impl Value {
     pub fn from_vec(items: Vec<Value>) -> Value {
         let mut out = Value::Nil;
         for v in items.into_iter().rev() {
-            out = Value::Cons(Rc::new(v), Rc::new(out));
+            out = Value::Cons(Arc::new(v), Arc::new(out));
         }
         out
     }
@@ -81,7 +81,7 @@ impl Value {
     }
 
     /// The number and trace, if this is a numeric value.
-    pub fn as_num(&self) -> Option<(f64, &Rc<Trace>)> {
+    pub fn as_num(&self) -> Option<(f64, &Arc<Trace>)> {
         match self {
             Value::Num(n, t) => Some((*n, t)),
             _ => None,
@@ -187,7 +187,7 @@ mod tests {
 
     #[test]
     fn improper_list_is_not_a_vec() {
-        let v = Value::Cons(Rc::new(Value::Bool(true)), Rc::new(Value::Bool(false)));
+        let v = Value::Cons(Arc::new(Value::Bool(true)), Arc::new(Value::Bool(false)));
         assert!(v.to_vec().is_none());
     }
 

@@ -13,7 +13,9 @@ fn eval_err(src: &str) -> EvalError {
 
 #[test]
 fn unbound_variable() {
-    assert!(eval_err("mystery").msg.contains("unbound variable `mystery`"));
+    assert!(eval_err("mystery")
+        .msg
+        .contains("unbound variable `mystery`"));
 }
 
 #[test]
@@ -50,7 +52,9 @@ fn letrec_of_non_function() {
 
 #[test]
 fn prim_type_errors_name_the_operator() {
-    assert!(eval_err("(cos 'hi')").msg.contains("`cos` expects a number"));
+    assert!(eval_err("(cos 'hi')")
+        .msg
+        .contains("`cos` expects a number"));
     assert!(eval_err("(+ 'hi' 1)").msg.contains("argument"));
     assert!(eval_err("(not 5)").msg.contains("`not` expects a boolean"));
     assert!(eval_err("(< 'a' 'b')").msg.contains("number"));
@@ -59,11 +63,17 @@ fn prim_type_errors_name_the_operator() {
 #[test]
 fn step_and_depth_limits_are_configurable() {
     let mut p = Program::parse("(letrec spin (λ n (spin (+ n 1))) (spin 0))").unwrap();
-    p.set_limits(Limits { max_steps: 5_000, max_depth: 1_000_000 });
+    p.set_limits(Limits {
+        max_steps: 5_000,
+        max_depth: 1_000_000,
+    });
     assert!(p.eval().unwrap_err().msg.contains("step limit"));
 
     let mut p = Program::parse("(len (zeroTo 100000))").unwrap();
-    p.set_limits(Limits { max_steps: u64::MAX - 1, max_depth: 2_000 });
+    p.set_limits(Limits {
+        max_steps: u64::MAX - 1,
+        max_depth: 2_000,
+    });
     assert!(p.eval().unwrap_err().msg.contains("recursion limit"));
 }
 
@@ -89,6 +99,9 @@ fn errors_display_cleanly() {
 #[test]
 fn deep_but_legal_programs_still_run() {
     // A 5,000-element list sits well inside the default limits.
-    let v = Program::parse("(len (zeroTo 5000))").unwrap().eval().unwrap();
+    let v = Program::parse("(len (zeroTo 5000))")
+        .unwrap()
+        .eval()
+        .unwrap();
     assert_eq!(v.as_num().unwrap().0, 5000.0);
 }

@@ -4,13 +4,17 @@
 use sns_eval::{Program, Value};
 
 fn eval(src: &str) -> Value {
-    Program::parse(src).unwrap_or_else(|e| panic!("{src}: {e}")).eval().unwrap_or_else(|e| {
-        panic!("{src}: {e}")
-    })
+    Program::parse(src)
+        .unwrap_or_else(|e| panic!("{src}: {e}"))
+        .eval()
+        .unwrap_or_else(|e| panic!("{src}: {e}"))
 }
 
 fn eval_num(src: &str) -> f64 {
-    eval(src).as_num().map(|(n, _)| n).unwrap_or_else(|| panic!("{src}: not a number"))
+    eval(src)
+        .as_num()
+        .map(|(n, _)| n)
+        .unwrap_or_else(|| panic!("{src}: not a number"))
 }
 
 fn eval_nums(src: &str) -> Vec<f64> {
@@ -23,7 +27,9 @@ fn eval_nums(src: &str) -> Vec<f64> {
 }
 
 fn eval_bool(src: &str) -> bool {
-    eval(src).as_bool().unwrap_or_else(|| panic!("{src}: not a boolean"))
+    eval(src)
+        .as_bool()
+        .unwrap_or_else(|| panic!("{src}: not a boolean"))
 }
 
 #[test]
@@ -54,12 +60,21 @@ fn list_basics() {
 
 #[test]
 fn higher_order_functions() {
-    assert_eq!(eval_nums("(map (λ x (* x x)) [1 2 3])"), vec![1.0, 4.0, 9.0]);
+    assert_eq!(
+        eval_nums("(map (λ x (* x x)) [1 2 3])"),
+        vec![1.0, 4.0, 9.0]
+    );
     assert_eq!(eval_nums("(map2 plus [1 2] [10 20])"), vec![11.0, 22.0]);
     assert_eq!(eval_num("(foldl plus 0 [1 2 3 4])"), 10.0);
     assert_eq!(eval_num("(foldr (λ(x acc) (- x acc)) 0 [10 3])"), 7.0);
-    assert_eq!(eval_nums("(filter (λ x (< x 3)) [1 5 2 8])"), vec![1.0, 2.0]);
-    assert_eq!(eval_nums("(concatMap (λ x [x x]) [1 2])"), vec![1.0, 1.0, 2.0, 2.0]);
+    assert_eq!(
+        eval_nums("(filter (λ x (< x 3)) [1 5 2 8])"),
+        vec![1.0, 2.0]
+    );
+    assert_eq!(
+        eval_nums("(concatMap (λ x [x x]) [1 2])"),
+        vec![1.0, 1.0, 2.0, 2.0]
+    );
     assert_eq!(
         eval_nums("(map (λ [a b] (+ a b)) (zip [1 2] [30 40]))"),
         vec![31.0, 42.0]
@@ -123,14 +138,42 @@ fn integer_flavoured_ops() {
 #[test]
 fn shape_constructors_have_expected_attrs() {
     for (src, kind, attrs) in [
-        ("(circle 'red' 1 2 3)", "circle", vec!["cx", "cy", "r", "fill"]),
-        ("(ring 'red' 2 1 2 3)", "circle", vec!["cx", "cy", "r", "fill", "stroke"]),
-        ("(ellipse 'red' 1 2 3 4)", "ellipse", vec!["cx", "cy", "rx", "ry"]),
-        ("(rect 'red' 1 2 3 4)", "rect", vec!["x", "y", "width", "height"]),
+        (
+            "(circle 'red' 1 2 3)",
+            "circle",
+            vec!["cx", "cy", "r", "fill"],
+        ),
+        (
+            "(ring 'red' 2 1 2 3)",
+            "circle",
+            vec!["cx", "cy", "r", "fill", "stroke"],
+        ),
+        (
+            "(ellipse 'red' 1 2 3 4)",
+            "ellipse",
+            vec!["cx", "cy", "rx", "ry"],
+        ),
+        (
+            "(rect 'red' 1 2 3 4)",
+            "rect",
+            vec!["x", "y", "width", "height"],
+        ),
         ("(square 'red' 1 2 3)", "rect", vec!["x", "y"]),
-        ("(line 'red' 1 1 2 3 4)", "line", vec!["x1", "y1", "x2", "y2"]),
-        ("(polygon 'red' 'black' 1 [[0 0]])", "polygon", vec!["points"]),
-        ("(polyline 'red' 'black' 1 [[0 0]])", "polyline", vec!["points"]),
+        (
+            "(line 'red' 1 1 2 3 4)",
+            "line",
+            vec!["x1", "y1", "x2", "y2"],
+        ),
+        (
+            "(polygon 'red' 'black' 1 [[0 0]])",
+            "polygon",
+            vec!["points"],
+        ),
+        (
+            "(polyline 'red' 'black' 1 [[0 0]])",
+            "polyline",
+            vec!["points"],
+        ),
         ("(path 'red' 'black' 1 ['M' 0 0])", "path", vec!["d"]),
         ("(text 5 6 'hi')", "text", vec!["x", "y"]),
     ] {
@@ -142,7 +185,10 @@ fn shape_constructors_have_expected_attrs() {
             .map(|kv| kv.to_vec().unwrap()[0].as_str().unwrap().to_string())
             .collect();
         for want in attrs {
-            assert!(keys.iter().any(|k| k == want), "{src}: missing {want} in {keys:?}");
+            assert!(
+                keys.iter().any(|k| k == want),
+                "{src}: missing {want} in {keys:?}"
+            );
         }
     }
 }
@@ -169,11 +215,15 @@ fn centered_shapes_are_centered() {
 
 #[test]
 fn attr_helpers() {
-    let v = eval("(addAttr (rect 'r' 1 2 3 4) ['rx' 5])").to_vec().unwrap();
+    let v = eval("(addAttr (rect 'r' 1 2 3 4) ['rx' 5])")
+        .to_vec()
+        .unwrap();
     let attrs = v[1].to_vec().unwrap();
     let last = attrs.last().unwrap().to_vec().unwrap();
     assert_eq!(last[0].as_str(), Some("rx"));
-    let v = eval("(consAttr (rect 'r' 1 2 3 4) ['rx' 5])").to_vec().unwrap();
+    let v = eval("(consAttr (rect 'r' 1 2 3 4) ['rx' 5])")
+        .to_vec()
+        .unwrap();
     let attrs = v[1].to_vec().unwrap();
     let first = attrs.first().unwrap().to_vec().unwrap();
     assert_eq!(first[0].as_str(), Some("rx"));
@@ -190,7 +240,9 @@ fn svg_wrappers() {
 
 #[test]
 fn ghosts_mark_hidden() {
-    let v = eval("(ghosts [(circle 'red' 1 2 3) (rect 'b' 1 2 3 4)])").to_vec().unwrap();
+    let v = eval("(ghosts [(circle 'red' 1 2 3) (rect 'b' 1 2 3 4)])")
+        .to_vec()
+        .unwrap();
     for shape in &v {
         let attrs = shape.to_vec().unwrap()[1].to_vec().unwrap();
         assert!(attrs
@@ -214,7 +266,9 @@ fn n_points_on_circle_count_and_radius() {
 
 #[test]
 fn n_star_has_2n_points() {
-    let v = eval("(nStar 'gold' 'black' 2 7 50 20 0 100 100)").to_vec().unwrap();
+    let v = eval("(nStar 'gold' 'black' 2 7 50 20 0 100 100)")
+        .to_vec()
+        .unwrap();
     let attrs = v[1].to_vec().unwrap();
     let points = attrs
         .iter()
@@ -236,6 +290,8 @@ fn sliders_clamp_round_and_ghost() {
     assert!(eval_bool("(fst (boolSlider 0 100 0 'b' 0.2))"));
     assert!(!eval_bool("(fst (boolSlider 0 100 0 'b' 0.8))"));
     // All five shapes are ghosts.
-    let shapes = eval("(snd (numSlider 0 100 0 0 5 'x' 2))").to_vec().unwrap();
+    let shapes = eval("(snd (numSlider 0 100 0 0 5 'x' 2))")
+        .to_vec()
+        .unwrap();
     assert_eq!(shapes.len(), 5);
 }

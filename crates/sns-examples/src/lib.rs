@@ -144,7 +144,11 @@ mod tests {
                 ex.slug
             );
             let svg = editor.export_svg();
-            assert!(svg.starts_with("<svg"), "example `{}` rendered oddly", ex.slug);
+            assert!(
+                svg.starts_with("<svg"),
+                "example `{}` rendered oddly",
+                ex.slug
+            );
         }
     }
 

@@ -60,7 +60,12 @@ pub struct NumLit {
 impl NumLit {
     /// A bare literal with no annotations.
     pub fn new(value: f64, loc: LocId) -> Self {
-        NumLit { value, loc, annotation: FreezeAnnotation::None, range: None }
+        NumLit {
+            value,
+            loc,
+            annotation: FreezeAnnotation::None,
+            range: None,
+        }
     }
 }
 
@@ -196,8 +201,21 @@ impl Op {
         use Op::*;
         matches!(
             self,
-            Pi | Cos | Sin | ArcCos | ArcSin | Round | Floor | Ceiling | Sqrt | Add | Sub | Mul
-                | Div | Mod | Pow | ArcTan2
+            Pi | Cos
+                | Sin
+                | ArcCos
+                | ArcSin
+                | Round
+                | Floor
+                | Ceiling
+                | Sqrt
+                | Add
+                | Sub
+                | Mul
+                | Div
+                | Mod
+                | Pow
+                | ArcTan2
         )
     }
 }
@@ -473,13 +491,17 @@ mod tests {
     #[test]
     fn pattern_binders_in_order() {
         let p = Pat::List(
-            vec![Pat::Var("a".into()), Pat::List(vec![Pat::Var("b".into())], None)],
+            vec![
+                Pat::Var("a".into()),
+                Pat::List(vec![Pat::Var("b".into())], None),
+            ],
             Some(Box::new(Pat::Var("rest".into()))),
         );
         assert_eq!(p.binders(), vec!["a", "b", "rest"]);
     }
 
     #[test]
+    #[allow(clippy::approx_constant)] // 3.1415 is arbitrary test data
     fn fmt_num_cases() {
         assert_eq!(fmt_num(0.0), "0");
         assert_eq!(fmt_num(12.0), "12");

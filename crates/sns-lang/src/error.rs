@@ -30,7 +30,10 @@ pub struct ParseError {
 impl ParseError {
     /// Creates a new parse error at `pos`.
     pub fn new(pos: Pos, msg: impl Into<String>) -> Self {
-        ParseError { pos, msg: msg.into() }
+        ParseError {
+            pos,
+            msg: msg.into(),
+        }
     }
 }
 

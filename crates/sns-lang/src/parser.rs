@@ -49,12 +49,19 @@ pub fn parse(src: &str) -> Result<Parsed, ParseError> {
 /// Returns a [`ParseError`] describing the first syntax error encountered.
 pub fn parse_with_locs(src: &str, first_loc: u32) -> Result<Parsed, ParseError> {
     let tokens = lex(src)?;
-    let mut parser = Parser { tokens, i: 0, next_loc: first_loc };
+    let mut parser = Parser {
+        tokens,
+        i: 0,
+        next_loc: first_loc,
+    };
     let expr = parser.parse_seq()?;
     if parser.i != parser.tokens.len() {
         return Err(parser.error_here("unexpected trailing input after program"));
     }
-    Ok(Parsed { expr, next_loc: parser.next_loc })
+    Ok(Parsed {
+        expr,
+        next_loc: parser.next_loc,
+    })
 }
 
 struct Parser {
@@ -73,9 +80,10 @@ impl Parser {
     }
 
     fn pos(&self) -> Pos {
-        self.tokens.get(self.i).map(|t| t.pos).unwrap_or_else(|| {
-            self.tokens.last().map(|t| t.pos).unwrap_or_default()
-        })
+        self.tokens
+            .get(self.i)
+            .map(|t| t.pos)
+            .unwrap_or_else(|| self.tokens.last().map(|t| t.pos).unwrap_or_default())
     }
 
     fn error_here(&self, msg: impl Into<String>) -> ParseError {
@@ -97,7 +105,10 @@ impl Parser {
         if &got == want {
             Ok(())
         } else {
-            Err(ParseError::new(pos, format!("expected {what}, found {got:?}")))
+            Err(ParseError::new(
+                pos,
+                format!("expected {what}, found {got:?}"),
+            ))
         }
     }
 
@@ -136,7 +147,11 @@ impl Parser {
     fn parse_expr(&mut self) -> Result<Expr, ParseError> {
         let pos = self.pos();
         match self.bump()? {
-            TokenKind::Num { value, annotation, range } => Ok(Expr::Num(NumLit {
+            TokenKind::Num {
+                value,
+                annotation,
+                range,
+            } => Ok(Expr::Num(NumLit {
                 value,
                 loc: self.fresh_loc(),
                 annotation,
@@ -279,7 +294,10 @@ impl Parser {
         }
         self.bump()?; // `)`
         if args.is_empty() {
-            return Err(ParseError::new(pos, "application needs at least one argument"));
+            return Err(ParseError::new(
+                pos,
+                "application needs at least one argument",
+            ));
         }
         Ok(Expr::App(Box::new(head), args))
     }
@@ -337,7 +355,10 @@ impl Parser {
                 }
                 Ok(Pat::List(elems, tail))
             }
-            other => Err(ParseError::new(pos, format!("expected a pattern, found {other:?}"))),
+            other => Err(ParseError::new(
+                pos,
+                format!("expected a pattern, found {other:?}"),
+            )),
         }
     }
 }
@@ -381,7 +402,12 @@ mod tests {
     fn def_sequence_desugars_to_let() {
         let p = parse("(def x 50) (def y 60) (+ x y)").unwrap();
         match &p.expr {
-            Expr::Let { style: LetStyle::Def, pat: Pat::Var(x), body, .. } => {
+            Expr::Let {
+                style: LetStyle::Def,
+                pat: Pat::Var(x),
+                body,
+                ..
+            } => {
                 assert_eq!(x, "x");
                 assert!(matches!(**body, Expr::Let { .. }));
             }
@@ -416,7 +442,10 @@ mod tests {
 
     #[test]
     fn application_of_ops_vs_vars() {
-        assert!(matches!(parse("(+ 1 2)").unwrap().expr, Expr::Prim(Op::Add, _)));
+        assert!(matches!(
+            parse("(+ 1 2)").unwrap().expr,
+            Expr::Prim(Op::Add, _)
+        ));
         assert!(matches!(parse("(f 1 2)").unwrap().expr, Expr::App(..)));
     }
 

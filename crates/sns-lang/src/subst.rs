@@ -41,7 +41,9 @@ impl Subst {
 
     /// Builds a substitution from `(location, value)` pairs.
     pub fn from_pairs(pairs: impl IntoIterator<Item = (LocId, f64)>) -> Self {
-        Subst { map: pairs.into_iter().collect() }
+        Subst {
+            map: pairs.into_iter().collect(),
+        }
     }
 
     /// Binds `loc` to `value` (the paper's `ρ ⊕ (ℓ ↦ n)`); a later binding

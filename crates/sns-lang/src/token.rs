@@ -56,11 +56,19 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), i: 0, line: 1, col: 1 }
+        Lexer {
+            src: src.as_bytes(),
+            i: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn pos(&self) -> Pos {
-        Pos { line: self.line, col: self.col }
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -127,7 +135,8 @@ impl<'a> Lexer<'a> {
             return Err(self.error("expected a number"));
         }
         let text = std::str::from_utf8(&self.src[start..self.i]).expect("ascii number");
-        text.parse::<f64>().map_err(|e| self.error(format!("bad number `{text}`: {e}")))
+        text.parse::<f64>()
+            .map_err(|e| self.error(format!("bad number `{text}`: {e}")))
     }
 
     /// Reads the `{lo-hi}` range annotation body after the opening brace.
@@ -164,7 +173,11 @@ impl<'a> Lexer<'a> {
             self.bump();
             range = Some(self.read_range()?);
         }
-        Ok(TokenKind::Num { value, annotation, range })
+        Ok(TokenKind::Num {
+            value,
+            annotation,
+            range,
+        })
     }
 
     fn read_string(&mut self) -> Result<TokenKind, ParseError> {
@@ -203,7 +216,9 @@ impl<'a> Lexer<'a> {
     fn next_token(&mut self) -> Result<Option<Token>, ParseError> {
         self.skip_trivia();
         let pos = self.pos();
-        let Some(c) = self.peek() else { return Ok(None) };
+        let Some(c) = self.peek() else {
+            return Ok(None);
+        };
         let kind = match c {
             b'(' => {
                 self.bump();
@@ -335,6 +350,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::approx_constant)] // an arbitrary symmetric range
     fn lexes_negative_range_bounds() {
         assert_eq!(
             kinds("0!{-3.14-3.14}"),
@@ -354,19 +370,30 @@ mod tests {
                 TokenKind::LParen,
                 TokenKind::Sym("-".into()),
                 TokenKind::Sym("n".into()),
-                TokenKind::Num { value: 1.0, annotation: FreezeAnnotation::None, range: None },
+                TokenKind::Num {
+                    value: 1.0,
+                    annotation: FreezeAnnotation::None,
+                    range: None
+                },
                 TokenKind::RParen,
             ]
         );
         assert_eq!(
             kinds("-5"),
-            vec![TokenKind::Num { value: -5.0, annotation: FreezeAnnotation::None, range: None }]
+            vec![TokenKind::Num {
+                value: -5.0,
+                annotation: FreezeAnnotation::None,
+                range: None
+            }]
         );
     }
 
     #[test]
     fn lexes_strings_with_escapes() {
-        assert_eq!(kinds("'lightblue'"), vec![TokenKind::Str("lightblue".into())]);
+        assert_eq!(
+            kinds("'lightblue'"),
+            vec![TokenKind::Str("lightblue".into())]
+        );
         assert_eq!(kinds(r"'it\'s'"), vec![TokenKind::Str("it's".into())]);
     }
 

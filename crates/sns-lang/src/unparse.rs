@@ -127,7 +127,13 @@ fn write_expr(out: &mut String, expr: &Expr, top: bool) {
             }
             out.push(')');
         }
-        Expr::Let { recursive, style, pat, bound, body } => {
+        Expr::Let {
+            recursive,
+            style,
+            pat,
+            bound,
+            body,
+        } => {
             let is_def = top && *style == LetStyle::Def;
             if is_def {
                 out.push('(');

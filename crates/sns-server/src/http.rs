@@ -1,0 +1,194 @@
+//! A hand-rolled, minimal HTTP/1.1 layer: request parsing and response
+//! writing over a [`std::net::TcpStream`], with keep-alive support.
+//!
+//! Only what the live-sync service needs is implemented: request line,
+//! headers, `Content-Length` bodies, and `Connection: close`. Anything
+//! malformed surfaces as a 400.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Cap on request bodies, so a hostile client cannot balloon a worker.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Cap on the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The HTTP method, uppercased (`GET`, `POST`, `DELETE`, …).
+    pub method: String,
+    /// The request path (query strings are not used by this API).
+    pub path: String,
+    /// Lower-cased header `(name, value)` pairs.
+    pub headers: Vec<(String, String)>,
+    /// The request body.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// A header value, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this request.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// The outcome of reading one request off a connection.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request.
+    Request(Request),
+    /// The peer closed the connection cleanly between requests.
+    Closed,
+    /// The bytes on the wire were not valid HTTP; respond 400 and close.
+    Malformed(String),
+}
+
+/// Reads a single HTTP/1.1 request from the stream.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error for socket failures; protocol problems
+/// are reported as [`ReadOutcome::Malformed`] instead.
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<ReadOutcome> {
+    // The head is read through a `Take` so the byte cap is enforced
+    // *while* reading: a client streaming newline-free garbage hits the
+    // limit instead of growing a String without bound.
+    let mut head = (&mut *reader).take(MAX_HEAD_BYTES as u64);
+    let mut line = String::new();
+    if head.read_line(&mut line)? == 0 {
+        return Ok(ReadOutcome::Closed);
+    }
+    if !line.ends_with('\n') {
+        return Ok(ReadOutcome::Malformed("request line too long".to_string()));
+    }
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Ok(ReadOutcome::Malformed(format!(
+            "bad request line: {}",
+            line.trim_end()
+        )));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Ok(ReadOutcome::Malformed(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let method = method.to_ascii_uppercase();
+    let path = path.to_string();
+
+    let mut headers = Vec::new();
+    loop {
+        let mut h = String::new();
+        if head.read_line(&mut h)? == 0 {
+            return Ok(ReadOutcome::Malformed(
+                "connection closed mid-headers".to_string(),
+            ));
+        }
+        if !h.ends_with('\n') {
+            return Ok(ReadOutcome::Malformed("headers too long".to_string()));
+        }
+        let trimmed = h.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        let Some((name, value)) = trimmed.split_once(':') else {
+            return Ok(ReadOutcome::Malformed(format!(
+                "bad header line: {trimmed}"
+            )));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse::<usize>())
+        .transpose();
+    let content_length = match content_length {
+        Ok(len) => len.unwrap_or(0),
+        Err(_) => return Ok(ReadOutcome::Malformed("bad content-length".to_string())),
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Ok(ReadOutcome::Malformed("request body too large".to_string()));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(ReadOutcome::Request(Request {
+        method,
+        path,
+        headers,
+        body,
+    }))
+}
+
+/// An HTTP response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (200, 201, 400, 404, 405, 409, 500, 503).
+    pub status: u16,
+    /// Body bytes (always JSON in this service).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            body: body.into().into_bytes(),
+        }
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            201 => "Created",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            422 => "Unprocessable Entity",
+            503 => "Service Unavailable",
+            _ => "Internal Server Error",
+        }
+    }
+}
+
+/// Writes `response` to the stream, honoring keep-alive.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the peer went away.
+pub fn write_response(
+    stream: &mut TcpStream,
+    response: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    // One buffer, one write: head and body in separate writes would let
+    // Nagle's algorithm hold the body back against a delayed ACK.
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        response.status,
+        response.reason(),
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    let mut out = Vec::with_capacity(head.len() + response.body.len());
+    out.extend_from_slice(head.as_bytes());
+    out.extend_from_slice(&response.body);
+    stream.write_all(&out)?;
+    stream.flush()
+}

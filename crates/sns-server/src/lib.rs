@@ -1,0 +1,200 @@
+//! **sns-server** — the prodirect-manipulation loop as a multi-session
+//! live-synchronization service.
+//!
+//! The paper's prepare → drag → re-evaluate loop (§4) runs in-process in
+//! [`sns_editor::Editor`]; this crate puts it behind a concurrent,
+//! session-oriented HTTP boundary so many users can live-sync programs at
+//! once:
+//!
+//! * [`http`] — hand-rolled minimal HTTP/1.1 (std `TcpListener` only);
+//! * [`json`] — a dependency-free JSON encoder/decoder;
+//! * [`threadpool`] — a fixed-size worker pool;
+//! * [`session`] — one editor per session; `prepare` is cached between
+//!   drags and recomputed only on commit (the editor's mouse-up);
+//! * [`store`] — sharded session map, per-session locks, LRU eviction;
+//! * [`stats`] — request counters and p50/p99 latency;
+//! * [`routes`] — the endpoint surface.
+//!
+//! # Endpoints
+//!
+//! ```text
+//! POST   /sessions                  {"source": "..."} | {"example": "slug"}
+//! GET    /sessions/:id/canvas       rendered SVG + zone/caption metadata
+//! GET    /sessions/:id/code         current program text
+//! POST   /sessions/:id/drag         {"shape": 0, "zone": "Interior", "dx": 5, "dy": 7}
+//! POST   /sessions/:id/commit       mouse-up: apply + re-prepare
+//! POST   /sessions/:id/reconcile    {"edits": [{"shape": 0, "attr": "x", "value": 120}]}
+//! DELETE /sessions/:id
+//! GET    /healthz
+//! GET    /stats                     sessions, requests, p50/p99 latency
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod json;
+pub mod routes;
+pub mod session;
+pub mod stats;
+pub mod store;
+pub mod threadpool;
+
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use http::{read_request, write_response, ReadOutcome, Response};
+use json::Json;
+use routes::{dispatch, ServerState};
+use stats::ServerStats;
+use store::SessionStore;
+use threadpool::ThreadPool;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (port 0 for ephemeral).
+    pub addr: String,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Session capacity before LRU eviction kicks in.
+    pub max_sessions: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        // A worker owns a connection for its lifetime (blocking reads
+        // between keep-alive requests), so the pool bounds *connections*,
+        // not in-flight CPU work — size it accordingly.
+        ServerConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            threads: 128,
+            max_sessions: 1024,
+        }
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    pool: ThreadPool,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the listener and builds the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the address cannot be bound.
+    pub fn bind(config: &ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let state = Arc::new(ServerState {
+            store: SessionStore::new(config.max_sessions),
+            stats: ServerStats::new(),
+            started: Instant::now(),
+        });
+        Ok(Server {
+            listener,
+            state,
+            pool: ThreadPool::new(config.threads),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The actual bound address (resolves port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error if the socket vanished.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop a running server from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            flag: Arc::clone(&self.shutdown),
+            addr: self.local_addr().ok(),
+        }
+    }
+
+    /// Accept loop: blocks the calling thread until shut down.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first fatal listener error.
+    pub fn run(self) -> std::io::Result<()> {
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue, // Transient accept failure; keep serving.
+            };
+            // Interactive request/response traffic: never wait on Nagle.
+            let _ = stream.set_nodelay(true);
+            // A worker owns the connection; without a read timeout, idle
+            // or stalling clients would pin workers forever (slowloris).
+            let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(60)));
+            let state = Arc::clone(&self.state);
+            self.pool.execute(move || handle_connection(stream, &state));
+        }
+        Ok(())
+    }
+}
+
+/// Stops a running server: flips the flag and pokes the listener awake.
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+    addr: Option<std::net::SocketAddr>,
+}
+
+impl ShutdownHandle {
+    /// Requests shutdown. Idempotent.
+    pub fn shutdown(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        if let Some(addr) = self.addr {
+            // Unblock `accept` so the loop observes the flag.
+            let _ = TcpStream::connect(addr);
+        }
+    }
+}
+
+/// Serves requests on one connection until it closes (keep-alive loop).
+fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    let mut reader = BufReader::new(read_half);
+    loop {
+        let outcome = match read_request(&mut reader) {
+            Ok(o) => o,
+            Err(_) => return, // Socket error: nothing more to say.
+        };
+        match outcome {
+            ReadOutcome::Closed => return,
+            ReadOutcome::Malformed(msg) => {
+                let resp = Response::json(400, Json::obj([("error", Json::str(msg))]).to_string());
+                let _ = write_response(&mut writer, &resp, false);
+                return;
+            }
+            ReadOutcome::Request(request) => {
+                let start = Instant::now();
+                let response = dispatch(state, &request);
+                state.stats.record(start.elapsed(), response.status >= 400);
+                let keep_alive = !request.wants_close();
+                if write_response(&mut writer, &response, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Request routing: URL + JSON glue between HTTP and the session store.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use sns_svg::{AttrRef, ShapeId, Zone};
+use sns_sync::OutputEdit;
+
+use crate::http::{Request, Response};
+use crate::json::{self, Json};
+use crate::session::Session;
+use crate::stats::ServerStats;
+use crate::store::SessionStore;
+
+/// Shared server state handed to every worker.
+pub struct ServerState {
+    /// The session store.
+    pub store: SessionStore,
+    /// Request statistics.
+    pub stats: ServerStats,
+    /// Server start time (for uptime reporting).
+    pub started: Instant,
+}
+
+fn error_response(status: u16, msg: &str) -> Response {
+    Response::json(status, Json::obj([("error", Json::str(msg))]).to_string())
+}
+
+fn ok_json(status: u16, body: Json) -> Response {
+    Response::json(status, body.to_string())
+}
+
+/// Dispatches one parsed request against the state.
+pub fn dispatch(state: &Arc<ServerState>, request: &Request) -> Response {
+    let path = request.path.trim_end_matches('/');
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => ok_json(200, Json::obj([("ok", Json::Bool(true))])),
+        ("GET", ["stats"]) => stats(state),
+        ("POST", ["sessions"]) => create_session(state, &request.body),
+        ("GET", ["sessions", id, "canvas"]) => with_session(state, id, |s| Ok(s.canvas_json())),
+        ("GET", ["sessions", id, "code"]) => with_session(state, id, |s| {
+            Ok(Json::obj([("code", Json::str(s.code()))]))
+        }),
+        ("POST", ["sessions", id, "drag"]) => drag(state, id, &request.body),
+        ("POST", ["sessions", id, "commit"]) => with_session(state, id, |s| {
+            s.commit()?;
+            Ok(Json::obj([("code", Json::str(s.code()))]))
+        }),
+        ("POST", ["sessions", id, "reconcile"]) => reconcile(state, id, &request.body),
+        ("DELETE", ["sessions", id]) => {
+            if state.store.remove(id) {
+                ok_json(200, Json::obj([("deleted", Json::Bool(true))]))
+            } else {
+                error_response(404, "no such session")
+            }
+        }
+        ("GET" | "POST" | "DELETE", _) => error_response(404, "no such route"),
+        _ => error_response(405, "method not allowed"),
+    }
+}
+
+fn stats(state: &Arc<ServerState>) -> Response {
+    ok_json(
+        200,
+        Json::obj([
+            ("sessions", Json::Num(state.store.len() as f64)),
+            ("requests", Json::Num(state.stats.requests() as f64)),
+            ("errors", Json::Num(state.stats.errors() as f64)),
+            ("evictions", Json::Num(state.store.evictions() as f64)),
+            ("p50_ms", Json::Num(state.stats.quantile_ms(0.50))),
+            ("p99_ms", Json::Num(state.stats.quantile_ms(0.99))),
+            (
+                "uptime_secs",
+                Json::Num(state.started.elapsed().as_secs_f64()),
+            ),
+        ]),
+    )
+}
+
+fn parse_body(body: &[u8]) -> Result<Json, Response> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| error_response(400, "request body is not UTF-8"))?;
+    json::parse(text).map_err(|e| error_response(400, &format!("malformed JSON: {e}")))
+}
+
+fn create_session(state: &Arc<ServerState>, body: &[u8]) -> Response {
+    let body = match parse_body(body) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let source = if let Some(src) = body.get("source").and_then(Json::as_str) {
+        src.to_string()
+    } else if let Some(slug) = body.get("example").and_then(Json::as_str) {
+        match sns_examples::by_slug(slug) {
+            Some(ex) => ex.source.to_string(),
+            None => return error_response(404, &format!("no corpus example named `{slug}`")),
+        }
+    } else {
+        return error_response(400, "body must carry `source` or `example`");
+    };
+    let id = state.store.fresh_id();
+    match Session::create(id.clone(), &source) {
+        Ok(session) => {
+            let code = session.code();
+            let canvas = session.canvas_json();
+            state.store.insert(session);
+            ok_json(
+                201,
+                Json::obj([
+                    ("id", Json::str(id)),
+                    ("code", Json::str(code)),
+                    ("canvas", canvas),
+                ]),
+            )
+        }
+        Err(e) => error_response(e.status, &e.msg),
+    }
+}
+
+/// Runs `f` against the locked session, translating failures to HTTP.
+fn with_session(
+    state: &Arc<ServerState>,
+    id: &str,
+    f: impl FnOnce(&mut Session) -> Result<Json, crate::session::SessionError>,
+) -> Response {
+    let Some(session) = state.store.get(id) else {
+        return error_response(404, "no such session");
+    };
+    let mut guard = match session.lock() {
+        Ok(g) => g,
+        // A worker panicked mid-request (a bug, not a client error); the
+        // session state may be inconsistent, so retire it.
+        Err(_) => {
+            state.store.remove(id);
+            return error_response(500, "session poisoned; discarded");
+        }
+    };
+    guard.requests += 1;
+    match f(&mut guard) {
+        Ok(v) => ok_json(200, v),
+        Err(e) => error_response(e.status, &e.msg),
+    }
+}
+
+fn field_f64(body: &Json, key: &str) -> Result<f64, Response> {
+    body.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| error_response(400, &format!("missing numeric field `{key}`")))
+}
+
+fn drag(state: &Arc<ServerState>, id: &str, body: &[u8]) -> Response {
+    let body = match parse_body(body) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let shape = match field_f64(&body, "shape") {
+        Ok(v) => ShapeId(v as usize),
+        Err(resp) => return resp,
+    };
+    let zone: Zone = match body.get("zone").and_then(Json::as_str) {
+        Some(z) => match z.parse() {
+            Ok(z) => z,
+            Err(e) => return error_response(400, &format!("{e}")),
+        },
+        None => return error_response(400, "missing string field `zone`"),
+    };
+    let (dx, dy) = match (field_f64(&body, "dx"), field_f64(&body, "dy")) {
+        (Ok(dx), Ok(dy)) => (dx, dy),
+        (Err(resp), _) | (_, Err(resp)) => return resp,
+    };
+    with_session(state, id, |s| s.drag(shape, zone, dx, dy))
+}
+
+/// Attribute whitelist shared with the CLI's `reconcile` command.
+fn plain_attr(name: &str) -> Option<AttrRef> {
+    Some(AttrRef::Plain(match name {
+        "x" => "x",
+        "y" => "y",
+        "width" => "width",
+        "height" => "height",
+        "cx" => "cx",
+        "cy" => "cy",
+        "r" => "r",
+        "rx" => "rx",
+        "ry" => "ry",
+        "x1" => "x1",
+        "y1" => "y1",
+        "x2" => "x2",
+        "y2" => "y2",
+        _ => return None,
+    }))
+}
+
+fn reconcile(state: &Arc<ServerState>, id: &str, body: &[u8]) -> Response {
+    let body = match parse_body(body) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let Some(items) = body.get("edits").and_then(Json::as_arr) else {
+        return error_response(400, "missing array field `edits`");
+    };
+    let mut edits = Vec::with_capacity(items.len());
+    for item in items {
+        let shape = match field_f64(item, "shape") {
+            Ok(v) => ShapeId(v as usize),
+            Err(resp) => return resp,
+        };
+        let attr = match item.get("attr").and_then(Json::as_str).and_then(plain_attr) {
+            Some(a) => a,
+            None => return error_response(400, "each edit needs a supported `attr`"),
+        };
+        let new_value = match field_f64(item, "value") {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        edits.push(OutputEdit {
+            shape,
+            attr,
+            new_value,
+        });
+    }
+    with_session(state, id, |s| s.reconcile(&edits))
+}

@@ -1,0 +1,317 @@
+//! One live-synchronization session: an [`Editor`] plus the in-flight drag
+//! bookkeeping that maps the editor's mouse-down/move/up protocol onto
+//! stateless HTTP requests.
+//!
+//! The expensive `prepare` (zone assignments + triggers) lives inside the
+//! editor's `LiveSync` and is computed when the session is created and
+//! after each *commit* — never per drag request, mirroring the editor's
+//! mouse-up semantics (§4, §5.2.3).
+
+use sns_editor::{Editor, EditorConfig};
+use sns_eval::{Limits, Program};
+use sns_svg::{ShapeId, Zone};
+
+use crate::json::Json;
+
+/// Server-side per-request evaluation limits: far below [`Limits::default`]
+/// so one hostile program cannot pin a worker, yet ample for every corpus
+/// example.
+pub fn server_limits() -> Limits {
+    Limits {
+        max_steps: 5_000_000,
+        max_depth: 4_000,
+    }
+}
+
+/// A live session.
+#[derive(Debug)]
+pub struct Session {
+    /// The session id (also the store key).
+    pub id: String,
+    editor: Editor,
+    /// The zone a drag is in progress on, if any.
+    drag: Option<(ShapeId, Zone)>,
+    /// Monotone count of requests served by this session.
+    pub requests: u64,
+}
+
+/// A session-level failure, mapped to an HTTP status by the router.
+#[derive(Debug)]
+pub struct SessionError {
+    /// HTTP status the error maps to.
+    pub status: u16,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl SessionError {
+    fn bad(msg: impl Into<String>) -> SessionError {
+        SessionError {
+            status: 422,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl Session {
+    /// Creates a session from `little` source, enforcing server limits.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the program does not parse, evaluate, or render.
+    pub fn create(id: String, source: &str) -> Result<Session, SessionError> {
+        let mut program = Program::parse(source)
+            .map_err(|e| SessionError::bad(format!("program does not parse: {e}")))?;
+        program.set_limits(server_limits());
+        let editor = Editor::from_program(program, EditorConfig::default())
+            .map_err(|e| SessionError::bad(format!("program does not run: {e}")))?;
+        Ok(Session {
+            id,
+            editor,
+            drag: None,
+            requests: 0,
+        })
+    }
+
+    /// The current program text.
+    pub fn code(&self) -> String {
+        self.editor.code()
+    }
+
+    /// The canvas payload: rendered SVG plus zone/caption metadata.
+    pub fn canvas_json(&self) -> Json {
+        let shapes: Vec<Json> = self
+            .editor
+            .shapes()
+            .iter()
+            .map(|shape| {
+                let zones: Vec<Json> = shape
+                    .zones()
+                    .iter()
+                    .map(|spec| {
+                        let (active, caption) = match self.editor.zone_analysis(shape.id, spec.zone)
+                        {
+                            Some(a) => {
+                                let c = sns_editor::caption_for(self.editor.program(), a);
+                                (a.is_active(), c.text)
+                            }
+                            None => (false, "Inactive".to_string()),
+                        };
+                        Json::obj([
+                            ("zone", Json::str(spec.zone.to_string())),
+                            ("active", Json::Bool(active)),
+                            ("caption", Json::str(caption)),
+                        ])
+                    })
+                    .collect();
+                Json::obj([
+                    ("id", Json::Num(shape.id.0 as f64)),
+                    ("kind", Json::str(shape.node.kind.clone())),
+                    ("hidden", Json::Bool(shape.hidden())),
+                    ("zones", Json::Arr(zones)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("svg", Json::str(self.editor.canvas_svg())),
+            ("shapes", Json::Arr(shapes)),
+        ])
+    }
+
+    /// Applies one drag movement. `dx`/`dy` are total offsets from the
+    /// drag's start, like the editor's mouse-move events. Starting a drag
+    /// on a different zone implicitly commits the previous one.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the zone is inactive or re-evaluation fails.
+    pub fn drag(
+        &mut self,
+        shape: ShapeId,
+        zone: Zone,
+        dx: f64,
+        dy: f64,
+    ) -> Result<Json, SessionError> {
+        if let Some(current) = self.drag {
+            if current != (shape, zone) {
+                self.commit()?;
+            }
+        }
+        if self.drag.is_none() {
+            self.editor
+                .start_drag(shape, zone)
+                .map_err(|e| SessionError::bad(e.to_string()))?;
+            self.drag = Some((shape, zone));
+        }
+        match self.editor.drag_to(dx, dy) {
+            Ok(feedback) => {
+                let subst: Vec<Json> = feedback
+                    .subst
+                    .iter()
+                    .map(|(loc, v)| {
+                        Json::obj([
+                            ("loc", Json::str(self.editor.program().display_loc(loc))),
+                            ("value", Json::Num(v)),
+                        ])
+                    })
+                    .collect();
+                Ok(Json::obj([
+                    ("code", Json::str(self.preview_code(&feedback.subst))),
+                    ("subst", Json::Arr(subst)),
+                    (
+                        "failures",
+                        Json::Num(
+                            feedback
+                                .highlights
+                                .iter()
+                                .filter(|(_, h)| *h == sns_editor::Highlight::Red)
+                                .count() as f64,
+                        ),
+                    ),
+                ]))
+            }
+            Err(e) => {
+                self.abort_drag();
+                Err(SessionError::bad(e.to_string()))
+            }
+        }
+    }
+
+    /// The program text as it would read if the in-flight drag committed —
+    /// the live-updating code pane of the paper's editor.
+    fn preview_code(&self, subst: &sns_lang::Subst) -> String {
+        self.editor.program().with_subst(subst).code()
+    }
+
+    /// Commits the in-flight drag (mouse-up): applies the pending update
+    /// and re-prepares. A commit with no drag in progress is a no-op, so
+    /// clients can call it defensively.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the committed program no longer runs.
+    pub fn commit(&mut self) -> Result<(), SessionError> {
+        if self.drag.take().is_some() {
+            self.editor
+                .end_drag()
+                .map_err(|e| SessionError::bad(e.to_string()))?;
+        }
+        Ok(())
+    }
+
+    /// Abandons an in-flight drag in *both* the session bookkeeping and
+    /// the editor — leaving the editor's drag state behind would make
+    /// every later `start_drag` fail with "a drag is already in progress",
+    /// wedging the session permanently.
+    fn abort_drag(&mut self) {
+        self.drag = None;
+        self.editor.cancel_drag();
+    }
+
+    /// Ranks and applies the best update reconciling ad-hoc output edits
+    /// (§7.2 goal (c)).
+    ///
+    /// # Errors
+    ///
+    /// Fails when no candidate update reconciles the edits.
+    pub fn reconcile(&mut self, edits: &[sns_sync::OutputEdit]) -> Result<Json, SessionError> {
+        self.commit()?;
+        let mut ranked = self.editor.reconcile_edits(edits);
+        if ranked.is_empty() {
+            return Err(SessionError::bad(
+                "no candidate update reconciles those edits",
+            ));
+        }
+        let candidates: Vec<Json> = ranked
+            .iter()
+            .map(|r| {
+                Json::obj([
+                    ("update", Json::str(r.update.subst.to_string())),
+                    ("judgment", Json::str(format!("{:?}", r.judgment))),
+                ])
+            })
+            .collect();
+        // Apply the best candidate without rerunning the synthesis.
+        let best = ranked.swap_remove(0);
+        self.editor
+            .apply_reconciliation(best)
+            .map_err(|e| SessionError::bad(e.to_string()))?;
+        Ok(Json::obj([
+            ("candidates", Json::Arr(candidates)),
+            ("code", Json::str(self.editor.code())),
+        ]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_drag_commit_roundtrip() {
+        let mut s = Session::create("s1".into(), "(svg [(rect 'gold' 10 20 30 40)])").unwrap();
+        let out = s.drag(ShapeId(0), Zone::Interior, 25.0, 5.0).unwrap();
+        assert_eq!(
+            out.get("code").unwrap().as_str(),
+            Some("(svg [(rect 'gold' 35 25 30 40)])")
+        );
+        s.commit().unwrap();
+        assert_eq!(s.code(), "(svg [(rect 'gold' 35 25 30 40)])");
+    }
+
+    #[test]
+    fn successive_drags_do_not_accumulate() {
+        let mut s = Session::create("s1".into(), "(svg [(rect 'gold' 10 20 30 40)])").unwrap();
+        // Total offsets, like mouse-move: the second supersedes the first.
+        s.drag(ShapeId(0), Zone::Interior, 5.0, 0.0).unwrap();
+        s.drag(ShapeId(0), Zone::Interior, 9.0, 1.0).unwrap();
+        s.commit().unwrap();
+        assert_eq!(s.code(), "(svg [(rect 'gold' 19 21 30 40)])");
+    }
+
+    #[test]
+    fn switching_zones_commits_implicitly() {
+        let mut s = Session::create("s1".into(), "(svg [(rect 'gold' 10 20 30 40)])").unwrap();
+        s.drag(ShapeId(0), Zone::Interior, 5.0, 5.0).unwrap();
+        s.drag(ShapeId(0), Zone::RightEdge, 10.0, 0.0).unwrap();
+        s.commit().unwrap();
+        assert_eq!(s.code(), "(svg [(rect 'gold' 15 25 40 40)])");
+    }
+
+    #[test]
+    fn hostile_programs_hit_limits() {
+        let err = Session::create("s1".into(), "(defrec spin (λ n (spin n))) (svg [(spin 0)])")
+            .unwrap_err();
+        assert!(err.msg.contains("limit"), "{}", err.msg);
+    }
+
+    #[test]
+    fn failed_drag_does_not_wedge_the_session() {
+        // A drag whose re-evaluation fails must fully unwind the editor's
+        // drag state, or every later drag dies with "already in progress".
+        let mut s = Session::create(
+            "s1".into(),
+            "(def n 3!{1-5}) (def k 2) (svg [(rect 'red' (* k 10) 20 30 40)])",
+        )
+        .unwrap();
+        // Force a failure by dragging an inactive zone mid-protocol: start
+        // a healthy drag, then simulate drag_to failure via a bogus zone.
+        assert!(s.drag(ShapeId(0), Zone::Interior, 5.0, 0.0).is_ok());
+        // Implicit-commit path to a zone that is inactive errors cleanly…
+        let err = s.drag(ShapeId(0), Zone::Rotation, 1.0, 0.0).unwrap_err();
+        assert_eq!(err.status, 422);
+        // …and the session still accepts new drags afterwards.
+        assert!(
+            s.drag(ShapeId(0), Zone::Interior, 7.0, 0.0).is_ok(),
+            "session wedged"
+        );
+        s.commit().unwrap();
+    }
+
+    #[test]
+    fn inactive_zone_is_a_client_error() {
+        let mut s = Session::create("s1".into(), "(svg [(rect 'gold' 1! 2! 3! 4!)])").unwrap();
+        let err = s.drag(ShapeId(0), Zone::Interior, 1.0, 1.0).unwrap_err();
+        assert_eq!(err.status, 422);
+    }
+}

@@ -1,0 +1,98 @@
+//! Service statistics: request counters and a lock-free latency histogram
+//! with p50/p99 estimates.
+//!
+//! Latencies land in logarithmic buckets (powers of two of microseconds),
+//! recorded with relaxed atomics — cheap enough to run on every request.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log2 buckets: covers 1 µs … ~36 minutes.
+const BUCKETS: usize = 32;
+
+/// Request statistics shared across workers.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl ServerStats {
+    /// Creates zeroed stats.
+    pub fn new() -> ServerStats {
+        ServerStats::default()
+    }
+
+    /// Records one request and its latency.
+    pub fn record(&self, latency: Duration, is_error: bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if is_error {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let micros = latency.as_micros().max(1) as u64;
+        let bucket = (63 - micros.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests served.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Requests that produced a non-2xx response.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// The latency (in milliseconds) at or below which `q` of requests
+    /// completed — an upper-bound estimate from bucket boundaries.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = (q * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Upper edge of bucket i: 2^(i+1) microseconds.
+                return (1u64 << (i + 1)) as f64 / 1000.0;
+            }
+        }
+        (1u64 << BUCKETS) as f64 / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_track_recorded_latencies() {
+        let stats = ServerStats::new();
+        for _ in 0..99 {
+            stats.record(Duration::from_micros(100), false);
+        }
+        stats.record(Duration::from_millis(50), true);
+        assert_eq!(stats.requests(), 100);
+        assert_eq!(stats.errors(), 1);
+        let p50 = stats.quantile_ms(0.50);
+        let p99 = stats.quantile_ms(0.99);
+        assert!(p50 <= 0.256, "p50 {p50}");
+        assert!(p99 <= 0.256, "p99 {p99}");
+        assert!(stats.quantile_ms(1.0) >= 50.0);
+    }
+
+    #[test]
+    fn empty_stats_report_zero() {
+        let stats = ServerStats::new();
+        assert_eq!(stats.quantile_ms(0.5), 0.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! A sharded session store with LRU eviction and per-session locking.
+//!
+//! Sessions hash onto [`SHARDS`] shard maps so concurrent requests for
+//! different sessions rarely contend on the same lock, and each session is
+//! behind its own `Mutex` so two requests for the *same* session serialize
+//! without blocking its shard. A global capacity bound evicts the least
+//! recently used session across all shards.
+
+use std::collections::hash_map::{DefaultHasher, RandomState};
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::session::Session;
+
+/// Number of shards; a power of two keeps the modulo cheap.
+pub const SHARDS: usize = 16;
+
+struct Entry {
+    session: Arc<Mutex<Session>>,
+    /// Logical access clock value at last touch (for LRU).
+    touched: u64,
+}
+
+/// The sharded store.
+pub struct SessionStore {
+    shards: Vec<Mutex<HashMap<String, Entry>>>,
+    clock: AtomicU64,
+    next_id: AtomicU64,
+    /// Randomly-keyed hasher making session ids unpredictable: the id is
+    /// the only capability a client holds, so it must not be computable
+    /// from the (observable) session counter.
+    id_key: RandomState,
+    max_sessions: usize,
+    evictions: AtomicU64,
+}
+
+impl SessionStore {
+    /// Creates a store bounded at `max_sessions` live sessions.
+    pub fn new(max_sessions: usize) -> SessionStore {
+        SessionStore {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            clock: AtomicU64::new(1),
+            next_id: AtomicU64::new(1),
+            id_key: RandomState::new(),
+            max_sessions: max_sessions.max(1),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, id: &str) -> &Mutex<HashMap<String, Entry>> {
+        let mut h = DefaultHasher::new();
+        id.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Allocates a fresh session id: a readable counter plus a SipHash of
+    /// it under a per-process random key (`RandomState`), so ids cannot be
+    /// predicted from the counter alone.
+    pub fn fresh_id(&self) -> String {
+        let n = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut h = self.id_key.build_hasher();
+        h.write_u64(n);
+        format!("s{n:04}-{:016x}", h.finish())
+    }
+
+    /// Inserts a session, evicting the LRU session if the store is full.
+    pub fn insert(&self, session: Session) -> Arc<Mutex<Session>> {
+        if self.len() >= self.max_sessions {
+            self.evict_lru();
+        }
+        let id = session.id.clone();
+        let arc = Arc::new(Mutex::new(session));
+        let entry = Entry {
+            session: Arc::clone(&arc),
+            touched: self.tick(),
+        };
+        self.shard_of(&id)
+            .lock()
+            .expect("shard lock")
+            .insert(id, entry);
+        arc
+    }
+
+    /// Looks a session up, refreshing its LRU position.
+    pub fn get(&self, id: &str) -> Option<Arc<Mutex<Session>>> {
+        let mut shard = self.shard_of(id).lock().expect("shard lock");
+        let entry = shard.get_mut(id)?;
+        entry.touched = self.tick();
+        Some(Arc::clone(&entry.session))
+    }
+
+    /// Removes a session; returns whether it existed.
+    pub fn remove(&self, id: &str) -> bool {
+        self.shard_of(id)
+            .lock()
+            .expect("shard lock")
+            .remove(id)
+            .is_some()
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock").len())
+            .sum()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total sessions evicted to make room.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Evicts the globally least-recently-used session. A linear scan over
+    /// shard maps is fine at the scale the capacity bound implies.
+    fn evict_lru(&self) {
+        let mut oldest: Option<(String, u64)> = None;
+        for shard in &self.shards {
+            let shard = shard.lock().expect("shard lock");
+            for (id, entry) in shard.iter() {
+                if oldest.as_ref().is_none_or(|(_, t)| entry.touched < *t) {
+                    oldest = Some((id.clone(), entry.touched));
+                }
+            }
+        }
+        if let Some((id, _)) = oldest {
+            if self.remove(&id) {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Session;
+
+    fn session(store: &SessionStore) -> Session {
+        Session::create(store.fresh_id(), "(svg [(rect 'red' 1 2 3 4)])").unwrap()
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let store = SessionStore::new(8);
+        let s = session(&store);
+        let id = s.id.clone();
+        store.insert(s);
+        assert!(store.get(&id).is_some());
+        assert_eq!(store.len(), 1);
+        assert!(store.remove(&id));
+        assert!(store.get(&id).is_none());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn lru_eviction_drops_the_coldest() {
+        let store = SessionStore::new(3);
+        let ids: Vec<String> = (0..3)
+            .map(|_| {
+                let s = session(&store);
+                let id = s.id.clone();
+                store.insert(s);
+                id
+            })
+            .collect();
+        // Touch the first two; the third is now coldest.
+        store.get(&ids[0]).unwrap();
+        store.get(&ids[1]).unwrap();
+        store.insert(session(&store));
+        assert_eq!(store.len(), 3);
+        assert!(
+            store.get(&ids[2]).is_none(),
+            "coldest session should be evicted"
+        );
+        assert!(store.get(&ids[0]).is_some());
+        assert_eq!(store.evictions(), 1);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let store = SessionStore::new(4);
+        let a = store.fresh_id();
+        let b = store.fresh_id();
+        assert_ne!(a, b);
+    }
+}

@@ -5,7 +5,7 @@
 //! run-time trace that produced the original value. Solving the equation for
 //! one location yields a *local update*.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sns_eval::Trace;
 use sns_lang::{Op, Subst};
@@ -19,12 +19,12 @@ pub struct Equation {
     /// The desired value (`n′` after a user update).
     pub target: f64,
     /// The trace of the original value.
-    pub trace: Rc<Trace>,
+    pub trace: Arc<Trace>,
 }
 
 impl Equation {
     /// Creates the equation `target = trace`.
-    pub fn new(target: f64, trace: Rc<Trace>) -> Self {
+    pub fn new(target: f64, trace: Arc<Trace>) -> Self {
         Equation { target, trace }
     }
 }
@@ -44,7 +44,7 @@ impl std::fmt::Display for Equation {
 /// # Examples
 ///
 /// ```
-/// use std::rc::Rc;
+/// use std::sync::Arc;
 /// use sns_eval::Trace;
 /// use sns_lang::{LocId, Op, Subst};
 ///

@@ -254,9 +254,9 @@ pub fn check_solution(rho: &Subst, loc: LocId, eq: &Equation, k: f64) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
-    fn l(i: u32) -> Rc<Trace> {
+    fn l(i: u32) -> Arc<Trace> {
         Trace::loc(LocId(i))
     }
 
@@ -302,7 +302,10 @@ mod tests {
         // 12 = (* l0 l0): the unknown sits on both sides of `*`.
         let t = Trace::op(Op::Mul, vec![l(0), l(0)]);
         let rho = Subst::from_pairs([(LocId(0), 2.0)]);
-        assert_eq!(solve_extended(&rho, LocId(0), &Equation::new(12.0, t)), None);
+        assert_eq!(
+            solve_extended(&rho, LocId(0), &Equation::new(12.0, t)),
+            None
+        );
     }
 
     #[test]

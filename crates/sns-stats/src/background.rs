@@ -95,6 +95,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // documents the Appendix F relation
     fn hypothesis_3_headline_numbers() {
         assert!(PERCENT_WOULD_BENEFIT > PERCENT_PROGRAMMATIC);
     }

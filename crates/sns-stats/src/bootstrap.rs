@@ -6,8 +6,37 @@
 //! statistic `t*_b = (mean*_b − mean) / se*_b` per resample, and inverts
 //! its empirical quantiles around the sample mean.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// A small deterministic PRNG (splitmix64), replacing the external `rand`
+/// dependency so the crate stays std-only. Statistical quality is ample for
+/// bootstrap resampling, and a fixed seed reproduces the same resamples.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Seeds the generator.
+    pub fn seed_from_u64(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform index in `[0, n)` via Lemire's multiply-shift reduction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "gen_index of empty range");
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as usize
+    }
+}
 
 /// Sample mean.
 ///
@@ -78,15 +107,18 @@ pub fn bootstrap_t_ci(
     seed: u64,
 ) -> ConfidenceInterval {
     assert!(xs.len() >= 2, "bootstrap needs at least 2 observations");
-    assert!(confidence > 0.0 && confidence < 1.0, "confidence must be in (0,1)");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0,1)"
+    );
     let m = mean(xs);
     let se = std_err(xs);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut ts = Vec::with_capacity(resamples);
     let mut buf = vec![0.0; xs.len()];
     for _ in 0..resamples {
         for slot in buf.iter_mut() {
-            *slot = xs[rng.gen_range(0..xs.len())];
+            *slot = xs[rng.gen_index(xs.len())];
         }
         let mb = mean(&buf);
         let seb = std_err(&buf);

@@ -11,9 +11,9 @@
 //! them and recomputes the means and 95% bootstrap-t confidence intervals
 //! of Figure 9 / Appendix E.
 
-use crate::bootstrap::{bootstrap_t_ci, ConfidenceInterval};
 #[cfg(test)]
 use crate::bootstrap::mean;
+use crate::bootstrap::{bootstrap_t_ci, ConfidenceInterval};
 
 /// The three study tasks (Figure 9 rows).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,9 +116,17 @@ pub fn analyze(resamples: usize, seed: u64) -> Vec<CellAnalysis> {
     for (ti, task) in Task::ALL.into_iter().enumerate() {
         for (ci_idx, cmp) in Comparison::ALL.into_iter().enumerate() {
             let xs = ratings(task, cmp);
-            let ci =
-                bootstrap_t_ci(&xs, 0.95, resamples, seed ^ ((ti as u64) << 8 | ci_idx as u64));
-            out.push(CellAnalysis { task, comparison: cmp, ci });
+            let ci = bootstrap_t_ci(
+                &xs,
+                0.95,
+                resamples,
+                seed ^ ((ti as u64) << 8 | ci_idx as u64),
+            );
+            out.push(CellAnalysis {
+                task,
+                comparison: cmp,
+                ci,
+            });
         }
     }
     out
@@ -147,7 +155,10 @@ pub fn ascii_histogram(task: Task, cmp: Comparison) -> String {
     let mut s = String::new();
     for (i, &count) in h.iter().enumerate() {
         let rating = i as i32 - 2;
-        s.push_str(&format!("{rating:+} |{} {count}\n", "#".repeat(count as usize)));
+        s.push_str(&format!(
+            "{rating:+} |{} {count}\n",
+            "#".repeat(count as usize)
+        ));
     }
     s
 }
@@ -194,8 +205,16 @@ mod tests {
             .iter()
             .find(|c| c.task == Task::Ferris && c.comparison == Comparison::AvsB)
             .unwrap();
-        assert!((ferris_ab.ci.lo - -0.92).abs() < 0.12, "lo = {}", ferris_ab.ci.lo);
-        assert!((ferris_ab.ci.hi - 0.01).abs() < 0.12, "hi = {}", ferris_ab.ci.hi);
+        assert!(
+            (ferris_ab.ci.lo - -0.92).abs() < 0.12,
+            "lo = {}",
+            ferris_ab.ci.lo
+        );
+        assert!(
+            (ferris_ab.ci.hi - 0.01).abs() < 0.12,
+            "hi = {}",
+            ferris_ab.ci.hi
+        );
     }
 
     #[test]

@@ -102,7 +102,10 @@ fn collect_shapes(node: &SvgNode, shapes: &mut Vec<Shape>) {
             if n.kind == "svg" || n.kind == "g" {
                 collect_shapes(n, shapes);
             } else {
-                shapes.push(Shape { id: ShapeId(shapes.len()), node: n.clone() });
+                shapes.push(Shape {
+                    id: ShapeId(shapes.len()),
+                    node: n.clone(),
+                });
                 // Shapes may themselves have children (rare); recurse so
                 // nested shapes are manipulable too.
                 collect_shapes(n, shapes);
@@ -137,7 +140,10 @@ mod tests {
 
     #[test]
     fn requires_svg_root() {
-        let v = Program::parse("(rect 'a' 0 0 1 1)").unwrap().eval().unwrap();
+        let v = Program::parse("(rect 'a' 0 0 1 1)")
+            .unwrap()
+            .eval()
+            .unwrap();
         assert!(Canvas::from_value(&v).is_err());
     }
 

@@ -7,7 +7,7 @@
 
 use std::error::Error;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sns_eval::{Trace, Value};
 
@@ -18,12 +18,12 @@ pub struct NumTr {
     /// The numeric value.
     pub n: f64,
     /// The trace that produced it.
-    pub t: Rc<Trace>,
+    pub t: Arc<Trace>,
 }
 
 impl NumTr {
     /// Creates a traced number.
-    pub fn new(n: f64, t: Rc<Trace>) -> Self {
+    pub fn new(n: f64, t: Arc<Trace>) -> Self {
         NumTr { n, t }
     }
 }
@@ -190,7 +190,11 @@ pub fn node_from_value(value: &Value) -> Result<SvgNode, SvgError> {
             other => children.push(SvgChild::Node(node_from_value(other)?)),
         }
     }
-    Ok(SvgNode { kind, attrs, children })
+    Ok(SvgNode {
+        kind,
+        attrs,
+        children,
+    })
 }
 
 fn attr_from_value(value: &Value) -> Result<(String, AttrValue), SvgError> {
@@ -208,9 +212,7 @@ fn attr_from_value(value: &Value) -> Result<(String, AttrValue), SvgError> {
     let attr = match (key.as_str(), v) {
         (_, Value::Str(s)) => AttrValue::Str(s.to_string()),
         ("points", v) => AttrValue::Points(points_from_value(v)?),
-        ("fill" | "stroke", Value::Num(n, t)) => {
-            AttrValue::ColorNum(NumTr::new(*n, Rc::clone(t)))
-        }
+        ("fill" | "stroke", Value::Num(n, t)) => AttrValue::ColorNum(NumTr::new(*n, Arc::clone(t))),
         ("fill" | "stroke", v @ (Value::Cons(..) | Value::Nil)) => {
             let comps = v
                 .to_vec()
@@ -221,15 +223,14 @@ fn attr_from_value(value: &Value) -> Result<(String, AttrValue), SvgError> {
                 let (n, t) = c
                     .as_num()
                     .ok_or_else(|| SvgError::new("rgba components must be numbers"))?;
-                nums.push(NumTr::new(n, Rc::clone(t)));
+                nums.push(NumTr::new(n, Arc::clone(t)));
             }
-            let [r, g, b, a]: [NumTr; 4] =
-                nums.try_into().expect("length checked above");
+            let [r, g, b, a]: [NumTr; 4] = nums.try_into().expect("length checked above");
             AttrValue::Rgba([r, g, b, a])
         }
         ("d", v) => AttrValue::Path(path_from_value(v)?),
         ("transform", v) => AttrValue::Transform(transform_from_value(v)?),
-        (_, Value::Num(n, t)) => AttrValue::Num(NumTr::new(*n, Rc::clone(t))),
+        (_, Value::Num(n, t)) => AttrValue::Num(NumTr::new(*n, Arc::clone(t))),
         (k, other) => {
             return Err(SvgError::new(format!(
                 "unsupported value for attribute `{k}`: {other}"
@@ -249,11 +250,13 @@ fn points_from_value(value: &Value) -> Result<Vec<(NumTr, NumTr)>, SvgError> {
             .to_vec()
             .filter(|p| p.len() == 2)
             .ok_or_else(|| SvgError::new("each point must be [x y]"))?;
-        let (x, tx) =
-            pair[0].as_num().ok_or_else(|| SvgError::new("point x must be a number"))?;
-        let (y, ty) =
-            pair[1].as_num().ok_or_else(|| SvgError::new("point y must be a number"))?;
-        pts.push((NumTr::new(x, Rc::clone(tx)), NumTr::new(y, Rc::clone(ty))));
+        let (x, tx) = pair[0]
+            .as_num()
+            .ok_or_else(|| SvgError::new("point x must be a number"))?;
+        let (y, ty) = pair[1]
+            .as_num()
+            .ok_or_else(|| SvgError::new("point y must be a number"))?;
+        pts.push((NumTr::new(x, Arc::clone(tx)), NumTr::new(y, Arc::clone(ty))));
     }
     Ok(pts)
 }
@@ -265,12 +268,15 @@ fn path_from_value(value: &Value) -> Result<Vec<PathCmd>, SvgError> {
     let mut cmds: Vec<PathCmd> = Vec::new();
     for item in &items {
         match item {
-            Value::Str(s) => cmds.push(PathCmd { cmd: s.to_string(), args: Vec::new() }),
+            Value::Str(s) => cmds.push(PathCmd {
+                cmd: s.to_string(),
+                args: Vec::new(),
+            }),
             Value::Num(n, t) => {
                 let cur = cmds
                     .last_mut()
                     .ok_or_else(|| SvgError::new("path data must start with a command"))?;
-                cur.args.push(NumTr::new(*n, Rc::clone(t)));
+                cur.args.push(NumTr::new(*n, Arc::clone(t)));
             }
             other => {
                 return Err(SvgError::new(format!(
@@ -305,7 +311,7 @@ fn transform_from_value(value: &Value) -> Result<Vec<TransformCmd>, SvgError> {
             let (n, t) = p
                 .as_num()
                 .ok_or_else(|| SvgError::new("transform arguments must be numbers"))?;
-            args.push(NumTr::new(n, Rc::clone(t)));
+            args.push(NumTr::new(n, Arc::clone(t)));
         }
         out.push(TransformCmd { cmd: name, args });
     }
@@ -375,9 +381,7 @@ mod tests {
 
     #[test]
     fn transform_rotate_parses_with_traces() {
-        let n = node_of(
-            "(addAttr (rect 'red' 0 0 10 10) ['transform' ['rotate' 45 5 5]])",
-        );
+        let n = node_of("(addAttr (rect 'red' 0 0 10 10) ['transform' ['rotate' 45 5 5]])");
         match n.attr("transform").unwrap() {
             AttrValue::Transform(cmds) => {
                 assert_eq!(cmds.len(), 1);

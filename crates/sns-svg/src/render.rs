@@ -76,7 +76,7 @@ fn write_node(out: &mut String, node: &SvgNode, options: RenderOptions, depth: u
     for _ in 0..depth {
         out.push_str("  ");
     }
-    let _ = write!(out, "</{}>\n", node.kind);
+    let _ = writeln!(out, "</{}>", node.kind);
 }
 
 fn render_attr_value(value: &AttrValue) -> String {
@@ -94,7 +94,13 @@ fn render_attr_value(value: &AttrValue) -> String {
             s
         }
         AttrValue::Rgba([r, g, b, a]) => {
-            format!("rgba({},{},{},{})", fmt_num(r.n), fmt_num(g.n), fmt_num(b.n), fmt_num(a.n))
+            format!(
+                "rgba({},{},{},{})",
+                fmt_num(r.n),
+                fmt_num(g.n),
+                fmt_num(b.n),
+                fmt_num(a.n)
+            )
         }
         AttrValue::ColorNum(n) => color_num_to_css(n),
         AttrValue::Path(cmds) => render_path(cmds),
@@ -207,8 +213,7 @@ mod tests {
 
     #[test]
     fn renders_transforms() {
-        let xml =
-            render_of("(addAttr (rect 'red' 0 0 10 10) ['transform' ['rotate' 45 5 5]])");
+        let xml = render_of("(addAttr (rect 'red' 0 0 10 10) ['transform' ['rotate' 45 5 5]])");
         assert!(xml.contains("transform='rotate(45 5 5)'"), "{xml}");
     }
 

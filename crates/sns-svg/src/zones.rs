@@ -188,12 +188,18 @@ fn rect_zones() -> Vec<ZoneSpec> {
             zone: Zone::Interior,
             effects: vec![(Plain("x"), PlusDx), (Plain("y"), PlusDy)],
         },
-        ZoneSpec { zone: Zone::RightEdge, effects: vec![(Plain("width"), PlusDx)] },
+        ZoneSpec {
+            zone: Zone::RightEdge,
+            effects: vec![(Plain("width"), PlusDx)],
+        },
         ZoneSpec {
             zone: Zone::BotRightCorner,
             effects: vec![(Plain("width"), PlusDx), (Plain("height"), PlusDy)],
         },
-        ZoneSpec { zone: Zone::BotEdge, effects: vec![(Plain("height"), PlusDy)] },
+        ZoneSpec {
+            zone: Zone::BotEdge,
+            effects: vec![(Plain("height"), PlusDy)],
+        },
         ZoneSpec {
             zone: Zone::BotLeftCorner,
             effects: vec![
@@ -237,8 +243,14 @@ fn circle_zones() -> Vec<ZoneSpec> {
             zone: Zone::Interior,
             effects: vec![(Plain("cx"), PlusDx), (Plain("cy"), PlusDy)],
         },
-        ZoneSpec { zone: Zone::RightEdge, effects: vec![(Plain("r"), PlusDx)] },
-        ZoneSpec { zone: Zone::BotEdge, effects: vec![(Plain("r"), PlusDy)] },
+        ZoneSpec {
+            zone: Zone::RightEdge,
+            effects: vec![(Plain("r"), PlusDx)],
+        },
+        ZoneSpec {
+            zone: Zone::BotEdge,
+            effects: vec![(Plain("r"), PlusDy)],
+        },
     ]
 }
 
@@ -249,8 +261,14 @@ fn ellipse_zones() -> Vec<ZoneSpec> {
             zone: Zone::Interior,
             effects: vec![(Plain("cx"), PlusDx), (Plain("cy"), PlusDy)],
         },
-        ZoneSpec { zone: Zone::RightEdge, effects: vec![(Plain("rx"), PlusDx)] },
-        ZoneSpec { zone: Zone::BotEdge, effects: vec![(Plain("ry"), PlusDy)] },
+        ZoneSpec {
+            zone: Zone::RightEdge,
+            effects: vec![(Plain("rx"), PlusDx)],
+        },
+        ZoneSpec {
+            zone: Zone::BotEdge,
+            effects: vec![(Plain("ry"), PlusDy)],
+        },
     ]
 }
 
@@ -285,7 +303,11 @@ fn poly_zones(n_points: u32, closed: bool) -> Vec<ZoneSpec> {
             effects: vec![(AttrRef::PointX(i), PlusDx), (AttrRef::PointY(i), PlusDy)],
         });
     }
-    let n_edges = if closed { n_points } else { n_points.saturating_sub(1) };
+    let n_edges = if closed {
+        n_points
+    } else {
+        n_points.saturating_sub(1)
+    };
     for i in 0..n_edges {
         let j = (i + 1) % n_points;
         zones.push(ZoneSpec {
@@ -304,13 +326,18 @@ fn poly_zones(n_points: u32, closed: bool) -> Vec<ZoneSpec> {
             effects.push((AttrRef::PointX(i), PlusDx));
             effects.push((AttrRef::PointY(i), PlusDy));
         }
-        zones.push(ZoneSpec { zone: Zone::Interior, effects });
+        zones.push(ZoneSpec {
+            zone: Zone::Interior,
+            effects,
+        });
     }
     zones
 }
 
 fn path_zones(node: &SvgNode) -> Vec<ZoneSpec> {
-    let Some(AttrValue::Path(cmds)) = node.attr("d") else { return Vec::new() };
+    let Some(AttrValue::Path(cmds)) = node.attr("d") else {
+        return Vec::new();
+    };
     let n_pairs: u32 = cmds.iter().map(|c| (c.args.len() / 2) as u32).sum();
     let mut zones = Vec::new();
     for i in 0..n_pairs {
@@ -325,7 +352,10 @@ fn path_zones(node: &SvgNode) -> Vec<ZoneSpec> {
             effects.push((AttrRef::PathX(i), PlusDx));
             effects.push((AttrRef::PathY(i), PlusDy));
         }
-        zones.push(ZoneSpec { zone: Zone::Interior, effects });
+        zones.push(ZoneSpec {
+            zone: Zone::Interior,
+            effects,
+        });
     }
     zones
 }
@@ -352,7 +382,9 @@ pub fn zones_of(node: &SvgNode) -> Vec<ZoneSpec> {
 /// The angle argument of the first `rotate` command, if any, as a Rotation
 /// zone: dragging horizontally spins the shape.
 fn rotation_zone(node: &SvgNode) -> Option<ZoneSpec> {
-    let AttrValue::Transform(cmds) = node.attr("transform")? else { return None };
+    let AttrValue::Transform(cmds) = node.attr("transform")? else {
+        return None;
+    };
     let mut flat = 0u32;
     for cmd in cmds {
         if cmd.cmd == "rotate" && !cmd.args.is_empty() {
@@ -390,9 +422,15 @@ pub fn resolve_attr<'a>(node: &'a SvgNode, attr: &AttrRef) -> Option<&'a crate::
     match attr {
         AttrRef::Plain(name) => node.num_attr(name),
         AttrRef::PointX(i) | AttrRef::PointY(i) => {
-            let Some(AttrValue::Points(pts)) = node.attr("points") else { return None };
+            let Some(AttrValue::Points(pts)) = node.attr("points") else {
+                return None;
+            };
             let (x, y) = pts.get(*i as usize)?;
-            Some(if matches!(attr, AttrRef::PointX(_)) { x } else { y })
+            Some(if matches!(attr, AttrRef::PointX(_)) {
+                x
+            } else {
+                y
+            })
         }
         AttrRef::TransformArg(i) => {
             let Some(AttrValue::Transform(cmds)) = node.attr("transform") else {
@@ -408,13 +446,19 @@ pub fn resolve_attr<'a>(node: &'a SvgNode, attr: &AttrRef) -> Option<&'a crate::
             None
         }
         AttrRef::PathX(i) | AttrRef::PathY(i) => {
-            let Some(AttrValue::Path(cmds)) = node.attr("d") else { return None };
+            let Some(AttrValue::Path(cmds)) = node.attr("d") else {
+                return None;
+            };
             let mut pair_idx = 0u32;
             for cmd in cmds {
                 let pairs = cmd.args.len() / 2;
                 if (*i as usize) < pair_idx as usize + pairs {
                     let off = (*i - pair_idx) as usize * 2;
-                    let idx = if matches!(attr, AttrRef::PathX(_)) { off } else { off + 1 };
+                    let idx = if matches!(attr, AttrRef::PathX(_)) {
+                        off
+                    } else {
+                        off + 1
+                    };
                     return cmd.args.get(idx);
                 }
                 pair_idx += pairs as u32;
@@ -445,7 +489,10 @@ mod tests {
     fn botleft_corner_is_physically_consistent() {
         let n = node_of("(rect 'gold' 0 0 10 10)");
         let zones = zones_of(&n);
-        let bl = zones.iter().find(|z| z.zone == Zone::BotLeftCorner).unwrap();
+        let bl = zones
+            .iter()
+            .find(|z| z.zone == Zone::BotLeftCorner)
+            .unwrap();
         let h = bl
             .effects
             .iter()

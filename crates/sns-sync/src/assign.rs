@@ -15,7 +15,7 @@
 //!   rotation on ties.
 
 use std::collections::{BTreeSet, HashMap};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sns_eval::Trace;
 use sns_lang::LocId;
@@ -46,7 +46,7 @@ pub struct AttrSlot {
     /// The attribute's current value.
     pub base: f64,
     /// The attribute's run-time trace.
-    pub trace: Rc<Trace>,
+    pub trace: Arc<Trace>,
     /// Non-frozen locations in the trace, ascending.
     pub locs: Vec<LocId>,
 }
@@ -113,7 +113,9 @@ pub struct Assignments {
 impl Assignments {
     /// Looks up the analysis for a shape's zone.
     pub fn zone(&self, shape: ShapeId, zone: Zone) -> Option<&ZoneAnalysis> {
-        self.zones.iter().find(|z| z.shape == shape && z.zone == zone)
+        self.zones
+            .iter()
+            .find(|z| z.shape == shape && z.zone == zone)
     }
 
     /// Aggregate zone statistics (the §5.2.1 table).
@@ -190,14 +192,20 @@ pub fn analyze_canvas(
         for spec in shape.zones() {
             let mut slots = Vec::new();
             for (attr, offset) in &spec.effects {
-                let Some(num) = resolve_attr(&shape.node, attr) else { continue };
-                let locs: Vec<LocId> =
-                    num.t.locs().into_iter().filter(|l| !is_frozen(*l)).collect();
+                let Some(num) = resolve_attr(&shape.node, attr) else {
+                    continue;
+                };
+                let locs: Vec<LocId> = num
+                    .t
+                    .locs()
+                    .into_iter()
+                    .filter(|l| !is_frozen(*l))
+                    .collect();
                 slots.push(AttrSlot {
                     attr: attr.clone(),
                     offset: *offset,
                     base: num.n,
-                    trace: Rc::clone(&num.t),
+                    trace: Arc::clone(&num.t),
                     locs,
                 });
             }
@@ -246,7 +254,10 @@ fn group_slots(slots: &[AttrSlot]) -> Vec<SlotGroup<'_>> {
     for (_, members) in groups {
         if members.len() == 1 {
             let locs = members[0].locs.clone();
-            out.push(SlotGroup { slots: members, locs });
+            out.push(SlotGroup {
+                slots: members,
+                locs,
+            });
             continue;
         }
         let mut shared: BTreeSet<LocId> = members[0].locs.iter().copied().collect();
@@ -257,10 +268,16 @@ fn group_slots(slots: &[AttrSlot]) -> Vec<SlotGroup<'_>> {
         if shared.is_empty() {
             // No common driver: each slot chooses independently.
             for m in members {
-                out.push(SlotGroup { slots: vec![m], locs: m.locs.clone() });
+                out.push(SlotGroup {
+                    slots: vec![m],
+                    locs: m.locs.clone(),
+                });
             }
         } else {
-            out.push(SlotGroup { slots: members, locs: shared.into_iter().collect() });
+            out.push(SlotGroup {
+                slots: members,
+                locs: shared.into_iter().collect(),
+            });
         }
     }
     out
@@ -274,13 +291,14 @@ fn enumerate_candidates(slots: &[AttrSlot]) -> (Vec<Candidate>, bool) {
     if groups.is_empty() {
         return (Vec::new(), false);
     }
-    let mut acc: Vec<Candidate> =
-        vec![Candidate { loc_set: BTreeSet::new(), assignment: Vec::new() }];
+    let mut acc: Vec<Candidate> = vec![Candidate {
+        loc_set: BTreeSet::new(),
+        assignment: Vec::new(),
+    }];
     let mut overflow = false;
     for group in &groups {
         let mut next: Vec<Candidate> = Vec::new();
-        let mut seen: std::collections::HashSet<BTreeSet<LocId>> =
-            std::collections::HashSet::new();
+        let mut seen: std::collections::HashSet<BTreeSet<LocId>> = std::collections::HashSet::new();
         // Earlier attributes vary fastest, so the fair heuristic's rotation
         // walks the x-location first (matching §2.3: box 0 → x0, box 1 →
         // sep, …).
@@ -293,7 +311,10 @@ fn enumerate_candidates(slots: &[AttrSlot]) -> (Vec<Candidate>, bool) {
                     for slot in &group.slots {
                         assignment.push((slot.attr.clone(), loc));
                     }
-                    next.push(Candidate { loc_set: set, assignment });
+                    next.push(Candidate {
+                        loc_set: set,
+                        assignment,
+                    });
                     if next.len() >= CANDIDATE_CAP {
                         overflow = true;
                         break 'outer;

@@ -115,7 +115,10 @@ pub fn judge(orig: &Value, updates: &[UserUpdate], new: &Value) -> Judgment {
             }
         }
     }
-    Judgment::Similar { matched, requested: updates.len() }
+    Judgment::Similar {
+        matched,
+        requested: updates.len(),
+    }
 }
 
 #[cfg(test)]
@@ -157,8 +160,14 @@ mod tests {
     fn judgment_faithful_and_plausible() {
         let orig = value_of("[10 20 30]");
         let updates = [
-            UserUpdate { index: 0, new_value: 11.0 },
-            UserUpdate { index: 2, new_value: 33.0 },
+            UserUpdate {
+                index: 0,
+                new_value: 11.0,
+            },
+            UserUpdate {
+                index: 2,
+                new_value: 33.0,
+            },
         ];
         // Both updates satisfied → faithful.
         let new = value_of("[11 20 33]");

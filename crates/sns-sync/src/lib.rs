@@ -52,8 +52,8 @@ pub use framework::{judge, numeric_leaves, similar, Judgment, UserUpdate};
 pub use live::{prepare, DragResult, LiveConfig, LiveError, LiveSync};
 pub use reconcile::{reconcile, OutputEdit, RankedUpdate, ReconcileJudgment};
 pub use stats::{
-    location_stats, pre_equations, solvability, unique_pre_equations, LocationStats,
-    PreEquation, SolvabilityStats,
+    location_stats, pre_equations, solvability, unique_pre_equations, LocationStats, PreEquation,
+    SolvabilityStats,
 };
 pub use synthesize::{synthesize_plausible, synthesize_single, CandidateUpdate, SynthesisOptions};
 pub use trigger::{SolverChoice, Trigger, TriggerFire, TriggerPart};

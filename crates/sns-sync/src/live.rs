@@ -101,7 +101,13 @@ impl LiveSync {
     pub fn new(program: Program, config: LiveConfig) -> Result<LiveSync, LiveError> {
         let canvas = Canvas::from_value(&program.eval()?)?;
         let (assignments, triggers) = prepare(&program, &canvas, config);
-        Ok(LiveSync { program, config, canvas, assignments, triggers })
+        Ok(LiveSync {
+            program,
+            config,
+            canvas,
+            assignments,
+            triggers,
+        })
     }
 
     /// The current program.
@@ -146,7 +152,11 @@ impl LiveSync {
             trigger.fire(&self.program.subst(), dx, dy, self.config.solver);
         let preview = self.program.with_subst(&subst);
         let canvas = Canvas::from_value(&preview.eval()?)?;
-        Ok(DragResult { subst, failures, canvas })
+        Ok(DragResult {
+            subst,
+            failures,
+            canvas,
+        })
     }
 
     /// Commits a drag (mouse-up): applies the final substitution to the
@@ -232,7 +242,11 @@ mod tests {
         let result = live.drag(ShapeId(0), Zone::Interior, 45.0, 0.0).unwrap();
         live.commit(&result.subst).unwrap();
         // Dragging the first box updates x0 (fair heuristic's first pick).
-        assert!(live.program().code().contains("95"), "{}", live.program().code());
+        assert!(
+            live.program().code().contains("95"),
+            "{}",
+            live.program().code()
+        );
     }
 
     #[test]
@@ -240,12 +254,20 @@ mod tests {
         // §2.3: the first box's Interior is assigned {x0, y0}; all boxes
         // move in unison.
         let mut live = session(SINE_WAVE);
-        let xs_before: Vec<f64> =
-            live.canvas().shapes().iter().map(|s| s.node.num_attr("x").unwrap().n).collect();
+        let xs_before: Vec<f64> = live
+            .canvas()
+            .shapes()
+            .iter()
+            .map(|s| s.node.num_attr("x").unwrap().n)
+            .collect();
         let result = live.drag(ShapeId(0), Zone::Interior, 45.0, 0.0).unwrap();
         live.commit(&result.subst).unwrap();
-        let xs_after: Vec<f64> =
-            live.canvas().shapes().iter().map(|s| s.node.num_attr("x").unwrap().n).collect();
+        let xs_after: Vec<f64> = live
+            .canvas()
+            .shapes()
+            .iter()
+            .map(|s| s.node.num_attr("x").unwrap().n)
+            .collect();
         for (b, a) in xs_before.iter().zip(&xs_after) {
             assert!((a - b - 45.0).abs() < 1e-9);
         }
@@ -258,8 +280,12 @@ mod tests {
         let mut live = session(SINE_WAVE);
         let result = live.drag(ShapeId(1), Zone::Interior, 10.0, 0.0).unwrap();
         live.commit(&result.subst).unwrap();
-        let xs: Vec<f64> =
-            live.canvas().shapes().iter().map(|s| s.node.num_attr("x").unwrap().n).collect();
+        let xs: Vec<f64> = live
+            .canvas()
+            .shapes()
+            .iter()
+            .map(|s| s.node.num_attr("x").unwrap().n)
+            .collect();
         // sep solved from 80 + d = x0 + 1·sep → sep = 40.
         assert!((xs[0] - 50.0).abs() < 1e-9);
         assert!((xs[1] - 90.0).abs() < 1e-9);

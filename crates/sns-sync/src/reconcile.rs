@@ -99,9 +99,13 @@ pub fn reconcile(
     // Hard constraints as value-trace equations.
     let mut equations = Vec::with_capacity(edits.len());
     for edit in edits {
-        let Some(shape) = canvas.shape(edit.shape) else { return Vec::new() };
-        let Some(num) = resolve_attr(&shape.node, &edit.attr) else { return Vec::new() };
-        equations.push(Equation::new(edit.new_value, std::rc::Rc::clone(&num.t)));
+        let Some(shape) = canvas.shape(edit.shape) else {
+            return Vec::new();
+        };
+        let Some(num) = resolve_attr(&shape.node, &edit.attr) else {
+            return Vec::new();
+        };
+        equations.push(Equation::new(edit.new_value, std::sync::Arc::clone(&num.t)));
     }
     let frozen = |l: LocId| program.is_frozen(l, mode);
     let candidates = synthesize_plausible(&program.subst(), &equations, &frozen, options);
@@ -111,7 +115,11 @@ pub fn reconcile(
     let mut ranked = Vec::with_capacity(candidates.len());
     for update in candidates {
         let updated = program.with_subst(&update.subst);
-        let judgment = match updated.eval().ok().and_then(|v| Canvas::from_value(&v).ok()) {
+        let judgment = match updated
+            .eval()
+            .ok()
+            .and_then(|v| Canvas::from_value(&v).ok())
+        {
             None => ReconcileJudgment::StructureChanged,
             Some(new_canvas) => judge_canvas(canvas, &new_canvas, &original, edits),
         };
@@ -120,7 +128,11 @@ pub fn reconcile(
             .iter()
             .map(|(l, v)| (v - rho0.get(l).unwrap_or(v)).abs())
             .sum();
-        ranked.push(RankedUpdate { update, judgment, change_magnitude });
+        ranked.push(RankedUpdate {
+            update,
+            judgment,
+            change_magnitude,
+        });
     }
     ranked.sort_by(|a, b| rank_key(a).partial_cmp(&rank_key(b)).expect("finite keys"));
     ranked
@@ -130,7 +142,12 @@ pub fn reconcile(
 fn rank_key(r: &RankedUpdate) -> (f64, f64, f64) {
     match r.judgment {
         ReconcileJudgment::StructureChanged => (f64::INFINITY, 0.0, r.change_magnitude),
-        ReconcileJudgment::Judged { hard_matched, hard_total, soft_preserved, soft_total } => {
+        ReconcileJudgment::Judged {
+            hard_matched,
+            hard_total,
+            soft_preserved,
+            soft_total,
+        } => {
             let hard_miss = (hard_total - hard_matched) as f64;
             let soft_miss = (soft_total - soft_preserved) as f64;
             (hard_miss, soft_miss, r.change_magnitude)
@@ -179,8 +196,7 @@ fn judge_canvas(
         }
     }
     // Soft constraints: every numeric output not named by an edit.
-    let edited: Vec<(usize, &AttrRef)> =
-        edits.iter().map(|e| (e.shape.0, &e.attr)).collect();
+    let edited: Vec<(usize, &AttrRef)> = edits.iter().map(|e| (e.shape.0, &e.attr)).collect();
     let mut soft_total = 0usize;
     let mut soft_preserved = 0usize;
     for (si, (olds, news)) in original.iter().zip(&updated).enumerate() {
@@ -193,9 +209,7 @@ fn judge_canvas(
                     && match attr {
                         AttrRef::Plain(a) => *a == name_old.as_str(),
                         AttrRef::PointX(i) => name_old == "points" && pi == (*i as usize) * 2,
-                        AttrRef::PointY(i) => {
-                            name_old == "points" && pi == (*i as usize) * 2 + 1
-                        }
+                        AttrRef::PointY(i) => name_old == "points" && pi == (*i as usize) * 2 + 1,
                         AttrRef::PathX(_) | AttrRef::PathY(_) => name_old == "d",
                         AttrRef::TransformArg(_) => name_old == "transform",
                     }
@@ -258,7 +272,11 @@ mod tests {
         // Both candidates satisfy the hard constraint; the x0 one breaks a
         // soft constraint.
         match ranked[1].judgment {
-            ReconcileJudgment::Judged { soft_preserved, soft_total, .. } => {
+            ReconcileJudgment::Judged {
+                soft_preserved,
+                soft_total,
+                ..
+            } => {
                 assert!(soft_preserved < soft_total);
             }
             other => panic!("{other:?}"),
@@ -270,8 +288,16 @@ mod tests {
         // Move *both* boxes right by 25: only x0 can do that faithfully.
         let (program, canvas) = setup(TWO_BOXES);
         let edits = [
-            OutputEdit { shape: ShapeId(0), attr: AttrRef::Plain("x"), new_value: 75.0 },
-            OutputEdit { shape: ShapeId(1), attr: AttrRef::Plain("x"), new_value: 175.0 },
+            OutputEdit {
+                shape: ShapeId(0),
+                attr: AttrRef::Plain("x"),
+                new_value: 75.0,
+            },
+            OutputEdit {
+                shape: ShapeId(1),
+                attr: AttrRef::Plain("x"),
+                new_value: 175.0,
+            },
         ];
         let ranked = reconcile(
             &program,
@@ -299,8 +325,16 @@ mod tests {
         "#;
         let (program, canvas) = setup(src);
         let edits = [
-            OutputEdit { shape: ShapeId(0), attr: AttrRef::Plain("x"), new_value: 60.0 },
-            OutputEdit { shape: ShapeId(1), attr: AttrRef::Plain("x"), new_value: 90.0 },
+            OutputEdit {
+                shape: ShapeId(0),
+                attr: AttrRef::Plain("x"),
+                new_value: 60.0,
+            },
+            OutputEdit {
+                shape: ShapeId(1),
+                attr: AttrRef::Plain("x"),
+                new_value: 90.0,
+            },
         ];
         let ranked = reconcile(
             &program,
@@ -336,7 +370,10 @@ mod tests {
             SynthesisOptions::default(),
         );
         assert!(ranked.len() >= 3);
-        assert!(!matches!(ranked[0].judgment, ReconcileJudgment::StructureChanged));
+        assert!(!matches!(
+            ranked[0].judgment,
+            ReconcileJudgment::StructureChanged
+        ));
         assert!(matches!(
             ranked.last().unwrap().judgment,
             ReconcileJudgment::StructureChanged

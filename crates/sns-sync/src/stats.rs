@@ -8,7 +8,7 @@
 //! the paper reports for `d = 1` and `d = 100`.
 
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sns_eval::Trace;
 use sns_lang::{LocId, Subst};
@@ -29,7 +29,7 @@ pub struct PreEquation {
     /// The attribute's current value n.
     pub n: f64,
     /// The attribute's trace t.
-    pub trace: Rc<Trace>,
+    pub trace: Arc<Trace>,
 }
 
 /// Extracts every pre-equation from prepared assignments (one per attribute
@@ -47,7 +47,7 @@ pub fn pre_equations(assignments: &Assignments) -> Vec<PreEquation> {
                     zone: z.zone,
                     loc,
                     n: slot.base,
-                    trace: Rc::clone(&slot.trace),
+                    trace: Arc::clone(&slot.trace),
                 });
             }
         }
@@ -120,11 +120,11 @@ pub fn solvability(rho0: &Subst, eqs: &[PreEquation]) -> SolvabilityStats {
             continue;
         }
         s.in_fragment += 1;
-        let eq1 = Equation::new(eq.n + 1.0, Rc::clone(&eq.trace));
+        let eq1 = Equation::new(eq.n + 1.0, Arc::clone(&eq.trace));
         if solve(rho0, eq.loc, &eq1).is_some() {
             s.solved_d1 += 1;
         }
-        let eq100 = Equation::new(eq.n + 100.0, Rc::clone(&eq.trace));
+        let eq100 = Equation::new(eq.n + 100.0, Arc::clone(&eq.trace));
         if solve(rho0, eq.loc, &eq100).is_some() {
             s.solved_d100 += 1;
         }
@@ -161,8 +161,11 @@ pub fn location_stats(
             output_locs.extend(num.t.locs());
         }
     }
-    let unfrozen: HashSet<LocId> =
-        output_locs.iter().copied().filter(|l| !is_frozen(*l)).collect();
+    let unfrozen: HashSet<LocId> = output_locs
+        .iter()
+        .copied()
+        .filter(|l| !is_frozen(*l))
+        .collect();
 
     // times: zones whose chosen set contains the location.
     // opportunities: zones where the location was in some candidate.
@@ -183,8 +186,11 @@ pub fn location_stats(
         }
     }
 
-    let assigned: Vec<LocId> =
-        unfrozen.iter().copied().filter(|l| times.get(l).copied().unwrap_or(0) > 0).collect();
+    let assigned: Vec<LocId> = unfrozen
+        .iter()
+        .copied()
+        .filter(|l| times.get(l).copied().unwrap_or(0) > 0)
+        .collect();
     let avg_times = if assigned.is_empty() {
         0.0
     } else {

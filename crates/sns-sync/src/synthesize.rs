@@ -6,7 +6,7 @@
 //! candidate space `L′1 × … × L′m` — it is what the Figure 1D harness uses
 //! to show the user the four distinct effects of dragging the third box.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sns_eval::Trace;
 use sns_lang::{LocId, Subst};
@@ -25,7 +25,10 @@ pub struct SynthesisOptions {
 
 impl Default for SynthesisOptions {
     fn default() -> Self {
-        SynthesisOptions { solver: SolverChoice::Extended, max_candidates: 10_000 }
+        SynthesisOptions {
+            solver: SolverChoice::Extended,
+            max_candidates: 10_000,
+        }
     }
 }
 
@@ -56,7 +59,13 @@ pub fn synthesize_plausible(
     }
     let loc_sets: Vec<Vec<LocId>> = equations
         .iter()
-        .map(|eq| eq.trace.locs().into_iter().filter(|l| !is_frozen(*l)).collect())
+        .map(|eq| {
+            eq.trace
+                .locs()
+                .into_iter()
+                .filter(|l| !is_frozen(*l))
+                .collect()
+        })
         .collect();
     if loc_sets.iter().any(|ls| ls.is_empty()) {
         return Vec::new();
@@ -71,8 +80,7 @@ pub fn synthesize_plausible(
         if explored > options.max_candidates {
             break;
         }
-        let locs: Vec<LocId> =
-            tuple.iter().zip(&loc_sets).map(|(&i, ls)| ls[i]).collect();
+        let locs: Vec<LocId> = tuple.iter().zip(&loc_sets).map(|(&i, ls)| ls[i]).collect();
         let mut subst = Subst::new();
         let mut ok = true;
         for (loc, eq) in locs.iter().zip(equations) {
@@ -92,8 +100,7 @@ pub fn synthesize_plausible(
         }
         if ok {
             // Deduplicate by the substitution's content (bit-exact).
-            let key: Vec<(LocId, u64)> =
-                subst.iter().map(|(l, v)| (l, v.to_bits())).collect();
+            let key: Vec<(LocId, u64)> = subst.iter().map(|(l, v)| (l, v.to_bits())).collect();
             if seen.insert(key) {
                 results.push(CandidateUpdate { locs, subst });
             }
@@ -121,13 +128,13 @@ pub fn synthesize_plausible(
 pub fn synthesize_single(
     rho0: &Subst,
     target: f64,
-    trace: &Rc<Trace>,
+    trace: &Arc<Trace>,
     is_frozen: &dyn Fn(LocId) -> bool,
     options: SynthesisOptions,
 ) -> Vec<CandidateUpdate> {
     synthesize_plausible(
         rho0,
-        &[Equation::new(target, Rc::clone(trace))],
+        &[Equation::new(target, Arc::clone(trace))],
         is_frozen,
         options,
     )
@@ -139,7 +146,7 @@ mod tests {
     use sns_lang::Op;
 
     /// Equation 3′ from §2.2: 155 = (+ x0 (* (+ l1 (+ l1 l0)) sep)).
-    fn sine_eq() -> (Subst, Rc<Trace>) {
+    fn sine_eq() -> (Subst, Arc<Trace>) {
         let l = |i: u32| Trace::loc(LocId(i));
         let idx = Trace::op(Op::Add, vec![l(2), Trace::op(Op::Add, vec![l(2), l(3)])]);
         let t = Trace::op(Op::Add, vec![l(0), Trace::op(Op::Mul, vec![idx, l(1)])]);
@@ -156,8 +163,7 @@ mod tests {
     fn figure_1d_four_candidates() {
         let (rho, t) = sine_eq();
         let frozen = |_: LocId| false;
-        let cands =
-            synthesize_single(&rho, 155.0, &t, &frozen, SynthesisOptions::default());
+        let cands = synthesize_single(&rho, 155.0, &t, &frozen, SynthesisOptions::default());
         assert_eq!(cands.len(), 4);
         let mut solutions: Vec<(u32, f64)> = cands
             .iter()
@@ -166,7 +172,7 @@ mod tests {
                 (l.0, v)
             })
             .collect();
-        solutions.sort_by(|a, b| a.0.cmp(&b.0));
+        solutions.sort_by_key(|s| s.0);
         assert_eq!(solutions, vec![(0, 95.0), (1, 52.5), (2, 1.75), (3, 1.5)]);
     }
 
@@ -176,8 +182,7 @@ mod tests {
         // frozen, only x0 and sep remain.
         let (rho, t) = sine_eq();
         let frozen = |l: LocId| l.0 >= 2;
-        let cands =
-            synthesize_single(&rho, 155.0, &t, &frozen, SynthesisOptions::default());
+        let cands = synthesize_single(&rho, 155.0, &t, &frozen, SynthesisOptions::default());
         assert_eq!(cands.len(), 2);
     }
 
@@ -185,8 +190,7 @@ mod tests {
     fn everything_frozen_yields_nothing() {
         let (rho, t) = sine_eq();
         let frozen = |_: LocId| true;
-        let cands =
-            synthesize_single(&rho, 155.0, &t, &frozen, SynthesisOptions::default());
+        let cands = synthesize_single(&rho, 155.0, &t, &frozen, SynthesisOptions::default());
         assert!(cands.is_empty());
     }
 
@@ -199,8 +203,7 @@ mod tests {
         ];
         let rho = Subst::from_pairs([(LocId(0), 10.0), (LocId(1), 20.0)]);
         let frozen = |_: LocId| false;
-        let cands =
-            synthesize_plausible(&rho, &eqs, &frozen, SynthesisOptions::default());
+        let cands = synthesize_plausible(&rho, &eqs, &frozen, SynthesisOptions::default());
         assert_eq!(cands.len(), 1);
         assert_eq!(cands[0].subst.get(LocId(0)), Some(15.0));
         assert_eq!(cands[0].subst.get(LocId(1)), Some(27.0));
@@ -212,13 +215,20 @@ mod tests {
         // 3^10 tuples; the cap keeps it finite and deterministic.
         let t = Trace::op(
             Op::Add,
-            vec![Trace::loc(LocId(0)), Trace::op(Op::Add, vec![Trace::loc(LocId(1)), Trace::loc(LocId(2))])],
+            vec![
+                Trace::loc(LocId(0)),
+                Trace::op(Op::Add, vec![Trace::loc(LocId(1)), Trace::loc(LocId(2))]),
+            ],
         );
-        let eqs: Vec<Equation> =
-            (0..10).map(|i| Equation::new(10.0 + i as f64, Rc::clone(&t))).collect();
+        let eqs: Vec<Equation> = (0..10)
+            .map(|i| Equation::new(10.0 + i as f64, Arc::clone(&t)))
+            .collect();
         let rho = Subst::from_pairs([(LocId(0), 1.0), (LocId(1), 2.0), (LocId(2), 3.0)]);
         let frozen = |_: LocId| false;
-        let opts = SynthesisOptions { max_candidates: 100, ..Default::default() };
+        let opts = SynthesisOptions {
+            max_candidates: 100,
+            ..Default::default()
+        };
         let cands = synthesize_plausible(&rho, &eqs, &frozen, opts);
         assert!(!cands.is_empty());
         assert!(cands.len() <= 100);
@@ -229,8 +239,10 @@ mod tests {
         // Two equations over the same single-location trace: all tuples
         // produce the same one-binding substitution.
         let t = Trace::loc(LocId(0));
-        let eqs =
-            vec![Equation::new(5.0, Rc::clone(&t)), Equation::new(5.0, Rc::clone(&t))];
+        let eqs = vec![
+            Equation::new(5.0, Arc::clone(&t)),
+            Equation::new(5.0, Arc::clone(&t)),
+        ];
         let rho = Subst::from_pairs([(LocId(0), 1.0)]);
         let frozen = |_: LocId| false;
         let cands = synthesize_plausible(&rho, &eqs, &frozen, SynthesisOptions::default());
@@ -241,8 +253,7 @@ mod tests {
     fn no_equations_no_candidates() {
         let rho = Subst::new();
         let frozen = |_: LocId| false;
-        assert!(synthesize_plausible(&rho, &[], &frozen, SynthesisOptions::default())
-            .is_empty());
+        assert!(synthesize_plausible(&rho, &[], &frozen, SynthesisOptions::default()).is_empty());
     }
 
     #[test]
@@ -251,7 +262,10 @@ mod tests {
         // (l2 ↦ 1.75) is out of reach.
         let (rho, t) = sine_eq();
         let frozen = |_: LocId| false;
-        let opts = SynthesisOptions { solver: SolverChoice::Paper, ..Default::default() };
+        let opts = SynthesisOptions {
+            solver: SolverChoice::Paper,
+            ..Default::default()
+        };
         let cands = synthesize_single(&rho, 155.0, &t, &frozen, opts);
         assert_eq!(cands.len(), 3);
     }

@@ -6,12 +6,12 @@
 //! attribute and combines the solutions into a substitution that is applied
 //! to the program in real time.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sns_eval::Trace;
 use sns_lang::{LocId, Subst};
-use sns_svg::{AttrRef, Offset, ShapeId, Zone};
 use sns_solver::{solve, solve_extended, Equation};
+use sns_svg::{AttrRef, Offset, ShapeId, Zone};
 
 use crate::assign::ZoneAnalysis;
 
@@ -48,7 +48,7 @@ pub struct TriggerPart {
     /// The attribute's value when the drag started.
     pub base: f64,
     /// The attribute's trace.
-    pub trace: Rc<Trace>,
+    pub trace: Arc<Trace>,
 }
 
 /// A prepared mouse trigger for one zone (`ComputeTrigger`'s result).
@@ -87,11 +87,15 @@ impl Trigger {
                     offset: slot.offset,
                     loc,
                     base: slot.base,
-                    trace: Rc::clone(&slot.trace),
+                    trace: Arc::clone(&slot.trace),
                 });
             }
         }
-        Some(Trigger { shape: analysis.shape, zone: analysis.zone, parts })
+        Some(Trigger {
+            shape: analysis.shape,
+            zone: analysis.zone,
+            parts,
+        })
     }
 
     /// Fires the trigger for a mouse movement of `(dx, dy)` against the
@@ -104,7 +108,7 @@ impl Trigger {
         let mut failures = Vec::new();
         for part in &self.parts {
             let target = part.base + part.offset.delta(dx, dy);
-            let eq = Equation::new(target, Rc::clone(&part.trace));
+            let eq = Equation::new(target, Arc::clone(&part.trace));
             match solver.run(rho0, part.loc, &eq) {
                 // Later bindings shadow earlier ones (plausible updates).
                 Some(k) => {
@@ -139,7 +143,11 @@ mod tests {
         let mode = FreezeMode::default();
         let frozen = |l: LocId| program.is_frozen(l, mode);
         let assignments = analyze_canvas(&canvas, &frozen, Heuristic::Fair);
-        let triggers = assignments.zones.iter().filter_map(Trigger::compute).collect();
+        let triggers = assignments
+            .zones
+            .iter()
+            .filter_map(Trigger::compute)
+            .collect();
         (program, triggers)
     }
 
@@ -178,8 +186,7 @@ mod tests {
     fn overconstrained_shared_location_is_plausible() {
         // §4.1: (let xy 100 (rect 'red' xy xy 30 40)) — both x and y are
         // tied to the same location; the later solution wins.
-        let (program, triggers) =
-            triggers_for("(def xy 100) (svg [(rect 'red' xy xy 30 40)])");
+        let (program, triggers) = triggers_for("(def xy 100) (svg [(rect 'red' xy xy 30 40)])");
         let t = triggers.iter().find(|t| t.zone == Zone::Interior).unwrap();
         let fire = t.fire(&program.subst(), 7.0, 3.0, SolverChoice::Paper);
         // One location bound once: the y equation's solution shadows x's.

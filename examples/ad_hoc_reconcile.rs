@@ -27,26 +27,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }];
     println!("edit: box 2's x ← 330. Candidates, best first:");
     for r in editor.reconcile_edits(&edits) {
-        println!("  {}  → {:?} (|Δ| = {:.1})", r.update.subst, r.judgment, r.change_magnitude);
+        println!(
+            "  {}  → {:?} (|Δ| = {:.1})",
+            r.update.subst, r.judgment, r.change_magnitude
+        );
     }
 
     // Apply the best candidate: `sep` changes (it preserves the other two
     // boxes — the soft constraints), not `x0` (which would move everything).
     let best = editor.apply_output_edits(&edits)?;
     println!("\napplied {}", best.update.subst);
-    println!("program is now: {}", editor.code().lines().next().unwrap_or_default());
-    let xs: Vec<f64> =
-        editor.shapes().iter().map(|s| s.node.num_attr("x").unwrap().n).collect();
+    println!(
+        "program is now: {}",
+        editor.code().lines().next().unwrap_or_default()
+    );
+    let xs: Vec<f64> = editor
+        .shapes()
+        .iter()
+        .map(|s| s.node.num_attr("x").unwrap().n)
+        .collect();
     println!("box xs: {xs:?}");
 
     // A *pair* of edits pins the interpretation down: moving boxes 0 and 2
     // by the same amount can only be the base position.
     let edits = [
-        OutputEdit { shape: ShapeId(0), attr: AttrRef::Plain("x"), new_value: 80.0 },
-        OutputEdit { shape: ShapeId(2), attr: AttrRef::Plain("x"), new_value: 360.0 },
+        OutputEdit {
+            shape: ShapeId(0),
+            attr: AttrRef::Plain("x"),
+            new_value: 80.0,
+        },
+        OutputEdit {
+            shape: ShapeId(2),
+            attr: AttrRef::Plain("x"),
+            new_value: 360.0,
+        },
     ];
     let best = editor.apply_output_edits(&edits)?;
     println!("\ntwo coordinated edits applied: {}", best.update.subst);
-    println!("program is now: {}", editor.code().lines().next().unwrap_or_default());
+    println!(
+        "program is now: {}",
+        editor.code().lines().next().unwrap_or_default()
+    );
     Ok(())
 }

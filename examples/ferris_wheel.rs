@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Phase 2: direct manipulation. The rim's zones are unambiguous:
     println!("\nhover captions:");
-    for (zone, what) in [(Zone::Interior, "rim interior"), (Zone::RightEdge, "rim edge")] {
+    for (zone, what) in [
+        (Zone::Interior, "rim interior"),
+        (Zone::RightEdge, "rim edge"),
+    ] {
         let c = editor.hover(ShapeId(0), zone)?;
         println!("  {what}: {}", c.text);
     }
@@ -54,10 +57,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Now the sliders control spokes and rotation safely.
     let sliders = editor.sliders();
-    println!("\nsliders: {:?}", sliders.iter().map(|s| s.name.as_str()).collect::<Vec<_>>());
+    println!(
+        "\nsliders: {:?}",
+        sliders.iter().map(|s| s.name.as_str()).collect::<Vec<_>>()
+    );
     editor.set_slider(sliders[0].loc, 7.0)?;
     editor.set_slider(sliders[1].loc, 0.7)?;
-    println!("numSpokes → 7, rotAngle → 0.7: {} shapes", editor.shapes().len());
+    println!(
+        "numSpokes → 7, rotAngle → 0.7: {} shapes",
+        editor.shapes().len()
+    );
 
     println!("\nfinal SVG export:\n{}", editor.export_svg());
     Ok(())

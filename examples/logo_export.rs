@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Stretch the logo 1.5× horizontally, 1.25× vertically, in one drag.
     editor.drag_zone(ShapeId(0), Zone::BotRightCorner, 100.0, 50.0)?;
-    eprintln!("after stretching: {}", editor.code().lines().next().unwrap_or_default());
+    eprintln!(
+        "after stretching: {}",
+        editor.code().lines().next().unwrap_or_default()
+    );
 
     // Print final SVG to stdout (pipe into a file to use elsewhere).
     println!("{}", editor.export_svg());

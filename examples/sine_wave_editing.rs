@@ -40,14 +40,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &frozen,
         SynthesisOptions::default(),
     );
-    println!("\nFigure 1D: {} candidate updates for 155 = trace:", candidates.len());
+    println!(
+        "\nFigure 1D: {} candidate updates for 155 = trace:",
+        candidates.len()
+    );
     for c in &candidates {
         let (loc, v) = c.subst.iter().next().unwrap();
         println!(
             "  {} ↦ {}{}",
             program.display_loc(loc),
             sketch_n_sketch::lang::fmt_num(v),
-            if program.is_prelude_loc(loc) { "   (a Prelude constant!)" } else { "" }
+            if program.is_prelude_loc(loc) {
+                "   (a Prelude constant!)"
+            } else {
+                ""
+            }
         );
     }
 
@@ -66,6 +73,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The slider controls n (hard to manipulate directly, §2.4).
     let slider = editor.sliders()[0].clone();
     editor.set_slider(slider.loc, 24.0)?;
-    println!("\nslider n → 24: canvas now has {} boxes", editor.shapes().len());
+    println!(
+        "\nslider n → 24: canvas now has {} boxes",
+        editor.shapes().len()
+    );
     Ok(())
 }

@@ -9,8 +9,8 @@ use sketch_n_sketch::svg::Canvas;
 #[test]
 fn every_example_opens_and_prepares() {
     for ex in sketch_n_sketch::examples::ALL {
-        let editor = Editor::new(ex.source)
-            .unwrap_or_else(|e| panic!("{} failed to open: {e}", ex.slug));
+        let editor =
+            Editor::new(ex.source).unwrap_or_else(|e| panic!("{} failed to open: {e}", ex.slug));
         let stats = editor.assignments().zone_stats();
         assert_eq!(
             stats.total,
@@ -79,12 +79,20 @@ fn sliders_across_the_corpus_clamp_and_rerun() {
             assert!(s.min <= s.value && s.value <= s.max, "{}: {s:?}", ex.slug);
             // Push past the max: must clamp, not crash.
             editor.set_slider(s.loc, s.max + 100.0).unwrap();
-            let now = editor.sliders().iter().find(|t| t.loc == s.loc).unwrap().value;
+            let now = editor
+                .sliders()
+                .iter()
+                .find(|t| t.loc == s.loc)
+                .unwrap()
+                .value;
             assert_eq!(now, s.max, "{}", ex.slug);
             editor.undo().unwrap();
         }
     }
-    assert!(slider_examples >= 8, "only {slider_examples} slider examples");
+    assert!(
+        slider_examples >= 8,
+        "only {slider_examples} slider examples"
+    );
 }
 
 #[test]
@@ -97,8 +105,7 @@ fn export_produces_wellformed_svg() {
         // Balanced tags for the kinds we emit most.
         for kind in ["rect", "circle", "line", "polygon", "path", "ellipse"] {
             let opens = svg.matches(&format!("<{kind}")).count();
-            let closes =
-                svg.matches(&format!("</{kind}>")).count() + svg.matches("/>").count();
+            let closes = svg.matches(&format!("</{kind}>")).count() + svg.matches("/>").count();
             assert!(opens <= closes, "{}: unbalanced <{kind}>", ex.slug);
         }
         // Internal markers never leak.
@@ -113,9 +120,14 @@ fn both_heuristics_produce_valid_assignments_corpus_wide() {
     use sketch_n_sketch::sync::Heuristic;
     for ex in sketch_n_sketch::examples::ALL {
         for heuristic in [Heuristic::Fair, Heuristic::Biased] {
-            let editor =
-                Editor::with_config(ex.source, EditorConfig { heuristic, ..Default::default() })
-                    .unwrap_or_else(|e| panic!("{} ({heuristic:?}): {e}", ex.slug));
+            let editor = Editor::with_config(
+                ex.source,
+                EditorConfig {
+                    heuristic,
+                    ..Default::default()
+                },
+            )
+            .unwrap_or_else(|e| panic!("{} ({heuristic:?}): {e}", ex.slug));
             for z in &editor.assignments().zones {
                 // Candidate counts do not depend on the heuristic; the
                 // chosen index must be in range; every chosen location must
@@ -158,7 +170,10 @@ fn paper_headline_statistics_have_the_right_shape() {
         choices += s.ambiguous_choices;
     }
     assert!(total > 2_000, "corpus too small: {total} zones");
-    assert!((inactive as f64) < 0.2 * total as f64, "too many inactive zones");
+    assert!(
+        (inactive as f64) < 0.2 * total as f64,
+        "too many inactive zones"
+    );
     assert!(ambiguous > unambiguous, "ambiguity should dominate");
     let avg = choices as f64 / ambiguous as f64;
     assert!((2.0..=10.0).contains(&avg), "avg candidates {avg}");

@@ -22,7 +22,9 @@ fn group_box_controls_the_whole_design() {
     let caption = editor.hover(ShapeId(0), Zone::BotRightCorner).unwrap();
     assert_eq!(caption.text, "Active: changes w, h");
     let x1_before = editor.shapes()[1].node.num_attr("cx").unwrap().n;
-    editor.drag_zone(ShapeId(0), Zone::BotRightCorner, 100.0, 50.0).unwrap();
+    editor
+        .drag_zone(ShapeId(0), Zone::BotRightCorner, 100.0, 50.0)
+        .unwrap();
     // Stretching the group box rescales the dots' positions.
     let x1_after = editor.shapes()[1].node.num_attr("cx").unwrap().n;
     assert!((x1_after - (x1_before + 25.0)).abs() < 1e-9);
@@ -72,7 +74,9 @@ fn freezing_redirects_ambiguity() {
     let mut editor = Editor::new(src_frozen).unwrap();
     let caption = editor.hover(ShapeId(0), Zone::Point(1)).unwrap();
     assert_eq!(caption.text, "Active: changes w, h");
-    editor.drag_zone(ShapeId(0), Zone::Point(1), 40.0, -60.0).unwrap();
+    editor
+        .drag_zone(ShapeId(0), Zone::Point(1), 40.0, -60.0)
+        .unwrap();
     assert!(editor.code().contains("240"), "{}", editor.code());
     assert!(editor.code().contains("140"), "{}", editor.code());
 }
@@ -86,7 +90,10 @@ fn thaw_mode_flips_the_default() {
     // All-frozen-except-thawed: only b remains.
     let editor = Editor::with_config(
         src,
-        EditorConfig { freeze_mode: FreezeMode::all_except_thawed(), ..Default::default() },
+        EditorConfig {
+            freeze_mode: FreezeMode::all_except_thawed(),
+            ..Default::default()
+        },
     )
     .unwrap();
     let caption = editor.hover(ShapeId(0), Zone::Interior).unwrap();
@@ -102,12 +109,21 @@ fn negative_star_lengths_are_reachable_by_dragging() {
     // Find a point zone that drags l1 or l2 and pull it far inward.
     let mut dragged = false;
     for i in 0..10 {
-        let Some(a) = editor.zone_analysis(ShapeId(0), Zone::Point(i)) else { continue };
-        let Some(c) = a.chosen_candidate() else { continue };
-        let names: Vec<String> =
-            c.loc_set.iter().map(|l| editor.program().display_loc(*l)).collect();
+        let Some(a) = editor.zone_analysis(ShapeId(0), Zone::Point(i)) else {
+            continue;
+        };
+        let Some(c) = a.chosen_candidate() else {
+            continue;
+        };
+        let names: Vec<String> = c
+            .loc_set
+            .iter()
+            .map(|l| editor.program().display_loc(*l))
+            .collect();
         if names.iter().any(|n| n == "l1" || n == "l2") {
-            editor.drag_zone(ShapeId(0), Zone::Point(i), -120.0, 0.0).unwrap();
+            editor
+                .drag_zone(ShapeId(0), Zone::Point(i), -120.0, 0.0)
+                .unwrap();
             dragged = true;
             break;
         }
@@ -133,7 +149,9 @@ fn whole_line_drag_moves_both_endpoints() {
     let mut editor =
         Editor::new("(def [ax ay bx by] [10 20 110 120]) (svg [(line 'black' 3! ax ay bx by)])")
             .unwrap();
-    editor.drag_zone(ShapeId(0), Zone::WholeEdge, 5.0, 6.0).unwrap();
+    editor
+        .drag_zone(ShapeId(0), Zone::WholeEdge, 5.0, 6.0)
+        .unwrap();
     let n = &editor.shapes()[0].node;
     assert_eq!(n.num_attr("x1").unwrap().n, 15.0);
     assert_eq!(n.num_attr("y1").unwrap().n, 26.0);
@@ -154,7 +172,9 @@ fn rotation_zone_spins_a_transformed_rect() {
     let mut editor = Editor::new(src).unwrap();
     let caption = editor.hover(ShapeId(0), Zone::Rotation).unwrap();
     assert_eq!(caption.text, "Active: changes deg");
-    editor.drag_zone(ShapeId(0), Zone::Rotation, 25.0, 0.0).unwrap();
+    editor
+        .drag_zone(ShapeId(0), Zone::Rotation, 25.0, 0.0)
+        .unwrap();
     assert!(editor.code().contains("(def deg 45)"), "{}", editor.code());
     assert!(editor.export_svg().contains("rotate(45 140 110)"));
 }
@@ -182,6 +202,8 @@ fn bezier_control_points_are_directly_manipulable() {
     // Path data points: 0 = M point (frozen), 1 = first control point.
     let caption = editor.hover(ShapeId(0), Zone::Point(1)).unwrap();
     assert_eq!(caption.text, "Active: changes c1x, c1y");
-    editor.drag_zone(ShapeId(0), Zone::Point(1), -30.0, 10.0).unwrap();
+    editor
+        .drag_zone(ShapeId(0), Zone::Point(1), -30.0, 10.0)
+        .unwrap();
     assert!(editor.code().contains("[150 90]"), "{}", editor.code());
 }

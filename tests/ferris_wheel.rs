@@ -43,9 +43,15 @@ fn rim_zones_are_unambiguous_and_name_the_right_constants() {
 fn dragging_the_hub_moves_the_whole_wheel() {
     let mut editor = Editor::new(FERRIS).unwrap();
     let car_x_before = editor.shapes()[CAR0.0].node.num_attr("x").unwrap().n;
-    editor.drag_zone(CENTER, Zone::Interior, 30.0, -20.0).unwrap();
+    editor
+        .drag_zone(CENTER, Zone::Interior, 30.0, -20.0)
+        .unwrap();
     // cx/cy changed in the program; every car follows.
-    assert!(editor.code().contains("[250 280 80 20 30 7]"), "{}", editor.code());
+    assert!(
+        editor.code().contains("[250 280 80 20 30 7]"),
+        "{}",
+        editor.code()
+    );
     let car_x_after = editor.shapes()[CAR0.0].node.num_attr("x").unwrap().n;
     assert!((car_x_after - car_x_before - 30.0).abs() < 1e-9);
 }
@@ -62,7 +68,9 @@ fn car_width_is_shared_by_all_cars() {
             Some("wCar".to_string())
         );
     }
-    editor.drag_zone(ShapeId(3), Zone::RightEdge, 10.0, 0.0).unwrap();
+    editor
+        .drag_zone(ShapeId(3), Zone::RightEdge, 10.0, 0.0)
+        .unwrap();
     for i in 1..=5 {
         assert_eq!(editor.shapes()[i].node.num_attr("width").unwrap().n, 40.0);
     }
@@ -78,9 +86,14 @@ fn dragging_a_car_changes_num_spokes_and_breaks_similarity() {
     let mut found_structure_change = false;
     for i in 1..=5 {
         let analysis = editor.zone_analysis(ShapeId(i), Zone::Interior).unwrap();
-        let Some(c) = analysis.chosen_candidate() else { continue };
-        let names: Vec<String> =
-            c.loc_set.iter().map(|l| editor.program().display_loc(*l)).collect();
+        let Some(c) = analysis.chosen_candidate() else {
+            continue;
+        };
+        let names: Vec<String> = c
+            .loc_set
+            .iter()
+            .map(|l| editor.program().display_loc(*l))
+            .collect();
         if !names.iter().any(|n| n == "numSpokes") {
             continue;
         }
@@ -94,7 +107,10 @@ fn dragging_a_car_changes_num_spokes_and_breaks_similarity() {
         let index = leaves.iter().position(|&v| (v - x).abs() < 1e-9).unwrap();
         let j = judge(
             &original,
-            &[UserUpdate { index, new_value: x + 9.0 }],
+            &[UserUpdate {
+                index,
+                new_value: x + 9.0,
+            }],
             &new_output,
         );
         if j == Judgment::NotSimilar {
@@ -146,7 +162,9 @@ fn undo_restores_the_wheel_after_a_bad_drag() {
     let before = editor.code();
     let shapes_before = editor.shapes().len();
     // Drag a car; whatever it changed, undo restores the program.
-    editor.drag_zone(ShapeId(2), Zone::Interior, 9.0, 4.0).unwrap();
+    editor
+        .drag_zone(ShapeId(2), Zone::Interior, 9.0, 4.0)
+        .unwrap();
     editor.undo().unwrap();
     assert_eq!(editor.code(), before);
     assert_eq!(editor.shapes().len(), shapes_before);
@@ -176,7 +194,10 @@ fn programmatic_edit_colors_the_first_car() {
 fn config_with_biased_heuristic_also_works() {
     let editor = Editor::with_config(
         FERRIS,
-        EditorConfig { heuristic: sketch_n_sketch::sync::Heuristic::Biased, ..Default::default() },
+        EditorConfig {
+            heuristic: sketch_n_sketch::sync::Heuristic::Biased,
+            ..Default::default()
+        },
     )
     .unwrap();
     assert_eq!(editor.shapes().len(), 13);

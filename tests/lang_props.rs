@@ -1,74 +1,96 @@
-//! Property-based tests for the `little` front-end: unparse/parse
-//! round-trips on randomly generated expressions, and evaluation
-//! determinism.
+//! Randomized tests for the `little` front-end: unparse/parse round-trips
+//! on generated expressions, and evaluation determinism. (Ported from a
+//! `proptest` suite to the std-only harness in `tests/support`.)
 
-use proptest::prelude::*;
+mod support;
+
+use support::{ident, GenExt, SplitMix64};
 
 use sketch_n_sketch::lang::{
     parse, unparse, Expr, FreezeAnnotation, LetStyle, LocId, NumLit, Op, Pat,
 };
 
-fn arb_num() -> impl Strategy<Value = Expr> {
-    (
-        -1000.0f64..1000.0,
-        prop_oneof![
-            Just(FreezeAnnotation::None),
-            Just(FreezeAnnotation::Frozen),
-            Just(FreezeAnnotation::Thawed)
-        ],
-        proptest::option::of((0.0f64..10.0, 10.0f64..20.0)),
-    )
-        .prop_map(|(v, annotation, range)| {
-            // Two decimal places keep the text form canonical.
-            let value = (v * 100.0).round() / 100.0;
-            Expr::Num(NumLit { value, loc: LocId(0), annotation, range })
-        })
-}
-
-fn arb_ident() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9]{0,6}".prop_map(|s| s)
-}
-
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        arb_num(),
-        arb_ident().prop_map(Expr::Var),
-        Just(Expr::Bool(true)),
-        Just(Expr::Bool(false)),
-        "[a-z ]{0,8}".prop_map(Expr::Str),
-        Just(Expr::List(vec![], None)),
-    ];
-    leaf.prop_recursive(4, 48, 4, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Prim(
-                Op::Add,
-                vec![a, b]
-            )),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Prim(
-                Op::Mul,
-                vec![a, b]
-            )),
-            inner.clone().prop_map(|a| Expr::Prim(Op::Cos, vec![a])),
-            proptest::collection::vec(inner.clone(), 1..4)
-                .prop_map(|es| Expr::List(es, None)),
-            (arb_ident(), inner.clone(), inner.clone()).prop_map(|(x, b, body)| Expr::Let {
-                recursive: false,
-                style: LetStyle::Let,
-                pat: Pat::Var(x),
-                bound: Box::new(b),
-                body: Box::new(body),
-            }),
-            (arb_ident(), inner.clone()).prop_map(|(x, body)| Expr::Lambda(
-                vec![Pat::Var(x)],
-                Box::new(body)
-            )),
-            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, e)| Expr::If(
-                Box::new(c),
-                Box::new(t),
-                Box::new(e)
-            )),
-        ]
+fn arb_num(rng: &mut SplitMix64) -> Expr {
+    let v = rng.f64_in(-1000.0, 1000.0);
+    // Two decimal places keep the text form canonical.
+    let value = (v * 100.0).round() / 100.0;
+    let annotation = match rng.index(3) {
+        0 => FreezeAnnotation::None,
+        1 => FreezeAnnotation::Frozen,
+        _ => FreezeAnnotation::Thawed,
+    };
+    let range = if rng.flag() {
+        let lo = (rng.f64_in(0.0, 10.0) * 100.0).round() / 100.0;
+        let hi = (rng.f64_in(10.0, 20.0) * 100.0).round() / 100.0;
+        Some((lo, hi))
+    } else {
+        None
+    };
+    Expr::Num(NumLit {
+        value,
+        loc: LocId(0),
+        annotation,
+        range,
     })
+}
+
+fn arb_leaf(rng: &mut SplitMix64) -> Expr {
+    match rng.index(6) {
+        0 => arb_num(rng),
+        1 => Expr::Var(ident(rng)),
+        2 => Expr::Bool(true),
+        3 => Expr::Bool(false),
+        4 => {
+            let len = rng.index(9);
+            let mut s = String::new();
+            for _ in 0..len {
+                s.push(if rng.index(5) == 0 {
+                    ' '
+                } else {
+                    (b'a' + rng.index(26) as u8) as char
+                });
+            }
+            Expr::Str(s)
+        }
+        _ => Expr::List(vec![], None),
+    }
+}
+
+fn arb_expr(rng: &mut SplitMix64, depth: u32) -> Expr {
+    if depth == 0 || rng.index(5) == 0 {
+        return arb_leaf(rng);
+    }
+    match rng.index(7) {
+        0 => Expr::Prim(
+            Op::Add,
+            vec![arb_expr(rng, depth - 1), arb_expr(rng, depth - 1)],
+        ),
+        1 => Expr::Prim(
+            Op::Mul,
+            vec![arb_expr(rng, depth - 1), arb_expr(rng, depth - 1)],
+        ),
+        2 => Expr::Prim(Op::Cos, vec![arb_expr(rng, depth - 1)]),
+        3 => {
+            let n = 1 + rng.index(3);
+            Expr::List((0..n).map(|_| arb_expr(rng, depth - 1)).collect(), None)
+        }
+        4 => Expr::Let {
+            recursive: false,
+            style: LetStyle::Let,
+            pat: Pat::Var(ident(rng)),
+            bound: Box::new(arb_expr(rng, depth - 1)),
+            body: Box::new(arb_expr(rng, depth - 1)),
+        },
+        5 => Expr::Lambda(
+            vec![Pat::Var(ident(rng))],
+            Box::new(arb_expr(rng, depth - 1)),
+        ),
+        _ => Expr::If(
+            Box::new(arb_expr(rng, depth - 1)),
+            Box::new(arb_expr(rng, depth - 1)),
+            Box::new(arb_expr(rng, depth - 1)),
+        ),
+    }
 }
 
 fn strip_locs(e: &mut Expr) {
@@ -79,50 +101,56 @@ fn strip_locs(e: &mut Expr) {
     });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// unparse ∘ parse is the identity on ASTs (up to location ids).
-    #[test]
-    fn unparse_parse_roundtrip(e in arb_expr()) {
+/// unparse ∘ parse is the identity on ASTs (up to location ids).
+#[test]
+fn unparse_parse_roundtrip() {
+    let mut rng = SplitMix64::seed_from_u64(0xC0FFEE);
+    for case in 0..256 {
+        let e = arb_expr(&mut rng, 4);
         let text = unparse(&e);
         let mut reparsed = parse(&text)
-            .unwrap_or_else(|err| panic!("`{text}` failed to reparse: {err}"))
+            .unwrap_or_else(|err| panic!("case {case}: `{text}` failed to reparse: {err}"))
             .expr;
         let mut original = e;
         strip_locs(&mut original);
         strip_locs(&mut reparsed);
-        prop_assert_eq!(original, reparsed, "text was `{}`", text);
-    }
-
-    /// Unparsing is stable: parse(unparse(e)) unparses to the same text.
-    #[test]
-    fn unparse_is_idempotent(e in arb_expr()) {
-        let t1 = unparse(&e);
-        let t2 = unparse(&parse(&t1).unwrap().expr);
-        prop_assert_eq!(t1, t2);
-    }
-
-    /// Parsing assigns locations densely from the requested start.
-    #[test]
-    fn locations_are_dense(e in arb_expr(), start in 0u32..1000) {
-        let text = unparse(&e);
-        let parsed = sketch_n_sketch::lang::parse_with_locs(&text, start).unwrap();
-        let mut locs: Vec<u32> =
-            parsed.expr.num_literals().iter().map(|n| n.loc.0).collect();
-        locs.sort();
-        let expected: Vec<u32> = (start..parsed.next_loc).collect();
-        prop_assert_eq!(locs, expected);
+        assert_eq!(original, reparsed, "case {case}: text was `{text}`");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Unparsing is stable: parse(unparse(e)) unparses to the same text.
+#[test]
+fn unparse_is_idempotent() {
+    let mut rng = SplitMix64::seed_from_u64(0xBEEF);
+    for case in 0..256 {
+        let e = arb_expr(&mut rng, 4);
+        let t1 = unparse(&e);
+        let t2 = unparse(&parse(&t1).unwrap().expr);
+        assert_eq!(t1, t2, "case {case}");
+    }
+}
 
-    /// Evaluation is deterministic: same program, same value (rendered).
-    #[test]
-    fn evaluation_is_deterministic(seed in 0u64..1000) {
-        use sketch_n_sketch::eval::Program;
+/// Parsing assigns locations densely from the requested start.
+#[test]
+fn locations_are_dense() {
+    let mut rng = SplitMix64::seed_from_u64(0xD1CE);
+    for case in 0..256 {
+        let e = arb_expr(&mut rng, 4);
+        let start = rng.u32_in(0, 1000);
+        let text = unparse(&e);
+        let parsed = sketch_n_sketch::lang::parse_with_locs(&text, start).unwrap();
+        let mut locs: Vec<u32> = parsed.expr.num_literals().iter().map(|n| n.loc.0).collect();
+        locs.sort_unstable();
+        let expected: Vec<u32> = (start..parsed.next_loc).collect();
+        assert_eq!(locs, expected, "case {case}: `{text}`");
+    }
+}
+
+/// Evaluation is deterministic: same program, same value (rendered).
+#[test]
+fn evaluation_is_deterministic() {
+    use sketch_n_sketch::eval::Program;
+    for seed in (0u64..1000).step_by(16) {
         let n = 3 + (seed % 8);
         let src = format!(
             "(svg (map (λ i (rect 'red' (* i 30) (mod (* i {seed}) 90) 20 20)) (zeroTo {n})))"
@@ -130,6 +158,6 @@ proptest! {
         let p = Program::parse(&src).unwrap();
         let a = format!("{}", p.eval().unwrap());
         let b = format!("{}", p.eval().unwrap());
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "seed {seed}");
     }
 }

@@ -30,8 +30,11 @@ fn equations_1_2_3_match_the_paper() {
     // §2.1: x-values 50, 80, 110 with traces
     //   (+ x0 (* l0 sep)), (+ x0 (* (+ l1 l0) sep)), (+ x0 (* (+ l1 (+ l1 l0)) sep)).
     let (program, canvas) = program_and_canvas();
-    let xs: Vec<f64> =
-        canvas.shapes().iter().map(|s| s.node.num_attr("x").unwrap().n).collect();
+    let xs: Vec<f64> = canvas
+        .shapes()
+        .iter()
+        .map(|s| s.node.num_attr("x").unwrap().n)
+        .collect();
     assert_eq!(&xs[..3], &[50.0, 80.0, 110.0]);
 
     let x2 = canvas.shapes()[2].node.num_attr("x").unwrap();
@@ -58,8 +61,7 @@ fn four_candidates_with_exact_values() {
     let mode = FreezeMode::nothing_frozen();
     let frozen = |l: LocId| program.is_frozen(l, mode);
     let rho0 = program.subst();
-    let candidates =
-        synthesize_single(&rho0, 155.0, &x2.t, &frozen, SynthesisOptions::default());
+    let candidates = synthesize_single(&rho0, 155.0, &x2.t, &frozen, SynthesisOptions::default());
     assert_eq!(candidates.len(), 4);
 
     let mut by_name: Vec<(String, f64)> = candidates
@@ -110,7 +112,9 @@ fn live_drag_of_third_box_updates_program_and_canvas() {
     let mut editor = Editor::new(SINE_WAVE).unwrap();
     // §2.3's rotation: boxes 0/1/2 get distinct location sets; dragging
     // box 2 horizontally reuses x0 (all sets exhausted, rotate back).
-    editor.drag_zone(ShapeId(2), Zone::Interior, 45.0, 28.0).unwrap();
+    editor
+        .drag_zone(ShapeId(2), Zone::Interior, 45.0, 28.0)
+        .unwrap();
     let code = editor.code();
     // x0 = 95 after the +45 drag (fair rotation: box2's x attr → x0).
     assert!(code.contains("95"), "updated program: {code}");
@@ -129,7 +133,9 @@ fn slider_controls_number_of_boxes() {
     editor.set_slider(sliders[0].loc, 20.0).unwrap();
     assert_eq!(editor.shapes().len(), 20);
     // And n's freezing means no direct manipulation ever changes it.
-    editor.drag_zone(ShapeId(0), Zone::Interior, 10.0, 10.0).unwrap();
+    editor
+        .drag_zone(ShapeId(0), Zone::Interior, 10.0, 10.0)
+        .unwrap();
     assert_eq!(editor.shapes().len(), 20);
 }
 
@@ -138,18 +144,32 @@ fn committed_drag_round_trips_through_source() {
     // The updated program text re-parses to a program producing the same
     // canvas (the editor's code pane and canvas never diverge).
     let mut editor = Editor::new(SINE_WAVE).unwrap();
-    editor.drag_zone(ShapeId(1), Zone::Interior, 10.0, -5.0).unwrap();
+    editor
+        .drag_zone(ShapeId(1), Zone::Interior, 10.0, -5.0)
+        .unwrap();
     let reparsed = Program::parse(&editor.code()).unwrap();
     let canvas = Canvas::from_value(&reparsed.eval().unwrap()).unwrap();
     let a: Vec<f64> = editor
         .shapes()
         .iter()
-        .flat_map(|s| s.node.attr_nums().into_iter().map(|n| n.n).collect::<Vec<_>>())
+        .flat_map(|s| {
+            s.node
+                .attr_nums()
+                .into_iter()
+                .map(|n| n.n)
+                .collect::<Vec<_>>()
+        })
         .collect();
     let b: Vec<f64> = canvas
         .shapes()
         .iter()
-        .flat_map(|s| s.node.attr_nums().into_iter().map(|n| n.n).collect::<Vec<_>>())
+        .flat_map(|s| {
+            s.node
+                .attr_nums()
+                .into_iter()
+                .map(|n| n.n)
+                .collect::<Vec<_>>()
+        })
         .collect();
     assert_eq!(a, b);
 }

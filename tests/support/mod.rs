@@ -1,0 +1,60 @@
+//! A tiny deterministic random-testing harness shared by the `*_props`
+//! suites, standing in for the unvendored `proptest` crate: seeded
+//! generators over [`SplitMix64`] plus a couple of numeric helpers. Cases
+//! are reproducible by construction — every failure message carries the
+//! case index, and rerunning the suite replays the identical sequence.
+
+// Each integration-test binary compiles its own copy of this module and
+// uses a different subset of the helpers.
+#![allow(dead_code)]
+pub use sketch_n_sketch::stats::bootstrap::SplitMix64;
+
+/// Convenience extensions for generating test data.
+pub trait GenExt {
+    /// A uniform `f64` in `[lo, hi)`.
+    fn f64_in(&mut self, lo: f64, hi: f64) -> f64;
+    /// A uniform `usize` in `[0, n)`.
+    fn index(&mut self, n: usize) -> usize;
+    /// A uniform `u32` in `[lo, hi)`.
+    fn u32_in(&mut self, lo: u32, hi: u32) -> u32;
+    /// A fair coin.
+    fn flag(&mut self) -> bool;
+}
+
+impl GenExt for SplitMix64 {
+    fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+
+    fn index(&mut self, n: usize) -> usize {
+        self.gen_index(n)
+    }
+
+    fn u32_in(&mut self, lo: u32, hi: u32) -> u32 {
+        lo + self.gen_index((hi - lo) as usize) as u32
+    }
+
+    fn flag(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// A lowercase identifier of 1–7 characters.
+pub fn ident(rng: &mut SplitMix64) -> String {
+    let len = 1 + rng.index(7);
+    let mut s = String::new();
+    for i in 0..len {
+        let c = if i == 0 {
+            b'a' + rng.index(26) as u8
+        } else {
+            // Letters and digits, weighted toward letters.
+            match rng.index(36) {
+                d if d < 26 => b'a' + d as u8,
+                d => b'0' + (d - 26) as u8,
+            }
+        };
+        s.push(c as char);
+    }
+    s
+}

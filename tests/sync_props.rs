@@ -1,130 +1,169 @@
-//! Property-based tests of live synchronization end to end: randomized
-//! programs and drags must satisfy the paper's behavioural contracts.
+//! Randomized tests of live synchronization end to end: generated programs
+//! and drags must satisfy the paper's behavioural contracts. (Ported from
+//! a `proptest` suite to the std-only harness in `tests/support`.)
 
-use proptest::prelude::*;
+mod support;
+
+use support::{GenExt, SplitMix64};
 
 use sketch_n_sketch::editor::Editor;
 use sketch_n_sketch::svg::{ShapeId, Zone};
 
 /// A random row of rectangles with independent literal positions.
-fn independent_rects() -> impl Strategy<Value = String> {
-    proptest::collection::vec((10.0f64..300.0, 10.0f64..300.0), 1..5).prop_map(|rects| {
-        let shapes: Vec<String> = rects
-            .iter()
-            .map(|(x, y)| {
-                format!(
-                    "(rect 'red' {} {} 20! 20!)",
-                    sketch_n_sketch::lang::fmt_num((x * 2.0).round() / 2.0),
-                    sketch_n_sketch::lang::fmt_num((y * 2.0).round() / 2.0),
-                )
-            })
-            .collect();
-        format!("(svg [{}])", shapes.join(" "))
-    })
+fn independent_rects(rng: &mut SplitMix64) -> String {
+    let n = 1 + rng.index(4);
+    let shapes: Vec<String> = (0..n)
+        .map(|_| {
+            let x = (rng.f64_in(10.0, 300.0) * 2.0).round() / 2.0;
+            let y = (rng.f64_in(10.0, 300.0) * 2.0).round() / 2.0;
+            format!(
+                "(rect 'red' {} {} 20! 20!)",
+                sketch_n_sketch::lang::fmt_num(x),
+                sketch_n_sketch::lang::fmt_num(y),
+            )
+        })
+        .collect();
+    format!("(svg [{}])", shapes.join(" "))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Dragging the interior of a rect with fresh literal coordinates
-    /// moves exactly that rect by exactly (dx, dy) — the unambiguous case.
-    #[test]
-    fn unambiguous_drags_are_exact(
-        src in independent_rects(),
-        idx in 0usize..5,
-        dx in -50.0f64..50.0,
-        dy in -50.0f64..50.0,
-    ) {
+/// Dragging the interior of a rect with fresh literal coordinates moves
+/// exactly that rect by exactly (dx, dy) — the unambiguous case.
+#[test]
+fn unambiguous_drags_are_exact() {
+    let mut rng = SplitMix64::seed_from_u64(10);
+    for case in 0..48 {
+        let src = independent_rects(&mut rng);
+        let dx = rng.f64_in(-50.0, 50.0);
+        let dy = rng.f64_in(-50.0, 50.0);
         let mut editor = Editor::new(&src).unwrap();
         let n = editor.shapes().len();
-        let idx = idx % n;
+        let idx = rng.index(n);
         let before: Vec<(f64, f64)> = editor
             .shapes()
             .iter()
-            .map(|s| (s.node.num_attr("x").unwrap().n, s.node.num_attr("y").unwrap().n))
+            .map(|s| {
+                (
+                    s.node.num_attr("x").unwrap().n,
+                    s.node.num_attr("y").unwrap().n,
+                )
+            })
             .collect();
-        editor.drag_zone(ShapeId(idx), Zone::Interior, dx, dy).unwrap();
+        editor
+            .drag_zone(ShapeId(idx), Zone::Interior, dx, dy)
+            .unwrap();
         let after: Vec<(f64, f64)> = editor
             .shapes()
             .iter()
-            .map(|s| (s.node.num_attr("x").unwrap().n, s.node.num_attr("y").unwrap().n))
+            .map(|s| {
+                (
+                    s.node.num_attr("x").unwrap().n,
+                    s.node.num_attr("y").unwrap().n,
+                )
+            })
             .collect();
         for (i, (b, a)) in before.iter().zip(&after).enumerate() {
             if i == idx {
-                prop_assert!((a.0 - b.0 - dx).abs() < 1e-9);
-                prop_assert!((a.1 - b.1 - dy).abs() < 1e-9);
+                assert!((a.0 - b.0 - dx).abs() < 1e-9, "case {case}");
+                assert!((a.1 - b.1 - dy).abs() < 1e-9, "case {case}");
             } else {
-                prop_assert_eq!(a, b, "shape {} moved", i);
+                assert_eq!(a, b, "case {case}: shape {i} moved");
             }
         }
     }
+}
 
-    /// Drag followed by undo restores the program text exactly.
-    #[test]
-    fn drag_undo_is_identity(
-        src in independent_rects(),
-        dx in -30.0f64..30.0,
-        dy in -30.0f64..30.0,
-    ) {
+/// Drag followed by undo restores the program text exactly.
+#[test]
+fn drag_undo_is_identity() {
+    let mut rng = SplitMix64::seed_from_u64(11);
+    for case in 0..48 {
+        let src = independent_rects(&mut rng);
+        let dx = rng.f64_in(-30.0, 30.0);
+        let dy = rng.f64_in(-30.0, 30.0);
         let mut editor = Editor::new(&src).unwrap();
         let original = editor.code();
-        editor.drag_zone(ShapeId(0), Zone::Interior, dx, dy).unwrap();
+        editor
+            .drag_zone(ShapeId(0), Zone::Interior, dx, dy)
+            .unwrap();
         editor.undo().unwrap();
-        prop_assert_eq!(editor.code(), original);
+        assert_eq!(editor.code(), original, "case {case}");
     }
+}
 
-    /// Committed drags preserve canvas structure (shape count and kinds):
-    /// interior drags are always *faithful* here, never structure-changing.
-    #[test]
-    fn interior_drags_preserve_structure(
-        src in independent_rects(),
-        dx in -30.0f64..30.0,
-        dy in -30.0f64..30.0,
-    ) {
+/// Committed drags preserve canvas structure (shape count and kinds):
+/// interior drags are always *faithful* here, never structure-changing.
+#[test]
+fn interior_drags_preserve_structure() {
+    let mut rng = SplitMix64::seed_from_u64(12);
+    for case in 0..48 {
+        let src = independent_rects(&mut rng);
+        let dx = rng.f64_in(-30.0, 30.0);
+        let dy = rng.f64_in(-30.0, 30.0);
         let mut editor = Editor::new(&src).unwrap();
-        let kinds: Vec<String> =
-            editor.shapes().iter().map(|s| s.node.kind.clone()).collect();
-        editor.drag_zone(ShapeId(0), Zone::Interior, dx, dy).unwrap();
-        let kinds_after: Vec<String> =
-            editor.shapes().iter().map(|s| s.node.kind.clone()).collect();
-        prop_assert_eq!(kinds, kinds_after);
+        let kinds: Vec<String> = editor
+            .shapes()
+            .iter()
+            .map(|s| s.node.kind.clone())
+            .collect();
+        editor
+            .drag_zone(ShapeId(0), Zone::Interior, dx, dy)
+            .unwrap();
+        let kinds_after: Vec<String> = editor
+            .shapes()
+            .iter()
+            .map(|s| s.node.kind.clone())
+            .collect();
+        assert_eq!(kinds, kinds_after, "case {case}");
     }
+}
 
-    /// The editor's code pane always reparses: whatever sequence of drags
-    /// happened, `code()` is valid little producing the same canvas.
-    #[test]
-    fn code_pane_always_reparses(
-        src in independent_rects(),
-        drags in proptest::collection::vec((-20.0f64..20.0, -20.0f64..20.0), 1..4),
-    ) {
+/// The editor's code pane always reparses: whatever sequence of drags
+/// happened, `code()` is valid little producing the same canvas.
+#[test]
+fn code_pane_always_reparses() {
+    let mut rng = SplitMix64::seed_from_u64(13);
+    for case in 0..48 {
+        let src = independent_rects(&mut rng);
         let mut editor = Editor::new(&src).unwrap();
-        for (dx, dy) in drags {
-            editor.drag_zone(ShapeId(0), Zone::Interior, dx, dy).unwrap();
+        let n_drags = 1 + rng.index(3);
+        for _ in 0..n_drags {
+            let dx = rng.f64_in(-20.0, 20.0);
+            let dy = rng.f64_in(-20.0, 20.0);
+            editor
+                .drag_zone(ShapeId(0), Zone::Interior, dx, dy)
+                .unwrap();
         }
         let reopened = Editor::new(&editor.code()).unwrap();
-        prop_assert_eq!(reopened.shapes().len(), editor.shapes().len());
-        prop_assert_eq!(reopened.export_svg(), editor.export_svg());
+        assert_eq!(
+            reopened.shapes().len(),
+            editor.shapes().len(),
+            "case {case}"
+        );
+        assert_eq!(reopened.export_svg(), editor.export_svg(), "case {case}");
     }
+}
 
-    /// Shared-location drags (x and y tied to one constant) stay plausible:
-    /// at least one of the two requested attribute updates holds.
-    #[test]
-    fn shared_location_drags_are_plausible(
-        base in 50.0f64..150.0,
-        dx in -20.0f64..20.0,
-        dy in -20.0f64..20.0,
-    ) {
-        let base = base.round();
+/// Shared-location drags (x and y tied to one constant) stay plausible:
+/// at least one of the two requested attribute updates holds.
+#[test]
+fn shared_location_drags_are_plausible() {
+    let mut rng = SplitMix64::seed_from_u64(14);
+    for case in 0..48 {
+        let base = rng.f64_in(50.0, 150.0).round();
+        let dx = rng.f64_in(-20.0, 20.0);
+        let dy = rng.f64_in(-20.0, 20.0);
         let src = format!("(def xy {base}) (svg [(rect 'red' xy xy 30! 30!)])");
         let mut editor = Editor::new(&src).unwrap();
-        editor.drag_zone(ShapeId(0), Zone::Interior, dx, dy).unwrap();
+        editor
+            .drag_zone(ShapeId(0), Zone::Interior, dx, dy)
+            .unwrap();
         let s = &editor.shapes()[0].node;
         let x = s.num_attr("x").unwrap().n;
         let y = s.num_attr("y").unwrap().n;
         let x_ok = (x - (base + dx)).abs() < 1e-9;
         let y_ok = (y - (base + dy)).abs() < 1e-9;
-        prop_assert!(x_ok || y_ok, "neither constraint satisfied");
+        assert!(x_ok || y_ok, "case {case}: neither constraint satisfied");
         // And the shared location forces x == y afterwards.
-        prop_assert_eq!(x, y);
+        assert_eq!(x, y, "case {case}");
     }
 }
