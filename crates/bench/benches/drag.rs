@@ -1,51 +1,49 @@
-//! Criterion bench for the live-synchronization inner loop: one mouse-move
-//! event = fire the trigger (SolveOne per attribute) + re-evaluate the
-//! program + rebuild the canvas. The paper's responsiveness argument
-//! (§5.2.3) is that this loop is cheap because Prepare is *not* part of it.
+//! Micro-bench for the live-synchronization inner loop, ported from
+//! Criterion to the in-repo harness (`cargo bench --bench drag`).
+//!
+//! One mouse-move event = fire the trigger (SolveOne per attribute) +
+//! produce the preview canvas. The fast path patches the cached canvas by
+//! trace re-evaluation; the full path re-evaluates the program from
+//! scratch (the pre-fast-path behaviour). Commit contrasts the
+//! incremental re-preparation against a full prepare the same way.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sns_eval::Program;
-use sns_svg::{ShapeId, Zone};
-use sns_sync::{LiveConfig, LiveSync};
+use bench::{ms, summarize, time_commit_paths, time_drag_steps};
 
-fn bench_drag(c: &mut Criterion) {
-    let mut group = c.benchmark_group("drag_step");
-    for slug in ["three_boxes", "wave_boxes", "ferris_wheel", "keyboard"] {
-        let ex = sns_examples::by_slug(slug).expect("example exists");
-        let program = Program::parse(ex.source).expect("parses");
-        let live = LiveSync::new(program, LiveConfig::default()).expect("prepares");
-        // First active interior-ish zone.
-        let (shape, zone) = live
-            .assignments()
-            .zones
-            .iter()
-            .find(|z| z.is_active())
-            .map(|z| (z.shape, z.zone))
-            .expect("an active zone");
-        group.bench_with_input(
-            BenchmarkId::from_parameter(slug),
-            &(shape, zone),
-            |b, &(shape, zone)| {
-                let mut d = 0.0f64;
-                b.iter(|| {
-                    d += 1.0;
-                    live.drag(shape, zone, d % 40.0, (d * 0.5) % 25.0).expect("drag")
-                })
-            },
-        );
-    }
-    // A full commit (mouse-up: apply + re-prepare) for contrast.
-    let ex = sns_examples::by_slug("wave_boxes").unwrap();
-    group.bench_function("commit/wave_boxes", |b| {
-        b.iter(|| {
-            let program = Program::parse(ex.source).expect("parses");
-            let mut live = LiveSync::new(program, LiveConfig::default()).expect("prepares");
-            let result = live.drag(ShapeId(0), Zone::Interior, 10.0, 5.0).expect("drag");
-            live.commit(&result.subst).expect("commit");
-        })
+const SLUGS: &[&str] = &["three_boxes", "wave_boxes", "ferris_wheel", "keyboard"];
+const STEPS: usize = 50;
+const COMMITS: usize = 20;
+
+fn main() {
+    sns_eval::with_big_stack(|| {
+        println!("drag step ({STEPS} moves: med patched vs med full re-eval)");
+        for slug in SLUGS {
+            let ex = sns_examples::by_slug(slug).expect("example exists");
+            let fast = summarize(&time_drag_steps(ex, STEPS, false)).med;
+            let full = summarize(&time_drag_steps(ex, STEPS, true)).med;
+            println!(
+                "  {:<16} {:>8} vs {:>8} ({:.1}x)",
+                slug,
+                ms(fast),
+                ms(full),
+                full / fast.max(f64::EPSILON)
+            );
+        }
+        println!("commit ({COMMITS} commits: med incremental vs med full prepare)");
+        for slug in SLUGS {
+            let ex = sns_examples::by_slug(slug).expect("example exists");
+            let t = time_commit_paths(ex, COMMITS);
+            println!(
+                "  {:<16} {:>8} vs {:>8} ({:.1}x, {})",
+                slug,
+                ms(t.incremental),
+                ms(t.full),
+                t.speedup(),
+                if t.fast_path {
+                    "incremental"
+                } else {
+                    "fallback"
+                }
+            );
+        }
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_drag);
-criterion_main!(benches);

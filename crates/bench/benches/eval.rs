@@ -1,19 +1,6 @@
-//! Criterion bench for the §5.2.3 "Eval" operation.
+//! Micro-bench for the §5.2.3 "Eval" operation, ported from Criterion to
+//! the in-repo `bench::time_example` harness (`cargo bench --bench eval`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sns_eval::Program;
-
-fn bench_eval(c: &mut Criterion) {
-    let mut group = c.benchmark_group("eval");
-    for slug in ["three_boxes", "wave_boxes", "ferris_wheel", "keyboard", "tessellation"] {
-        let ex = sns_examples::by_slug(slug).expect("example exists");
-        let program = Program::parse(ex.source).expect("parses");
-        group.bench_with_input(BenchmarkId::from_parameter(slug), &program, |b, p| {
-            b.iter(|| p.eval().expect("evaluates"))
-        });
-    }
-    group.finish();
+fn main() {
+    sns_eval::with_big_stack(|| bench::print_timing_table("eval", 20, |t| t.eval));
 }
-
-criterion_group!(benches, bench_eval);
-criterion_main!(benches);

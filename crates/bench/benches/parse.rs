@@ -1,18 +1,6 @@
-//! Criterion bench for the §5.2.3 "Parse" operation.
+//! Micro-bench for the §5.2.3 "Parse" operation, ported from Criterion to
+//! the in-repo `bench::time_example` harness (`cargo bench --bench parse`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sns_eval::Program;
-
-fn bench_parse(c: &mut Criterion) {
-    let mut group = c.benchmark_group("parse");
-    for slug in ["three_boxes", "wave_boxes", "ferris_wheel", "keyboard", "tessellation"] {
-        let ex = sns_examples::by_slug(slug).expect("example exists");
-        group.bench_with_input(BenchmarkId::from_parameter(slug), ex.source, |b, src| {
-            b.iter(|| Program::parse(src).expect("parses"))
-        });
-    }
-    group.finish();
+fn main() {
+    sns_eval::with_big_stack(|| bench::print_timing_table("parse", 20, |t| t.parse));
 }
-
-criterion_group!(benches, bench_parse);
-criterion_main!(benches);

@@ -1,31 +1,7 @@
-//! Criterion bench for the §5.2.3 "Prepare" operation (assignments +
-//! triggers for every zone).
+//! Micro-bench for the §5.2.3 "Prepare" operation (assignments + triggers
+//! for every zone), ported from Criterion to the in-repo
+//! `bench::time_example` harness (`cargo bench --bench prepare`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sns_eval::{FreezeMode, Program};
-use sns_svg::Canvas;
-use sns_sync::{analyze_canvas, Heuristic, Trigger};
-
-fn bench_prepare(c: &mut Criterion) {
-    let mut group = c.benchmark_group("prepare");
-    group.sample_size(20);
-    for slug in ["three_boxes", "wave_boxes", "ferris_wheel", "keyboard", "tessellation"] {
-        let ex = sns_examples::by_slug(slug).expect("example exists");
-        let program = Program::parse(ex.source).expect("parses");
-        let canvas = Canvas::from_value(&program.eval().expect("evaluates")).expect("renders");
-        group.bench_with_input(BenchmarkId::from_parameter(slug), &(), |b, _| {
-            b.iter(|| {
-                let mode = FreezeMode::default();
-                let frozen = |l: sns_lang::LocId| program.is_frozen(l, mode);
-                let assignments = analyze_canvas(&canvas, &frozen, Heuristic::Fair);
-                let triggers: Vec<_> =
-                    assignments.zones.iter().filter_map(Trigger::compute).collect();
-                (assignments, triggers)
-            })
-        });
-    }
-    group.finish();
+fn main() {
+    sns_eval::with_big_stack(|| bench::print_timing_table("prepare", 20, |t| t.prepare));
 }
-
-criterion_group!(benches, bench_prepare);
-criterion_main!(benches);

@@ -1,31 +1,28 @@
-//! Criterion bench for the §5.2.3 "Solve" operation: SolveOne on the
-//! unique pre-equations of a representative example.
+//! Micro-bench for the §5.2.3 "Solve" operation: `SolveOne` on the unique
+//! pre-equations of representative examples, ported from Criterion to the
+//! in-repo harness (`cargo bench --bench solve`).
 
-use std::sync::Arc;
+use bench::{measure, ms, summarize, time_solves};
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sns_solver::Equation;
+const SLUGS: &[&str] = &["wave_boxes", "ferris_wheel", "keyboard"];
 
-fn bench_solve(c: &mut Criterion) {
-    let mut group = c.benchmark_group("solve");
-    for slug in ["wave_boxes", "ferris_wheel", "keyboard"] {
-        let ex = sns_examples::by_slug(slug).expect("example exists");
-        let m = bench::measure(ex);
-        group.bench_with_input(BenchmarkId::from_parameter(slug), &m, |b, m| {
-            b.iter(|| {
-                let mut solved = 0usize;
-                for eq in &m.unique_eqs {
-                    let equation = Equation::new(eq.n + 1.0, Arc::clone(&eq.trace));
-                    if sns_solver::solve(&m.rho0, eq.loc, &equation).is_some() {
-                        solved += 1;
-                    }
-                }
-                solved
-            })
-        });
-    }
-    group.finish();
+fn main() {
+    sns_eval::with_big_stack(|| {
+        println!("solve (per unique pre-equation: min / med / avg / max)");
+        for slug in SLUGS {
+            let ex = sns_examples::by_slug(slug).expect("example exists");
+            let m = measure(ex);
+            let times = time_solves(&m);
+            let s = summarize(&times);
+            println!(
+                "  {:<16} {:>4} eqs {:>8} {:>8} {:>8} {:>8}",
+                slug,
+                times.len(),
+                ms(s.min),
+                ms(s.med),
+                ms(s.avg),
+                ms(s.max)
+            );
+        }
+    });
 }
-
-criterion_group!(benches, bench_solve);
-criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Benchmarks commit re-preparation: the full re-evaluate + re-prepare
+//! path against the incremental path (dependence-indexed zone refresh +
+//! trace-patched canvas), per corpus example.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin prepare_incremental [SLUG…]
+//! ```
+//!
+//! With no arguments the whole 55-example corpus is measured; with slugs,
+//! only those examples (the CI smoke step passes three large ones).
+//! Writes `BENCH_prepare.json` and exits non-zero when the median
+//! incremental commit is not faster than the median full commit across
+//! the largest examples measured — the regression gate.
+
+use bench::{ms, summarize, time_commit_paths, CommitTiming};
+
+/// Commits timed per example per path.
+const COMMITS: usize = 30;
+
+/// The "largest examples" window the gate and headline median use.
+const LARGEST: usize = 10;
+
+fn main() {
+    let slugs: Vec<String> = std::env::args().skip(1).collect();
+    let ok = sns_eval::with_big_stack(move || run(&slugs));
+    if !ok {
+        std::process::exit(1);
+    }
+}
+
+fn run(slugs: &[String]) -> bool {
+    let examples: Vec<_> = if slugs.is_empty() {
+        sns_examples::ALL.iter().collect()
+    } else {
+        slugs
+            .iter()
+            .map(|s| {
+                sns_examples::by_slug(s).unwrap_or_else(|| panic!("no corpus example named `{s}`"))
+            })
+            .collect()
+    };
+
+    println!(
+        "{:<24} {:>6} {:>6} {:>12} {:>12} {:>9}  path",
+        "Example", "shapes", "zones", "full/commit", "incr/commit", "speedup"
+    );
+    let mut rows: Vec<CommitTiming> = Vec::with_capacity(examples.len());
+    for ex in examples {
+        let t = time_commit_paths(ex, COMMITS);
+        println!(
+            "{:<24} {:>6} {:>6} {:>12} {:>12} {:>8.1}x  {}",
+            t.name,
+            t.shapes,
+            t.zones,
+            ms(t.full),
+            ms(t.incremental),
+            t.speedup(),
+            if t.fast_path {
+                "incremental"
+            } else {
+                "fallback"
+            },
+        );
+        rows.push(t);
+    }
+
+    // The headline number: median speedup across the largest examples
+    // (by zone count — the unit full prepare scales with).
+    let mut by_size = rows.clone();
+    by_size.sort_by_key(|t| std::cmp::Reverse(t.zones));
+    let largest: Vec<&CommitTiming> = by_size.iter().take(LARGEST).collect();
+    let largest_speedups: Vec<f64> = largest.iter().map(|t| t.speedup()).collect();
+    let all_speedups: Vec<f64> = rows.iter().map(|t| t.speedup()).collect();
+    let largest_median = summarize(&largest_speedups).med;
+    let overall_median = summarize(&all_speedups).med;
+    let fast = rows.iter().filter(|t| t.fast_path).count();
+
+    println!();
+    println!(
+        "fast-path examples          {fast}/{} ({} fallback)",
+        rows.len(),
+        rows.len() - fast
+    );
+    println!(
+        "median speedup (largest {})  {largest_median:.1}x",
+        largest.len()
+    );
+    println!("median speedup (all)        {overall_median:.1}x");
+
+    let mut json = String::from("{\n  \"bench\": \"prepare_incremental\",\n");
+    json.push_str(&format!("  \"commits_per_example\": {COMMITS},\n"));
+    json.push_str(&format!(
+        "  \"median_speedup_largest_{}\": {largest_median:.2},\n",
+        largest.len()
+    ));
+    json.push_str(&format!(
+        "  \"median_speedup_all\": {overall_median:.2},\n  \"examples\": [\n"
+    ));
+    for (i, t) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"slug\": \"{}\", \"shapes\": {}, \"zones\": {}, \"full_ms\": {:.4}, \
+             \"incremental_ms\": {:.4}, \"speedup\": {:.2}, \"fast_path\": {}}}{}\n",
+            t.slug,
+            t.shapes,
+            t.zones,
+            t.full * 1000.0,
+            t.incremental * 1000.0,
+            t.speedup(),
+            t.fast_path,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_prepare.json", &json).expect("write BENCH_prepare.json");
+    eprintln!("wrote BENCH_prepare.json");
+
+    // Regression gate: incremental must beat full on the largest examples,
+    // and must actually *be* incremental there — a fallback measures the
+    // full path twice, making the speedup ~1 by construction, so timing
+    // alone would miss a silently disabled fast path.
+    let fallbacks: Vec<&str> = largest
+        .iter()
+        .filter(|t| !t.fast_path)
+        .map(|t| t.slug)
+        .collect();
+    if !fallbacks.is_empty() {
+        eprintln!("FAIL: fast path disabled on large examples: {fallbacks:?}");
+        return false;
+    }
+    if largest_median < 1.0 {
+        eprintln!("FAIL: incremental commit is slower than full prepare ({largest_median:.2}x)");
+        return false;
+    }
+    true
+}

@@ -168,6 +168,182 @@ pub fn time_example(example: &Example, runs: usize) -> Vec<Timing> {
     out
 }
 
+/// Representative slugs the micro-benches (`benches/*.rs`) run against.
+pub const MICRO_BENCH_SLUGS: &[&str] = &[
+    "three_boxes",
+    "wave_boxes",
+    "ferris_wheel",
+    "keyboard",
+    "tessellation",
+];
+
+/// Shared body of the parse/eval/prepare micro-benches: times each
+/// representative example `runs` times and prints a min/med/avg/max row
+/// for the [`Timing`] field selected by `field`.
+pub fn print_timing_table(label: &str, runs: usize, field: fn(&Timing) -> f64) {
+    println!("{label} ({runs} runs: min / med / avg / max)");
+    for slug in MICRO_BENCH_SLUGS {
+        let ex = sns_examples::by_slug(slug).expect("example exists");
+        let times: Vec<f64> = time_example(ex, runs).iter().map(field).collect();
+        let s = summarize(&times);
+        println!(
+            "  {:<16} {:>8} {:>8} {:>8} {:>8}",
+            slug,
+            ms(s.min),
+            ms(s.med),
+            ms(s.avg),
+            ms(s.max)
+        );
+    }
+}
+
+/// Full-vs-incremental commit re-preparation timings for one example
+/// (the `prepare_incremental` bench and the CI smoke gate).
+#[derive(Debug, Clone)]
+pub struct CommitTiming {
+    /// Example slug.
+    pub slug: &'static str,
+    /// Display name.
+    pub name: &'static str,
+    /// Shape count (canvas size proxy).
+    pub shapes: usize,
+    /// Zone count (the unit `prepare` scales with).
+    pub zones: usize,
+    /// Median seconds per commit on the full re-evaluate + re-prepare path.
+    pub full: f64,
+    /// Median seconds per commit on the incremental path.
+    pub incremental: f64,
+    /// Whether the measured commits actually ran incrementally (a
+    /// control-flow-safe zone existed); when false both columns measured
+    /// the fallback and the speedup is ~1 by construction.
+    pub fast_path: bool,
+}
+
+impl CommitTiming {
+    /// Full-path time over incremental-path time.
+    pub fn speedup(&self) -> f64 {
+        if self.incremental > 0.0 {
+            self.full / self.incremental
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Drives `commits` drag+commit cycles on one session and returns seconds
+/// per commit. Drags alternate direction so values stay near the
+/// original program's.
+fn time_commits(
+    live: &mut sns_sync::LiveSync,
+    shape: sns_svg::ShapeId,
+    zone: sns_svg::Zone,
+    commits: usize,
+) -> Vec<f64> {
+    let mut out = Vec::with_capacity(commits);
+    let mut sign = 1.0;
+    for _ in 0..commits {
+        let result = live.drag(shape, zone, sign * 2.0, sign).expect("drag");
+        let t0 = Instant::now();
+        live.commit(&result.subst).expect("commit");
+        out.push(t0.elapsed().as_secs_f64());
+        sign = -sign;
+    }
+    out
+}
+
+/// Measures one example's commit latency on both prepare paths.
+///
+/// # Panics
+///
+/// Panics if the example fails to run or has no active zone.
+pub fn time_commit_paths(example: &Example, commits: usize) -> CommitTiming {
+    use sns_sync::{LiveConfig, LiveSync};
+
+    let program = Program::parse(example.source).expect("corpus parses");
+    let mut incremental =
+        LiveSync::new(program.clone(), LiveConfig::default()).expect("corpus prepares");
+    let mut full = LiveSync::new(
+        program,
+        LiveConfig {
+            full_prepare_only: true,
+            ..LiveConfig::default()
+        },
+    )
+    .expect("corpus prepares");
+
+    let active: Vec<_> = incremental
+        .assignments()
+        .zones
+        .iter()
+        .filter(|z| z.is_active())
+        .map(|z| (z.shape, z.zone))
+        .collect();
+    assert!(!active.is_empty(), "{}: no active zone", example.slug);
+    // Prefer a zone whose updates provably cannot change control flow, so
+    // the incremental session actually exercises the incremental path.
+    let (shape, zone) = active
+        .iter()
+        .copied()
+        .find(|&(s, z)| {
+            incremental
+                .drag(s, z, 2.0, 1.0)
+                .map(|r| !r.subst.is_empty() && incremental.control_flow_safe(&r.subst))
+                .unwrap_or(false)
+        })
+        .unwrap_or(active[0]);
+
+    let shapes = incremental.canvas().shapes().len();
+    let zones = incremental.assignments().zones.len();
+    let incr_times = time_commits(&mut incremental, shape, zone, commits);
+    let full_times = time_commits(&mut full, shape, zone, commits);
+    CommitTiming {
+        slug: example.slug,
+        name: example.name,
+        shapes,
+        zones,
+        full: summarize(&full_times).med,
+        incremental: summarize(&incr_times).med,
+        fast_path: incremental.stats().incremental_prepares >= commits as u64,
+    }
+}
+
+/// Times `steps` consecutive drag previews (one simulated mouse-move
+/// each) on an example's first active zone, returning seconds per step.
+/// With `full_eval_only`, the session re-evaluates from scratch per step
+/// (the pre-fast-path behaviour).
+///
+/// # Panics
+///
+/// Panics if the example fails to run or has no active zone.
+pub fn time_drag_steps(example: &Example, steps: usize, full_eval_only: bool) -> Vec<f64> {
+    use sns_sync::{LiveConfig, LiveSync};
+
+    let program = Program::parse(example.source).expect("corpus parses");
+    let live = LiveSync::new(
+        program,
+        LiveConfig {
+            full_prepare_only: full_eval_only,
+            ..LiveConfig::default()
+        },
+    )
+    .expect("corpus prepares");
+    let (shape, zone) = live
+        .assignments()
+        .zones
+        .iter()
+        .find(|z| z.is_active())
+        .map(|z| (z.shape, z.zone))
+        .expect("an active zone");
+    let mut out = Vec::with_capacity(steps);
+    for step in 0..steps {
+        let d = (step % 40) as f64;
+        let t0 = Instant::now();
+        let _ = live.drag(shape, zone, d, (d * 0.5) % 25.0).expect("drag");
+        out.push(t0.elapsed().as_secs_f64());
+    }
+    out
+}
+
 /// Times `SolveOne` on each unique pre-equation (d = 1), returning seconds
 /// per call.
 pub fn time_solves(m: &Measurement) -> Vec<f64> {
@@ -232,6 +408,15 @@ mod tests {
         assert_eq!(m.zones.total, 108);
         assert!(m.zones.active() > 0);
         assert!(!m.unique_eqs.is_empty());
+    }
+
+    #[test]
+    fn commit_paths_time_both_routes() {
+        let ex = sns_examples::by_slug("three_boxes").unwrap();
+        let t = time_commit_paths(ex, 2);
+        assert!(t.fast_path, "three_boxes drags should be control-flow safe");
+        assert!(t.full > 0.0 && t.incremental > 0.0);
+        assert!(t.zones > 0 && t.shapes > 0);
     }
 
     #[test]

@@ -25,6 +25,9 @@ pub struct EditorConfig {
     pub solver: SolverChoice,
     /// Whether hidden helper shapes are displayed (Appendix C "Layers").
     pub show_hidden: bool,
+    /// Disable incremental prepare / drag patching (reference mode for
+    /// equivalence tests and benchmarks).
+    pub full_prepare_only: bool,
 }
 
 impl EditorConfig {
@@ -33,6 +36,7 @@ impl EditorConfig {
             heuristic: self.heuristic,
             freeze_mode: self.freeze_mode,
             solver: self.solver,
+            full_prepare_only: self.full_prepare_only,
         }
     }
 }
@@ -492,6 +496,12 @@ impl Editor {
     /// harnesses).
     pub fn live(&self) -> &LiveSync {
         &self.live
+    }
+
+    /// How this editor's drags and commits have been served: incremental
+    /// prepares and patched (fast-path) evaluations vs full re-runs.
+    pub fn live_stats(&self) -> sns_sync::LiveStats {
+        self.live.stats()
     }
 
     /// The attribute assignments of the current preparation.

@@ -4,12 +4,22 @@
 //! applied to numbers `n1^t1 … nm^tm`, the result is `n^t` where
 //! `n = ⟦(opm n1 … nm)⟧` and `t = (opm t1 … tm)` — evaluation computes the
 //! value *and* grows the trace in parallel.
+//!
+//! Besides values, the evaluator records which locations *escape* the trace
+//! system: locations whose numbers flow into comparisons, structural
+//! equality, `toString`, or numeric literal patterns. Those are exactly the
+//! sinks where a number can influence *control flow* (or a string), so a
+//! substitution that avoids every escaped location is guaranteed to leave
+//! the program's control flow — and hence its output structure and traces —
+//! unchanged. The incremental re-evaluation fast path
+//! ([`crate::patch::TracePatcher`]) is sound precisely on such substitutions.
 
+use std::collections::BTreeSet;
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
 
-use sns_lang::{Expr, Op, Pat};
+use sns_lang::{Expr, LocId, Op, Pat};
 
 use crate::env::Env;
 use crate::trace::Trace;
@@ -62,6 +72,7 @@ pub struct Evaluator {
     steps_left: u64,
     depth: u32,
     max_depth: u32,
+    escaped: BTreeSet<LocId>,
 }
 
 impl Default for Evaluator {
@@ -77,7 +88,28 @@ impl Evaluator {
             steps_left: limits.max_steps,
             depth: 0,
             max_depth: limits.max_depth,
+            escaped: BTreeSet::new(),
         }
+    }
+
+    /// The locations whose values escaped the trace system during
+    /// evaluation so far (see the module docs): flowing into a comparison,
+    /// `=`, `toString`, or a numeric literal pattern. A substitution
+    /// touching none of these cannot change control flow.
+    pub fn escaped_locs(&self) -> &BTreeSet<LocId> {
+        &self.escaped
+    }
+
+    /// Consumes the evaluator, returning the escaped-location set.
+    pub fn take_escaped(self) -> BTreeSet<LocId> {
+        self.escaped
+    }
+
+    /// Pattern matching that records trace escapes (numeric literal
+    /// patterns observe the matched number's value). Use this instead of
+    /// [`match_pat`] whenever the match happens *during* evaluation.
+    pub fn match_pat_in(&mut self, pat: &Pat, value: &Value, env: &Env) -> Option<Env> {
+        match_pat_escaping(pat, value, env, &mut self.escaped)
     }
 
     /// Evaluates `expr` in `env`.
@@ -144,6 +176,11 @@ impl Evaluator {
                 for a in args {
                     vals.push(self.eval(env, a)?);
                 }
+                if trace_escaping_op(*op) {
+                    for v in &vals {
+                        v.collect_locs(&mut self.escaped);
+                    }
+                }
                 eval_prim(*op, &vals)
             }
             Expr::Let {
@@ -177,7 +214,7 @@ impl Evaluator {
                 } else {
                     bound_v
                 };
-                let env2 = match_pat(pat, &bound_v, env).ok_or_else(|| {
+                let env2 = self.match_pat_in(pat, &bound_v, env).ok_or_else(|| {
                     EvalError::new(format!(
                         "let pattern `{}` does not match value",
                         sns_lang::unparse_pat(pat)
@@ -196,7 +233,7 @@ impl Evaluator {
             Expr::Case(scrut, branches) => {
                 let v = self.eval(env, scrut)?;
                 for (p, e) in branches {
-                    if let Some(env2) = match_pat(p, &v, env) {
+                    if let Some(env2) = self.match_pat_in(p, &v, env) {
                         return self.eval(&env2, e);
                     }
                 }
@@ -222,7 +259,7 @@ impl Evaluator {
         let mut args = args;
         let rest = args.split_off(n);
         for (p, v) in clos.params[..n].iter().zip(args) {
-            env = match_pat(p, &v, &env).ok_or_else(|| {
+            env = self.match_pat_in(p, &v, &env).ok_or_else(|| {
                 EvalError::new(format!(
                     "argument does not match parameter pattern `{}`",
                     sns_lang::unparse_pat(p)
@@ -248,12 +285,33 @@ impl Evaluator {
 }
 
 /// Pattern matching: returns `env` extended with the pattern's binders, or
-/// `None` if the value does not match.
+/// `None` if the value does not match. Does not record trace escapes; use
+/// [`Evaluator::match_pat_in`] during evaluation.
 pub fn match_pat(pat: &Pat, value: &Value, env: &Env) -> Option<Env> {
+    let mut scratch = BTreeSet::new();
+    match_pat_escaping(pat, value, env, &mut scratch)
+}
+
+/// Pattern matching that additionally records locations observed by numeric
+/// literal patterns into `escaped` (a numeric pattern branches on the
+/// matched number's value, so its trace locations escape).
+pub fn match_pat_escaping(
+    pat: &Pat,
+    value: &Value,
+    env: &Env,
+    escaped: &mut BTreeSet<LocId>,
+) -> Option<Env> {
     match pat {
         Pat::Var(x) => Some(env.bind(x.clone(), value.clone())),
         Pat::Num(n) => match value {
-            Value::Num(m, _) if m == n => Some(env.clone()),
+            Value::Num(m, t) => {
+                t.collect_locs_into(escaped);
+                if m == n {
+                    Some(env.clone())
+                } else {
+                    None
+                }
+            }
             _ => None,
         },
         Pat::Str(s) => match value {
@@ -270,14 +328,14 @@ pub fn match_pat(pat: &Pat, value: &Value, env: &Env) -> Option<Env> {
             for p in ps {
                 match cur {
                     Value::Cons(h, t) => {
-                        env = match_pat(p, &h, &env)?;
+                        env = match_pat_escaping(p, &h, &env, escaped)?;
                         cur = (*t).clone();
                     }
                     _ => return None,
                 }
             }
             match tail {
-                Some(tp) => match_pat(tp, &cur, &env),
+                Some(tp) => match_pat_escaping(tp, &cur, &env, escaped),
                 None => match cur {
                     Value::Nil => Some(env),
                     _ => None,
@@ -285,6 +343,47 @@ pub fn match_pat(pat: &Pat, value: &Value, env: &Env) -> Option<Env> {
             }
         }
     }
+}
+
+/// Whether an operation's numeric inputs escape the trace system: its
+/// result (a boolean or string) carries no trace, so downstream control
+/// flow can depend on the inputs without the dependence being visible in
+/// any output trace.
+fn trace_escaping_op(op: Op) -> bool {
+    matches!(
+        op,
+        Op::Lt | Op::Gt | Op::Le | Op::Ge | Op::Eq | Op::ToString
+    )
+}
+
+/// Applies a purely numeric primitive to already-unwrapped arguments;
+/// `None` when `op`/arity is not a number→number operation.
+///
+/// This is the single source of truth for numeric semantics: rule E-OP-NUM
+/// in [`eval_prim`] and trace re-evaluation in
+/// [`crate::patch::TracePatcher`] both call it, so a patched number is
+/// bit-identical to what a from-scratch re-evaluation would produce.
+pub fn apply_num_op(op: Op, args: &[f64]) -> Option<f64> {
+    use Op::*;
+    Some(match (op, args) {
+        (Pi, []) => std::f64::consts::PI,
+        (Cos, [a]) => a.cos(),
+        (Sin, [a]) => a.sin(),
+        (ArcCos, [a]) => a.acos(),
+        (ArcSin, [a]) => a.asin(),
+        (Round, [a]) => a.round(),
+        (Floor, [a]) => a.floor(),
+        (Ceiling, [a]) => a.ceil(),
+        (Sqrt, [a]) => a.sqrt(),
+        (Add, [a, b]) => a + b,
+        (Sub, [a, b]) => a - b,
+        (Mul, [a, b]) => a * b,
+        (Div, [a, b]) => a / b,
+        (Mod, [a, b]) => a % b,
+        (Pow, [a, b]) => a.powf(*b),
+        (ArcTan2, [a, b]) => a.atan2(*b),
+        _ => return None,
+    })
 }
 
 /// Evaluates a primitive operation (rule E-OP-NUM and friends).
@@ -313,20 +412,13 @@ pub fn eval_prim(op: Op, args: &[Value]) -> Result<Value, EvalError> {
             })
     };
     match op {
-        Pi => Ok(Value::Num(std::f64::consts::PI, Trace::op(Pi, vec![]))),
+        Pi => Ok(Value::Num(
+            apply_num_op(Pi, &[]).expect("pi is numeric"),
+            Trace::op(Pi, vec![]),
+        )),
         Cos | Sin | ArcCos | ArcSin | Round | Floor | Ceiling | Sqrt => {
             let (n, t) = num(0)?;
-            let r = match op {
-                Cos => n.cos(),
-                Sin => n.sin(),
-                ArcCos => n.acos(),
-                ArcSin => n.asin(),
-                Round => n.round(),
-                Floor => n.floor(),
-                Ceiling => n.ceil(),
-                Sqrt => n.sqrt(),
-                _ => unreachable!(),
-            };
+            let r = apply_num_op(op, &[n]).expect("unary numeric op");
             Ok(Value::Num(r, Trace::op(op, vec![t])))
         }
         Add => match (&args[0], &args[1]) {
@@ -334,21 +426,14 @@ pub fn eval_prim(op: Op, args: &[Value]) -> Result<Value, EvalError> {
             _ => {
                 let (a, ta) = num(0)?;
                 let (b, tb) = num(1)?;
-                Ok(Value::Num(a + b, Trace::op(Add, vec![ta, tb])))
+                let r = apply_num_op(Add, &[a, b]).expect("binary numeric op");
+                Ok(Value::Num(r, Trace::op(Add, vec![ta, tb])))
             }
         },
         Sub | Mul | Div | Mod | Pow | ArcTan2 => {
             let (a, ta) = num(0)?;
             let (b, tb) = num(1)?;
-            let r = match op {
-                Sub => a - b,
-                Mul => a * b,
-                Div => a / b,
-                Mod => a % b,
-                Pow => a.powf(b),
-                ArcTan2 => a.atan2(b),
-                _ => unreachable!(),
-            };
+            let r = apply_num_op(op, &[a, b]).expect("binary numeric op");
             Ok(Value::Num(r, Trace::op(op, vec![ta, tb])))
         }
         Lt | Gt | Le | Ge => {
@@ -500,6 +585,42 @@ mod tests {
             max_depth: 5_000,
         });
         assert!(ev.eval(&Env::new(), &p.expr).is_err());
+    }
+
+    #[test]
+    fn comparisons_escape_their_inputs_but_arithmetic_does_not() {
+        let p = parse("(if (< 1 10) (+ 2 0) 3)").unwrap();
+        let mut ev = Evaluator::default();
+        ev.eval(&Env::new(), &p.expr).unwrap();
+        let escaped: Vec<u32> = ev.escaped_locs().iter().map(|l| l.0).collect();
+        // Only the comparison's inputs (the `1` and the `10`) escape; the
+        // branch arithmetic stays inside the trace system.
+        assert_eq!(escaped, vec![0, 1]);
+    }
+
+    #[test]
+    fn numeric_patterns_escape_the_scrutinee() {
+        let p = parse("(case (+ 1 2) (3 'yes') (_ 'no'))").unwrap();
+        let mut ev = Evaluator::default();
+        let v = ev.eval(&Env::new(), &p.expr).unwrap();
+        assert_eq!(v.as_str(), Some("yes"));
+        let escaped: Vec<u32> = ev.escaped_locs().iter().map(|l| l.0).collect();
+        assert_eq!(escaped, vec![0, 1]);
+    }
+
+    #[test]
+    fn tostring_and_eq_escape() {
+        let p = parse("(+ (toString 5) (toString (= 6 7)))").unwrap();
+        let mut ev = Evaluator::default();
+        ev.eval(&Env::new(), &p.expr).unwrap();
+        assert_eq!(ev.escaped_locs().len(), 3);
+    }
+
+    #[test]
+    fn apply_num_op_rejects_non_numeric_shapes() {
+        assert_eq!(apply_num_op(Op::Lt, &[1.0, 2.0]), None);
+        assert_eq!(apply_num_op(Op::Add, &[1.0]), None);
+        assert_eq!(apply_num_op(Op::Add, &[1.0, 2.0]), Some(3.0));
     }
 
     #[test]

@@ -28,13 +28,17 @@
 
 pub mod env;
 pub mod eval;
+pub mod patch;
 pub mod program;
 pub mod trace;
 pub mod value;
 
 pub use env::Env;
-pub use eval::{eval_prim, match_pat, EvalError, Evaluator, Limits};
-pub use program::{FreezeMode, LocInfo, Program, PRELUDE_SRC};
+pub use eval::{
+    apply_num_op, eval_prim, match_pat, match_pat_escaping, EvalError, Evaluator, Limits,
+};
+pub use patch::TracePatcher;
+pub use program::{EvalOutcome, FreezeMode, LocInfo, Program, PRELUDE_SRC};
 pub use trace::Trace;
 pub use value::{Closure, Value};
 

@@ -14,7 +14,7 @@ use sns_lang::{
 };
 
 use crate::env::Env;
-use crate::eval::{match_pat, EvalError, Evaluator, Limits};
+use crate::eval::{EvalError, Evaluator, Limits};
 use crate::value::{Closure, Value};
 
 /// The `little` Prelude source embedded in every program (Appendix C).
@@ -262,9 +262,27 @@ impl Program {
     ///
     /// Returns an [`EvalError`] from either Prelude or user evaluation.
     pub fn eval(&self) -> Result<Value, EvalError> {
+        self.eval_traced().map(|o| o.value)
+    }
+
+    /// Evaluates the program and additionally reports which locations
+    /// escaped the trace system (flowed into comparisons, `=`, `toString`,
+    /// or numeric patterns). A substitution whose domain avoids every
+    /// escaped location cannot change control flow, so the output of the
+    /// updated program is obtainable by trace patching
+    /// ([`crate::TracePatcher`]) instead of re-evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EvalError`] from either Prelude or user evaluation.
+    pub fn eval_traced(&self) -> Result<EvalOutcome, EvalError> {
         let mut ev = Evaluator::new(self.limits);
         let env = extend_with_defs(&mut ev, Env::new(), &self.prelude_expr)?;
-        ev.eval(&env, &self.user_expr)
+        let value = ev.eval(&env, &self.user_expr)?;
+        Ok(EvalOutcome {
+            value,
+            escaped: ev.take_escaped(),
+        })
     }
 
     /// All locations that carry a range annotation, i.e. requested sliders
@@ -278,6 +296,16 @@ impl Program {
         out.sort_by_key(|(l, _)| *l);
         out
     }
+}
+
+/// A program's evaluation result together with its escaped-location set.
+#[derive(Debug, Clone)]
+pub struct EvalOutcome {
+    /// The program's output value.
+    pub value: Value,
+    /// Locations whose values escaped the trace system during evaluation
+    /// (see [`Evaluator::escaped_locs`]).
+    pub escaped: std::collections::BTreeSet<LocId>,
 }
 
 /// Evaluates a chain of `def`/`defrec` bindings into an environment,
@@ -309,7 +337,8 @@ fn extend_with_defs(ev: &mut Evaluator, env: Env, expr: &Expr) -> Result<Env, Ev
         } else {
             bound_v
         };
-        env = match_pat(pat, &bound_v, &env)
+        env = ev
+            .match_pat_in(pat, &bound_v, &env)
             .ok_or_else(|| EvalError::new("def pattern does not match value"))?;
         cur = body;
     }

@@ -43,18 +43,20 @@ impl Trace {
     /// depends on the editor's freeze mode.
     pub fn locs(&self) -> BTreeSet<LocId> {
         let mut out = BTreeSet::new();
-        self.collect_locs(&mut out);
+        self.collect_locs_into(&mut out);
         out
     }
 
-    fn collect_locs(&self, out: &mut BTreeSet<LocId>) {
+    /// Collects the trace's locations into an existing set (avoids an
+    /// allocation per trace when scanning many).
+    pub fn collect_locs_into(&self, out: &mut BTreeSet<LocId>) {
         match self {
             Trace::Loc(l) => {
                 out.insert(*l);
             }
             Trace::Op(_, args) => {
                 for a in args {
-                    a.collect_locs(out);
+                    a.collect_locs_into(out);
                 }
             }
         }

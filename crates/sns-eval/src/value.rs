@@ -104,6 +104,20 @@ impl Value {
         }
     }
 
+    /// Collects the trace locations of every number reachable in this
+    /// value (numbers nested in lists included; closure environments are
+    /// not traversed — closures are opaque to `=`/`toString`).
+    pub fn collect_locs(&self, out: &mut std::collections::BTreeSet<sns_lang::LocId>) {
+        match self {
+            Value::Num(_, t) => t.collect_locs_into(out),
+            Value::Cons(h, t) => {
+                h.collect_locs(out);
+                t.collect_locs(out);
+            }
+            Value::Str(_) | Value::Bool(_) | Value::Nil | Value::Closure(_) => {}
+        }
+    }
+
     /// A short name for the value's shape, used in error messages.
     pub fn kind_name(&self) -> &'static str {
         match self {

@@ -61,6 +61,7 @@ pub fn dispatch(state: &Arc<ServerState>, request: &Request) -> Response {
 }
 
 fn stats(state: &Arc<ServerState>) -> Response {
+    let live = state.stats.live();
     ok_json(
         200,
         Json::obj([
@@ -70,6 +71,13 @@ fn stats(state: &Arc<ServerState>) -> Response {
             ("evictions", Json::Num(state.store.evictions() as f64)),
             ("p50_ms", Json::Num(state.stats.quantile_ms(0.50))),
             ("p99_ms", Json::Num(state.stats.quantile_ms(0.99))),
+            ("prepare_full", Json::Num(live.full_prepares as f64)),
+            (
+                "prepare_incremental",
+                Json::Num(live.incremental_prepares as f64),
+            ),
+            ("eval_fast", Json::Num(live.fast_evals as f64)),
+            ("eval_full", Json::Num(live.full_evals as f64)),
             (
                 "uptime_secs",
                 Json::Num(state.started.elapsed().as_secs_f64()),
@@ -101,9 +109,10 @@ fn create_session(state: &Arc<ServerState>, body: &[u8]) -> Response {
     };
     let id = state.store.fresh_id();
     match Session::create(id.clone(), &source) {
-        Ok(session) => {
+        Ok(mut session) => {
             let code = session.code();
             let canvas = session.canvas_json();
+            state.stats.record_live(session.live_stats_delta());
             state.store.insert(session);
             ok_json(
                 201,
@@ -137,7 +146,9 @@ fn with_session(
         }
     };
     guard.requests += 1;
-    match f(&mut guard) {
+    let result = f(&mut guard);
+    state.stats.record_live(guard.live_stats_delta());
+    match result {
         Ok(v) => ok_json(200, v),
         Err(e) => error_response(e.status, &e.msg),
     }

@@ -33,6 +33,9 @@ pub struct Session {
     drag: Option<(ShapeId, Zone)>,
     /// Monotone count of requests served by this session.
     pub requests: u64,
+    /// Live-sync counters as of the last [`Session::live_stats_delta`]
+    /// call, so deltas can be folded into the server-wide stats.
+    reported: sns_sync::LiveStats,
 }
 
 /// A session-level failure, mapped to an HTTP status by the router.
@@ -70,7 +73,30 @@ impl Session {
             editor,
             drag: None,
             requests: 0,
+            reported: sns_sync::LiveStats::default(),
         })
+    }
+
+    /// The live-sync cache counters accumulated since the last call — the
+    /// router folds these into [`crate::stats::ServerStats`] after every
+    /// session-touching request, making the incremental-prepare hit rate
+    /// visible on `/stats`.
+    pub fn live_stats_delta(&mut self) -> sns_sync::LiveStats {
+        let now = self.editor.live_stats();
+        // Saturating: editor reconfiguration (heuristic/freeze-mode swaps)
+        // rebuilds the LiveSync and resets its counters below `reported`.
+        let delta = sns_sync::LiveStats {
+            full_prepares: now
+                .full_prepares
+                .saturating_sub(self.reported.full_prepares),
+            incremental_prepares: now
+                .incremental_prepares
+                .saturating_sub(self.reported.incremental_prepares),
+            fast_evals: now.fast_evals.saturating_sub(self.reported.fast_evals),
+            full_evals: now.full_evals.saturating_sub(self.reported.full_evals),
+        };
+        self.reported = now;
+        delta
     }
 
     /// The current program text.

@@ -16,6 +16,10 @@ pub struct ServerStats {
     requests: AtomicU64,
     errors: AtomicU64,
     buckets: [AtomicU64; BUCKETS],
+    prepare_full: AtomicU64,
+    prepare_incremental: AtomicU64,
+    eval_fast: AtomicU64,
+    eval_full: AtomicU64,
 }
 
 impl ServerStats {
@@ -43,6 +47,29 @@ impl ServerStats {
     /// Requests that produced a non-2xx response.
     pub fn errors(&self) -> u64 {
         self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Accumulates live-sync cache counters reported by a session after a
+    /// request (deltas since that session's previous report).
+    pub fn record_live(&self, delta: sns_sync::LiveStats) {
+        self.prepare_full
+            .fetch_add(delta.full_prepares, Ordering::Relaxed);
+        self.prepare_incremental
+            .fetch_add(delta.incremental_prepares, Ordering::Relaxed);
+        self.eval_fast
+            .fetch_add(delta.fast_evals, Ordering::Relaxed);
+        self.eval_full
+            .fetch_add(delta.full_evals, Ordering::Relaxed);
+    }
+
+    /// Aggregate live-sync cache counters across all sessions.
+    pub fn live(&self) -> sns_sync::LiveStats {
+        sns_sync::LiveStats {
+            full_prepares: self.prepare_full.load(Ordering::Relaxed),
+            incremental_prepares: self.prepare_incremental.load(Ordering::Relaxed),
+            fast_evals: self.eval_fast.load(Ordering::Relaxed),
+            full_evals: self.eval_full.load(Ordering::Relaxed),
+        }
     }
 
     /// The latency (in milliseconds) at or below which `q` of requests

@@ -157,6 +157,16 @@ fn create_canvas_drag_commit_code_roundtrip() {
     assert_eq!(status, 200);
     assert_eq!(canvas.get("shapes").unwrap().as_arr().unwrap().len(), 12);
 
+    // The commit above was served by the incremental-prepare path (the
+    // drag's substitution touches no control-flow location) and the drags
+    // by canvas patching; /stats exposes both.
+    let (status, stats) = c.get("/stats");
+    assert_eq!(status, 200);
+    assert!(stats.get("prepare_incremental").unwrap().as_f64().unwrap() >= 1.0);
+    assert!(stats.get("eval_fast").unwrap().as_f64().unwrap() >= 2.0);
+    // Session creation always runs one full prepare per session.
+    assert!(stats.get("prepare_full").unwrap().as_f64().unwrap() >= 2.0);
+
     handle.shutdown();
 }
 

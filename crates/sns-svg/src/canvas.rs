@@ -86,6 +86,23 @@ impl Canvas {
         render(&self.root, options)
     }
 
+    /// A copy of the canvas with every traced number rewritten through
+    /// `patch` (typically [`sns_eval::TracePatcher::patch`], re-evaluating
+    /// each trace under an updated substitution). Structure, strings, and
+    /// traces are preserved exactly; only numeric values move. Returns
+    /// `None` when `patch` fails on any number, in which case the caller
+    /// should rebuild the canvas from a full re-evaluation.
+    pub fn patched(
+        &self,
+        patch: &mut dyn FnMut(f64, &std::sync::Arc<sns_eval::Trace>) -> Option<f64>,
+    ) -> Option<Canvas> {
+        let mut root = self.root.clone();
+        crate::node::patch_node_nums(&mut root, patch)?;
+        let mut shapes = Vec::new();
+        collect_shapes(&root, &mut shapes);
+        Some(Canvas { root, shapes })
+    }
+
     /// Every traced number in every shape's attributes, in canvas order —
     /// the `w1 … wk` numeric outputs of the synthesis framework (§3).
     pub fn numeric_outputs(&self) -> Vec<crate::node::NumTr> {
@@ -152,6 +169,35 @@ mod tests {
         let c = canvas_of("(svg [(rect 'a' 10 20 30 40)])");
         let nums: Vec<f64> = c.numeric_outputs().iter().map(|n| n.n).collect();
         assert_eq!(nums, vec![10.0, 20.0, 30.0, 40.0]);
+    }
+
+    #[test]
+    fn patched_canvas_matches_full_reevaluation() {
+        use sns_eval::TracePatcher;
+        use sns_lang::{LocId, Subst};
+
+        let src = "(def [x0 sep] [40 25]) \
+                   (svg (map (λ i (rect 'red' (+ x0 (* i sep)) 10 20 20)) (zeroTo 4!)))";
+        let p = Program::parse(src).unwrap();
+        let canvas = Canvas::from_value(&p.eval().unwrap()).unwrap();
+        // User literals in order: x0, sep, y, w, h, 4! — six of them.
+        let x0 = LocId(p.next_loc() - 6);
+        let subst = Subst::from_pairs([(x0, 55.0)]);
+        let rho0 = p.subst();
+        let mut patcher = TracePatcher::new(&rho0, &subst);
+        let patched = canvas.patched(&mut |n, t| patcher.patch(n, t)).unwrap();
+        let full = Canvas::from_value(&p.with_subst(&subst).eval().unwrap()).unwrap();
+        assert_eq!(
+            patched.to_svg(RenderOptions::default()),
+            full.to_svg(RenderOptions::default())
+        );
+        assert_eq!(patched.shapes()[3].node.num_attr("x").unwrap().n, 130.0);
+    }
+
+    #[test]
+    fn patch_failure_propagates() {
+        let c = canvas_of("(svg [(rect 'a' 1 2 3 4)])");
+        assert!(c.patched(&mut |_, _| None).is_none());
     }
 
     #[test]

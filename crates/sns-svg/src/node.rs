@@ -131,6 +131,58 @@ impl SvgNode {
     }
 }
 
+/// Rewrites every traced number in a node tree through `patch`; `None`
+/// aborts the walk (the caller falls back to rebuilding from a fresh
+/// evaluation). Strings, node kinds, and tree structure are untouched —
+/// patching is only sound when the producing program's control flow is
+/// known to be unchanged.
+pub(crate) fn patch_node_nums(
+    node: &mut SvgNode,
+    patch: &mut dyn FnMut(f64, &Arc<Trace>) -> Option<f64>,
+) -> Option<()> {
+    let mut patch_num = |num: &mut NumTr| -> Option<()> {
+        num.n = patch(num.n, &num.t)?;
+        Some(())
+    };
+    for (_, value) in &mut node.attrs {
+        match value {
+            AttrValue::Num(n) | AttrValue::ColorNum(n) => patch_num(n)?,
+            AttrValue::Str(_) => {}
+            AttrValue::Points(pts) => {
+                for (x, y) in pts {
+                    patch_num(x)?;
+                    patch_num(y)?;
+                }
+            }
+            AttrValue::Rgba(comps) => {
+                for c in comps {
+                    patch_num(c)?;
+                }
+            }
+            AttrValue::Path(cmds) => {
+                for cmd in cmds {
+                    for a in &mut cmd.args {
+                        patch_num(a)?;
+                    }
+                }
+            }
+            AttrValue::Transform(cmds) => {
+                for cmd in cmds {
+                    for a in &mut cmd.args {
+                        patch_num(a)?;
+                    }
+                }
+            }
+        }
+    }
+    for child in &mut node.children {
+        if let SvgChild::Node(n) = child {
+            patch_node_nums(n, patch)?;
+        }
+    }
+    Some(())
+}
+
 /// An error converting a `little` value into SVG.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SvgError {

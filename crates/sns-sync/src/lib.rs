@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod assign;
+pub mod depindex;
 pub mod framework;
 pub mod live;
 pub mod reconcile;
@@ -48,8 +49,9 @@ pub use assign::{
     analyze_canvas, Assignments, AttrSlot, Candidate, Heuristic, ZoneAnalysis, ZoneStats,
     CANDIDATE_CAP,
 };
+pub use depindex::DepIndex;
 pub use framework::{judge, numeric_leaves, similar, Judgment, UserUpdate};
-pub use live::{prepare, DragResult, LiveConfig, LiveError, LiveSync};
+pub use live::{prepare, DragResult, LiveConfig, LiveError, LiveStats, LiveSync};
 pub use reconcile::{reconcile, OutputEdit, RankedUpdate, ReconcileJudgment};
 pub use stats::{
     location_stats, pre_equations, solvability, unique_pre_equations, LocationStats, PreEquation,

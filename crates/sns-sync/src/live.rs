@@ -6,16 +6,48 @@
 //! program — exactly what the original editor does on every mouse-move
 //! event; `commit` finalizes a drag (mouse-up), after which the session
 //! re-prepares in anticipation of the next user action.
+//!
+//! # Incremental preparation and the drag fast path
+//!
+//! The paper's own evaluation singles out `prepare` as the dominant cost
+//! (§5.2.3), and a naïve session re-runs it — plus a full re-evaluation —
+//! on every commit, making commit latency O(canvas). This implementation
+//! makes both steps O(edit) whenever it can prove the edit cannot change
+//! control flow:
+//!
+//! * evaluation records which locations *escape* the trace system
+//!   (comparisons, `=`, `toString`, numeric patterns — see
+//!   [`sns_eval::Evaluator::escaped_locs`]). A substitution avoiding all
+//!   of them leaves control flow, output structure, and every trace
+//!   unchanged;
+//! * **drag fast path** — instead of cloning the program and re-running
+//!   the interpreter per mouse-move, the cached canvas is *patched*: every
+//!   traced number whose trace mentions a changed location is re-evaluated
+//!   under the updated substitution ([`sns_eval::TracePatcher`]);
+//! * **incremental prepare** — with traces unchanged, candidate location
+//!   sets and heuristic choices are unchanged too, so a commit only needs
+//!   to refresh the attribute *base values* of zones whose traces mention
+//!   a changed location. The [`DepIndex`](crate::depindex::DepIndex) maps
+//!   locations to those zones directly.
+//!
+//! Whenever the proof obligation fails (an escaped location is touched, or
+//! patching trips on anything unexpected), the session falls back to the
+//! original full re-evaluate + re-prepare path, so observable behaviour is
+//! identical — the corpus-wide equivalence suite
+//! (`tests/incremental_equiv.rs`) checks this bit-for-bit.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use sns_eval::{EvalError, FreezeMode, Program};
-use sns_lang::Subst;
-use sns_svg::{Canvas, ShapeId, SvgError, Zone};
+use sns_eval::{EvalError, FreezeMode, Program, TracePatcher};
+use sns_lang::{LocId, Subst};
+use sns_svg::{resolve_attr, Canvas, ShapeId, SvgError, Zone};
 
 use crate::assign::{analyze_canvas, Assignments, Heuristic};
+use crate::depindex::DepIndex;
 use crate::trigger::{SolverChoice, Trigger, TriggerFire};
 
 /// Configuration of a live-synchronization session.
@@ -27,6 +59,47 @@ pub struct LiveConfig {
     pub freeze_mode: FreezeMode,
     /// Equation solver used by triggers.
     pub solver: SolverChoice,
+    /// Disable the incremental prepare / drag fast path and always take
+    /// the full re-evaluate + re-prepare route. Used as the reference
+    /// implementation by equivalence tests and benchmarks.
+    pub full_prepare_only: bool,
+}
+
+/// Counters describing how a session's work has been served (cache
+/// observability for benchmarks and the server's `/stats` endpoint).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LiveStats {
+    /// Full prepares: initial, post-fallback, and `replace_program`.
+    pub full_prepares: u64,
+    /// Commits served by the incremental path (dirty zones only).
+    pub incremental_prepares: u64,
+    /// Drag previews served by canvas patching.
+    pub fast_evals: u64,
+    /// Drag previews served by full re-evaluation.
+    pub full_evals: u64,
+}
+
+#[derive(Debug, Default)]
+struct LiveCounters {
+    full_prepares: AtomicU64,
+    incremental_prepares: AtomicU64,
+    fast_evals: AtomicU64,
+    full_evals: AtomicU64,
+}
+
+impl LiveCounters {
+    fn snapshot(&self) -> LiveStats {
+        LiveStats {
+            full_prepares: self.full_prepares.load(Ordering::Relaxed),
+            incremental_prepares: self.incremental_prepares.load(Ordering::Relaxed),
+            fast_evals: self.fast_evals.load(Ordering::Relaxed),
+            full_evals: self.full_evals.load(Ordering::Relaxed),
+        }
+    }
+
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Errors from running or preparing a program in a live session.
@@ -90,6 +163,15 @@ pub struct LiveSync {
     canvas: Canvas,
     assignments: Assignments,
     triggers: HashMap<(ShapeId, Zone), Trigger>,
+    /// The program's current substitution ρ₀ (cached; kept equal to
+    /// `program.subst()` across commits).
+    rho0: Subst,
+    /// Locations that escaped the trace system during the last full
+    /// evaluation; substitutions avoiding them cannot change control flow.
+    escaped: BTreeSet<LocId>,
+    /// Location → dependent-zone index from the last full prepare.
+    depindex: DepIndex,
+    counters: LiveCounters,
 }
 
 impl LiveSync {
@@ -99,14 +181,23 @@ impl LiveSync {
     ///
     /// Fails if the program does not evaluate or its output is not SVG.
     pub fn new(program: Program, config: LiveConfig) -> Result<LiveSync, LiveError> {
-        let canvas = Canvas::from_value(&program.eval()?)?;
+        let outcome = program.eval_traced()?;
+        let canvas = Canvas::from_value(&outcome.value)?;
         let (assignments, triggers) = prepare(&program, &canvas, config);
+        let depindex = DepIndex::build(&assignments);
+        let rho0 = program.subst();
+        let counters = LiveCounters::default();
+        LiveCounters::bump(&counters.full_prepares);
         Ok(LiveSync {
             program,
             config,
             canvas,
             assignments,
             triggers,
+            rho0,
+            escaped: outcome.escaped,
+            depindex,
+            counters,
         })
     }
 
@@ -148,15 +239,35 @@ impl LiveSync {
             .triggers
             .get(&(shape, zone))
             .ok_or(LiveError::NoTrigger { shape, zone })?;
-        let TriggerFire { subst, failures } =
-            trigger.fire(&self.program.subst(), dx, dy, self.config.solver);
-        let preview = self.program.with_subst(&subst);
-        let canvas = Canvas::from_value(&preview.eval()?)?;
+        let TriggerFire { subst, failures } = trigger.fire(&self.rho0, dx, dy, self.config.solver);
+        let canvas = self.preview_canvas(&subst)?;
         Ok(DragResult {
             subst,
             failures,
             canvas,
         })
+    }
+
+    /// Whether a substitution provably cannot change control flow, i.e.
+    /// whether patching/incremental re-preparation applies to it.
+    pub fn control_flow_safe(&self, subst: &Subst) -> bool {
+        subst.domain().all(|l| !self.escaped.contains(&l))
+    }
+
+    /// The canvas after applying `subst`: patched from the cached canvas
+    /// when control flow provably cannot change, rebuilt from a full
+    /// re-evaluation otherwise.
+    fn preview_canvas(&self, subst: &Subst) -> Result<Canvas, LiveError> {
+        if !self.config.full_prepare_only && self.control_flow_safe(subst) {
+            let mut patcher = TracePatcher::new(&self.rho0, subst);
+            if let Some(canvas) = self.canvas.patched(&mut |n, t| patcher.patch(n, t)) {
+                LiveCounters::bump(&self.counters.fast_evals);
+                return Ok(canvas);
+            }
+        }
+        LiveCounters::bump(&self.counters.full_evals);
+        let preview = self.program.with_subst(subst);
+        Ok(Canvas::from_value(&preview.eval()?)?)
     }
 
     /// Commits a drag (mouse-up): applies the final substitution to the
@@ -167,8 +278,63 @@ impl LiveSync {
     ///
     /// Fails when the updated program does not evaluate to a canvas.
     pub fn commit(&mut self, subst: &Subst) -> Result<(), LiveError> {
+        if !self.config.full_prepare_only && self.control_flow_safe(subst) {
+            if let Some(canvas) = self.patched_commit_canvas(subst) {
+                self.program.apply_subst(subst);
+                self.canvas = canvas;
+                self.rho0 = self.program.subst();
+                self.refresh_dirty_zones(subst);
+                LiveCounters::bump(&self.counters.incremental_prepares);
+                return Ok(());
+            }
+        }
         self.program.apply_subst(subst);
         self.reprepare()
+    }
+
+    fn patched_commit_canvas(&self, subst: &Subst) -> Option<Canvas> {
+        let mut patcher = TracePatcher::new(&self.rho0, subst);
+        self.canvas.patched(&mut |n, t| patcher.patch(n, t))
+    }
+
+    /// Incremental prepare: control flow is unchanged, so canvas
+    /// structure, traces, candidate sets, and heuristic choices are all
+    /// still valid — only the attribute base values of zones whose traces
+    /// mention a changed location have moved. Refresh exactly those (and
+    /// their triggers) from the patched canvas.
+    fn refresh_dirty_zones(&mut self, subst: &Subst) {
+        for i in self.depindex.dirty_zones(subst.domain()) {
+            let analysis = &mut self.assignments.zones[i];
+            let Some(shape) = self.canvas.shape(analysis.shape) else {
+                continue;
+            };
+            for slot in &mut analysis.slots {
+                if let Some(num) = resolve_attr(&shape.node, &slot.attr) {
+                    slot.base = num.n;
+                    slot.trace = Arc::clone(&num.t);
+                }
+            }
+            let key = (analysis.shape, analysis.zone);
+            match Trigger::compute(analysis) {
+                Some(trigger) => {
+                    self.triggers.insert(key, trigger);
+                }
+                None => {
+                    self.triggers.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Cache-effectiveness counters for this session.
+    pub fn stats(&self) -> LiveStats {
+        self.counters.snapshot()
+    }
+
+    /// The locations that escaped the trace system in the last full
+    /// evaluation (substitutions touching them force the fallback path).
+    pub fn escaped_locs(&self) -> &BTreeSet<LocId> {
+        &self.escaped
     }
 
     /// Replaces the program wholesale (a programmatic edit in the editor's
@@ -183,10 +349,15 @@ impl LiveSync {
     }
 
     fn reprepare(&mut self) -> Result<(), LiveError> {
-        self.canvas = Canvas::from_value(&self.program.eval()?)?;
+        let outcome = self.program.eval_traced()?;
+        self.canvas = Canvas::from_value(&outcome.value)?;
         let (assignments, triggers) = prepare(&self.program, &self.canvas, self.config);
         self.assignments = assignments;
         self.triggers = triggers;
+        self.depindex = DepIndex::build(&self.assignments);
+        self.escaped = outcome.escaped;
+        self.rho0 = self.program.subst();
+        LiveCounters::bump(&self.counters.full_prepares);
         Ok(())
     }
 }
@@ -309,6 +480,74 @@ mod tests {
         for s in live.canvas().shapes() {
             assert_eq!(s.node.num_attr("width").unwrap().n, 32.0);
         }
+    }
+
+    #[test]
+    fn drags_and_commits_take_the_fast_path() {
+        let mut live = session(SINE_WAVE);
+        assert_eq!(live.stats().full_prepares, 1);
+        let result = live.drag(ShapeId(0), Zone::Interior, 45.0, 0.0).unwrap();
+        assert!(live.control_flow_safe(&result.subst));
+        live.commit(&result.subst).unwrap();
+        let stats = live.stats();
+        assert_eq!(stats.fast_evals, 1, "drag preview should be patched");
+        assert_eq!(stats.incremental_prepares, 1);
+        assert_eq!(stats.full_prepares, 1, "no fallback expected");
+        // And the committed state is fully functional: drag again.
+        let again = live.drag(ShapeId(1), Zone::Interior, 10.0, 0.0).unwrap();
+        live.commit(&again.subst).unwrap();
+        assert_eq!(live.stats().incremental_prepares, 2);
+    }
+
+    #[test]
+    fn control_flow_locations_force_the_fallback() {
+        use sns_lang::LocId;
+        let mut live = session(SINE_WAVE);
+        // `n` drives `zeroTo n` — it escapes via range's comparison.
+        let n_loc = live
+            .program()
+            .slider_locs()
+            .first()
+            .map(|(l, _)| *l)
+            .unwrap();
+        let subst = Subst::from_pairs([(n_loc, 5.0)]);
+        assert!(!live.control_flow_safe(&subst));
+        live.commit(&subst).unwrap();
+        assert_eq!(live.canvas().shapes().len(), 5, "shape count changed");
+        let stats = live.stats();
+        assert_eq!(stats.incremental_prepares, 0);
+        assert_eq!(stats.full_prepares, 2);
+        // Prelude loop counters always escape.
+        assert!(live.escaped_locs().contains(&LocId(10)));
+    }
+
+    #[test]
+    fn incremental_commit_matches_full_prepare_exactly() {
+        let mut incremental = session(SINE_WAVE);
+        let mut full = LiveSync::new(
+            Program::parse(SINE_WAVE).unwrap(),
+            LiveConfig {
+                full_prepare_only: true,
+                ..LiveConfig::default()
+            },
+        )
+        .unwrap();
+        for (shape, dx, dy) in [(0usize, 45.0, 3.0), (1, -12.0, 0.0), (5, 7.0, -9.0)] {
+            let a = incremental
+                .drag(ShapeId(shape), Zone::Interior, dx, dy)
+                .unwrap();
+            let b = full.drag(ShapeId(shape), Zone::Interior, dx, dy).unwrap();
+            assert_eq!(a.subst, b.subst);
+            incremental.commit(&a.subst).unwrap();
+            full.commit(&b.subst).unwrap();
+            assert_eq!(incremental.program().code(), full.program().code());
+            assert_eq!(
+                format!("{:?}", incremental.assignments()),
+                format!("{:?}", full.assignments())
+            );
+        }
+        assert_eq!(incremental.stats().incremental_prepares, 3);
+        assert_eq!(full.stats().full_prepares, 4);
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! Corpus-wide equivalence: for every example and a seeded set of drags
+//! and commits, the incremental prepare + drag fast-path must be
+//! observably indistinguishable — bit for bit — from the full
+//! re-evaluate + re-prepare reference path.
+//!
+//! Two sessions run the same program side by side: one with the default
+//! (incremental) configuration, one with `full_prepare_only`. After every
+//! drag the inferred substitutions must agree; after every commit the
+//! program text, the rendered canvas, every zone analysis (slots, bases,
+//! candidates, chosen index), and every trigger must agree.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use sns_eval::Program;
+use sns_svg::RenderOptions;
+use sns_sync::{LiveConfig, LiveSync};
+
+/// Deterministic SplitMix64 (same generator as `sns-stats`' harness).
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    fn offset(&mut self) -> f64 {
+        // Offsets in ±[1, 32], quarter-pixel granularity.
+        let mag = 1.0 + (self.next_u64() % 125) as f64 * 0.25;
+        if self.next_u64().is_multiple_of(2) {
+            mag
+        } else {
+            -mag
+        }
+    }
+}
+
+/// Everything observable about a prepared session, rendered to a string.
+/// `f64`s are captured via `to_bits`, so equality here is bit-equality.
+fn fingerprint(live: &LiveSync) -> String {
+    let mut out = String::new();
+    out.push_str(&live.program().code());
+    out.push('\n');
+    out.push_str(&live.canvas().to_svg(RenderOptions::default()));
+    out.push('\n');
+    for z in &live.assignments().zones {
+        write!(
+            out,
+            "{} {} chosen={:?} overflow={}",
+            z.shape, z.zone, z.chosen, z.overflow
+        )
+        .unwrap();
+        for slot in &z.slots {
+            write!(
+                out,
+                " slot({:?},{:?},{:016x},tr{}:{:?})",
+                slot.attr,
+                slot.offset,
+                slot.base.to_bits(),
+                slot.trace.size(),
+                slot.locs,
+            )
+            .unwrap();
+        }
+        for c in &z.candidates {
+            write!(out, " cand({:?})", c.loc_set).unwrap();
+        }
+        out.push('\n');
+        if let Some(t) = live.trigger(z.shape, z.zone) {
+            for p in &t.parts {
+                write!(
+                    out,
+                    "  part({:?},{:?},{},{:016x},tr{})",
+                    p.attr,
+                    p.offset,
+                    p.loc,
+                    p.base.to_bits(),
+                    p.trace.size(),
+                )
+                .unwrap();
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[test]
+fn incremental_prepare_matches_full_prepare_across_the_corpus() {
+    sns_eval::with_big_stack(|| {
+        let mut fallback_only = Vec::new();
+        for example in sns_examples::ALL {
+            let program = Program::parse(example.source).expect("corpus parses");
+            let mut incremental =
+                LiveSync::new(program.clone(), LiveConfig::default()).expect("corpus prepares");
+            let mut full = LiveSync::new(
+                program,
+                LiveConfig {
+                    full_prepare_only: true,
+                    ..LiveConfig::default()
+                },
+            )
+            .expect("corpus prepares");
+
+            assert_eq!(
+                fingerprint(&incremental),
+                fingerprint(&full),
+                "{}: initial prepare differs",
+                example.slug
+            );
+
+            let active: Vec<_> = incremental
+                .assignments()
+                .zones
+                .iter()
+                .filter(|z| z.is_active())
+                .map(|z| (z.shape, z.zone))
+                .collect();
+            if active.is_empty() {
+                continue;
+            }
+
+            let mut rng = Rng(0xC0FFEE ^ example.slug.len() as u64);
+            let mut incremental_commits = 0u64;
+            for _ in 0..3 {
+                let (shape, zone) = active[rng.below(active.len())];
+                let (dx, dy) = (rng.offset(), rng.offset());
+                // Both sessions must agree on whether the drag works at all.
+                let a = incremental.drag(shape, zone, dx, dy);
+                let b = full.drag(shape, zone, dx, dy);
+                match (a, b) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(
+                            a.subst, b.subst,
+                            "{}: drag on {shape} {zone} inferred different updates",
+                            example.slug
+                        );
+                        if incremental.control_flow_safe(&a.subst) {
+                            incremental_commits += 1;
+                        }
+                        match (incremental.commit(&a.subst), full.commit(&b.subst)) {
+                            (Ok(()), Ok(())) => {}
+                            (Err(_), Err(_)) => continue,
+                            (a, b) => {
+                                panic!("{}: commit outcomes diverged: {a:?} vs {b:?}", example.slug)
+                            }
+                        }
+                        assert_eq!(
+                            fingerprint(&incremental),
+                            fingerprint(&full),
+                            "{}: state after commit on {shape} {zone} differs",
+                            example.slug
+                        );
+                    }
+                    (Err(_), Err(_)) => continue,
+                    (a, b) => panic!("{}: drag outcomes diverged: {a:?} vs {b:?}", example.slug),
+                }
+            }
+            if incremental_commits == 0 {
+                fallback_only.push(example.slug);
+            }
+            assert_eq!(
+                incremental.stats().incremental_prepares,
+                incremental_commits,
+                "{}: control-flow-safe commits must take the incremental path",
+                example.slug
+            );
+        }
+        // The fast path must actually fire broadly, not just on toys: at
+        // least three quarters of the corpus commits incrementally under
+        // this seed.
+        let total = sns_examples::ALL.len();
+        assert!(
+            fallback_only.len() * 4 <= total,
+            "fast path missed too many examples: {fallback_only:?}"
+        );
+    });
+}
+
+#[test]
+fn escaped_locations_never_intersect_fast_committed_substs() {
+    // Sanity on the soundness condition itself: for a handful of examples,
+    // replay commits and check the escaped set is disjoint from every
+    // incrementally committed substitution's domain.
+    sns_eval::with_big_stack(|| {
+        for slug in ["wave_boxes", "three_boxes", "ferris_wheel"] {
+            let example = sns_examples::by_slug(slug).unwrap();
+            let program = Program::parse(example.source).unwrap();
+            let live = LiveSync::new(program, LiveConfig::default()).unwrap();
+            let escaped: BTreeSet<_> = live.escaped_locs().iter().copied().collect();
+            for z in live.assignments().zones.iter().filter(|z| z.is_active()) {
+                let trigger = live.trigger(z.shape, z.zone).unwrap();
+                let fire = trigger.fire(
+                    &live.program().subst(),
+                    13.0,
+                    -7.0,
+                    sns_sync::SolverChoice::Paper,
+                );
+                if live.control_flow_safe(&fire.subst) {
+                    for (loc, _) in fire.subst.iter() {
+                        assert!(!escaped.contains(&loc), "{slug}: {loc} is escaped");
+                    }
+                }
+            }
+        }
+    });
+}
