@@ -1,10 +1,18 @@
 //! Benchmarks `sns-server` end to end: N concurrent live-sync sessions
-//! drive drag traffic over loopback HTTP and the harness reports
-//! requests/sec plus latency quantiles into `BENCH_server.json`.
+//! drive drag traffic over loopback HTTP — optionally while a fleet of
+//! *idle* keep-alive sessions sits connected, proving the reactor serves
+//! them from connection slots rather than pool threads — and the harness
+//! reports requests/sec plus latency quantiles.
 //!
 //! ```sh
-//! cargo run --release -p bench --bin serve_throughput [SESSIONS] [DRAGS]
+//! cargo run --release -p bench --bin serve_throughput \
+//!     [SESSIONS] [DRAGS] [--idle N] [--threads N] [--min-rps F]
 //! ```
+//!
+//! Without `--idle` the numbers land in `BENCH_server.json`; with it, in
+//! `BENCH_server_idle.json` (so the two baselines never overwrite each
+//! other). `--min-rps` turns the run into a regression gate: the process
+//! exits non-zero when throughput falls below the floor.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -15,28 +23,89 @@ use sns_server::{Server, ServerConfig};
 const DEFAULT_SESSIONS: usize = 64;
 const DEFAULT_DRAGS: usize = 50;
 
-fn main() {
+struct BenchArgs {
+    sessions: usize,
+    drags: usize,
+    idle: usize,
+    threads: usize,
+    min_rps: Option<f64>,
+}
+
+fn parse_args() -> BenchArgs {
+    let mut out = BenchArgs {
+        sessions: DEFAULT_SESSIONS,
+        drags: DEFAULT_DRAGS,
+        idle: 0,
+        threads: 0,
+        min_rps: None,
+    };
+    let mut positional = 0usize;
     let mut args = std::env::args().skip(1);
-    let sessions: usize = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(DEFAULT_SESSIONS);
-    let drags: usize = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(DEFAULT_DRAGS);
+    while let Some(a) = args.next() {
+        let mut opt = |name: &str| -> Option<String> {
+            if a == name {
+                Some(
+                    args.next()
+                        .unwrap_or_else(|| panic!("{name} needs a value")),
+                )
+            } else {
+                None
+            }
+        };
+        if let Some(v) = opt("--idle") {
+            out.idle = v.parse().expect("--idle");
+        } else if let Some(v) = opt("--threads") {
+            out.threads = v.parse().expect("--threads");
+        } else if let Some(v) = opt("--min-rps") {
+            out.min_rps = Some(v.parse().expect("--min-rps"));
+        } else {
+            let v: usize = a.parse().unwrap_or_else(|_| panic!("bad argument {a}"));
+            match positional {
+                0 => out.sessions = v,
+                1 => out.drags = v,
+                _ => panic!("too many positional arguments"),
+            }
+            positional += 1;
+        }
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let (sessions, drags, idle) = (args.sessions, args.drags, args.idle);
 
     let server = Server::bind(&ServerConfig {
         addr: "127.0.0.1:0".to_string(),
-        // One worker per expected connection plus slack (workers block on
-        // keep-alive reads between requests).
-        threads: sessions + 8,
-        max_sessions: sessions * 2,
+        threads: args.threads, // CPU workers (0 = one per core).
+        max_sessions: sessions + idle + 32,
+        max_conns: sessions + idle + 32,
+        ..ServerConfig::default()
     })
     .expect("bind server");
     let addr = server.local_addr().expect("local addr").to_string();
     let handle = server.shutdown_handle();
     std::thread::spawn(move || server.run().expect("server run"));
+
+    // The idle fleet: each connection creates a session, then just sits
+    // there keep-alive while the drivers run. Under the old blocking
+    // model each of these would have pinned a pool worker for the whole
+    // bench; under the reactor they cost file descriptors.
+    let mut idle_conns: Vec<(BufReader<TcpStream>, String)> = (0..idle)
+        .map(|i| {
+            let mut stream = connect(&addr);
+            let body = format!(
+                "{{\"source\":\"(svg [(rect 'gray' {} 10 20 20)])\"}}",
+                10 + i
+            );
+            let (status, resp) = http_on(&mut stream, "POST", "/sessions", Some(&body));
+            assert_eq!(status, 201, "idle session create failed: {resp}");
+            (stream, session_id(&resp))
+        })
+        .collect();
+    if idle > 0 {
+        eprintln!("parked {idle} idle keep-alive sessions");
+    }
 
     eprintln!("driving {sessions} sessions x {drags} drags against {addr}");
     let start = Instant::now();
@@ -53,6 +122,13 @@ fn main() {
     let elapsed = start.elapsed().as_secs_f64();
     let rps = requests as f64 / elapsed;
 
+    // Every idle connection must still be alive and serving after the
+    // storm — same socket, no reconnect.
+    for (stream, id) in &mut idle_conns {
+        let (status, _) = http_on(stream, "GET", &format!("/sessions/{id}/code"), None);
+        assert_eq!(status, 200, "idle keep-alive session died during the bench");
+    }
+
     // Pull the server's own latency histogram before shutting down.
     let (_, stats) = http(&addr, "GET", "/stats", None);
     let field = |k: &str| -> f64 {
@@ -68,30 +144,60 @@ fn main() {
     };
     let p50 = field("p50_ms");
     let p99 = field("p99_ms");
+    let queue_p99 = field("queue_p99_ms");
+    let conns_open = field("conns_open");
     handle.shutdown();
 
     println!("== sns-server throughput ==");
     println!("sessions          {sessions}");
+    println!("idle keep-alive   {idle}");
     println!("drags/session     {drags}");
     println!("total requests    {requests}");
     println!("elapsed           {elapsed:.2} s");
     println!("requests/sec      {rps:.0}");
     println!("p50 latency       {p50:.3} ms");
     println!("p99 latency       {p99:.3} ms");
+    println!("queue p99         {queue_p99:.3} ms");
+    println!("conns open (end)  {conns_open:.0}");
 
+    let out_file = if idle > 0 {
+        "BENCH_server_idle.json"
+    } else {
+        "BENCH_server.json"
+    };
     let json = format!(
-        "{{\n  \"bench\": \"serve_throughput\",\n  \"sessions\": {sessions},\n  \"drags_per_session\": {drags},\n  \"requests\": {requests},\n  \"elapsed_secs\": {elapsed:.3},\n  \"requests_per_sec\": {rps:.1},\n  \"p50_ms\": {p50:.3},\n  \"p99_ms\": {p99:.3}\n}}\n"
+        "{{\n  \"bench\": \"serve_throughput\",\n  \"sessions\": {sessions},\n  \"idle_conns\": {idle},\n  \"drags_per_session\": {drags},\n  \"requests\": {requests},\n  \"elapsed_secs\": {elapsed:.3},\n  \"requests_per_sec\": {rps:.1},\n  \"p50_ms\": {p50:.3},\n  \"p99_ms\": {p99:.3},\n  \"queue_p99_ms\": {queue_p99:.3}\n}}\n"
     );
-    std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
-    eprintln!("wrote BENCH_server.json");
+    std::fs::write(out_file, &json).expect("write bench json");
+    eprintln!("wrote {out_file}");
+
+    if let Some(floor) = args.min_rps {
+        if rps < floor {
+            eprintln!("FAIL: {rps:.0} req/s is below the {floor:.0} req/s floor");
+            std::process::exit(1);
+        }
+        eprintln!("gate ok: {rps:.0} req/s >= {floor:.0} req/s floor");
+    }
+}
+
+fn connect(addr: &str) -> BufReader<TcpStream> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    BufReader::new(stream)
+}
+
+fn session_id(resp: &str) -> String {
+    resp.split("\"id\":\"")
+        .nth(1)
+        .and_then(|r| r.split('"').next())
+        .expect("session id")
+        .to_string()
 }
 
 /// One client: create a session, fire `drags` drag requests (keep-alive),
 /// commit, and return the number of requests issued.
 fn drive_session(addr: &str, i: usize, drags: usize) -> u64 {
-    let stream = TcpStream::connect(addr).expect("connect");
-    stream.set_nodelay(true).expect("nodelay");
-    let mut stream = BufReader::new(stream);
+    let mut stream = connect(addr);
     let source = format!(
         "(def [x0 y0 w h sep] [{} 28 60 130 110]) \
          (def boxi (λ i (rect 'lightblue' (+ x0 (* i sep)) y0 w h))) \
@@ -103,12 +209,7 @@ fn drive_session(addr: &str, i: usize, drags: usize) -> u64 {
         source.replace('\\', "\\\\").replace('"', "\\\"")
     );
     let (_, resp) = http_on(&mut stream, "POST", "/sessions", Some(&body));
-    let id = resp
-        .split("\"id\":\"")
-        .nth(1)
-        .and_then(|r| r.split('"').next())
-        .expect("session id")
-        .to_string();
+    let id = session_id(&resp);
 
     let mut requests = 1u64;
     for step in 1..=drags {
@@ -138,9 +239,7 @@ fn drive_session(addr: &str, i: usize, drags: usize) -> u64 {
 
 /// One-shot request on a fresh connection.
 fn http(addr: &str, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
-    let stream = TcpStream::connect(addr).expect("connect");
-    stream.set_nodelay(true).expect("nodelay");
-    let mut stream = BufReader::new(stream);
+    let mut stream = connect(addr);
     http_on(&mut stream, method, path, body)
 }
 

@@ -75,8 +75,12 @@ COMMANDS:\n\
   export FILE                           final SVG (helpers hidden)\n\
   stats FILE                            zone/ambiguity statistics\n\
   examples [SLUG]                       list corpus / print one example\n\
-  serve [--addr A] [--threads N] [--max-sessions N]\n\
+  serve [--addr A] [--threads N] [--max-conns N] [--max-sessions N]\n\
+        [--max-sessions-per-ip N] [--queue-depth N]\n\
+        [--read-timeout-ms N] [--idle-timeout-ms N]\n\
                                         run the live-sync HTTP service\n\
+                                        (--threads = CPU workers; connections\n\
+                                        are gated by --max-conns; SIGTERM drains)\n\
 \n\
 FILE may be a path or example:SLUG (e.g. example:wave_boxes).\n\
 Zones: interior, rightedge, botrightcorner, botedge, botleftcorner,\n\
@@ -296,19 +300,37 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
     if let Some(addr) = args.options.get("addr") {
         config.addr = addr.clone();
     }
-    if let Some(threads) = args.options.get("threads") {
-        config.threads = threads.parse().map_err(|e| format!("--threads: {e}"))?;
+    let parse_usize = |key: &str, slot: &mut usize| -> Result<(), String> {
+        if let Some(v) = args.options.get(key) {
+            *slot = v.parse().map_err(|e| format!("--{key}: {e}"))?;
+        }
+        Ok(())
+    };
+    parse_usize("threads", &mut config.threads)?;
+    parse_usize("max-sessions", &mut config.max_sessions)?;
+    parse_usize("max-conns", &mut config.max_conns)?;
+    parse_usize("queue-depth", &mut config.queue_depth)?;
+    parse_usize("max-sessions-per-ip", &mut config.max_sessions_per_ip)?;
+    if let Some(v) = args.options.get("read-timeout-ms") {
+        let ms: u64 = v.parse().map_err(|e| format!("--read-timeout-ms: {e}"))?;
+        config.read_timeout = std::time::Duration::from_millis(ms);
     }
-    if let Some(max) = args.options.get("max-sessions") {
-        config.max_sessions = max.parse().map_err(|e| format!("--max-sessions: {e}"))?;
+    if let Some(v) = args.options.get("idle-timeout-ms") {
+        let ms: u64 = v.parse().map_err(|e| format!("--idle-timeout-ms: {e}"))?;
+        config.idle_timeout = std::time::Duration::from_millis(ms);
     }
     let server = sns_server::Server::bind(&config).map_err(|e| e.to_string())?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
+    // SIGTERM drains: stop accepting, finish in-flight requests, exit 0.
+    sns_server::install_sigterm_drain();
     eprintln!(
-        "sns-server listening on http://{addr} ({} workers, {} session capacity)",
-        config.threads, config.max_sessions
+        "sns-server listening on http://{addr} ({} CPU workers, {} max connections, {} session capacity)",
+        config.resolved_threads(),
+        config.max_conns,
+        config.max_sessions
     );
     server.run().map_err(|e| e.to_string())?;
+    eprintln!("sns-server drained; exiting");
     Ok(String::new())
 }
 

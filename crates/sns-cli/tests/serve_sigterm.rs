@@ -1,0 +1,101 @@
+//! End-to-end graceful shutdown: `sns serve` under SIGTERM drains — it
+//! stops accepting, answers what it owes, and exits 0 — the contract a
+//! process supervisor (systemd, Kubernetes) relies on at pod termination.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Reads the "listening on http://ADDR" line the server logs at startup.
+fn wait_for_addr(child: &mut Child) -> (String, BufReader<std::process::ChildStderr>) {
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut reader = BufReader::new(stderr);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line).expect("read server stderr");
+        assert!(n > 0, "server exited before announcing its address");
+        if let Some(rest) = line.split("listening on http://").nth(1) {
+            let addr = rest
+                .split_whitespace()
+                .next()
+                .expect("address after listening banner")
+                .to_string();
+            return (addr, reader);
+        }
+    }
+}
+
+fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: sns\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad response: {raw:?}"));
+    (status, raw)
+}
+
+#[test]
+fn sigterm_drains_and_exits_zero() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_sns"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--threads", "2"])
+        .stderr(Stdio::piped())
+        .stdout(Stdio::null())
+        .spawn()
+        .expect("spawn sns serve");
+    let (addr, mut stderr) = wait_for_addr(&mut child);
+
+    // The server is really serving.
+    let (status, raw) = http(&addr, "GET", "/healthz", "");
+    assert_eq!(status, 200, "{raw}");
+    let (status, raw) = http(
+        &addr,
+        "POST",
+        "/sessions",
+        "{\"source\":\"(svg [(rect 'red' 1 2 3 4)])\"}",
+    );
+    assert_eq!(status, 201, "{raw}");
+
+    // SIGTERM → drain mode → clean exit 0.
+    let kill = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("run kill");
+    assert!(kill.success());
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let exit = loop {
+        if let Some(exit) = child.try_wait().expect("try_wait") {
+            break exit;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server never exited after SIGTERM"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(exit.success(), "server exited non-zero: {exit:?}");
+
+    // It said goodbye, and the port is closed.
+    let mut rest = String::new();
+    stderr.read_to_string(&mut rest).expect("drain stderr");
+    assert!(rest.contains("drained"), "stderr: {rest:?}");
+    assert!(
+        TcpStream::connect(&addr).is_err(),
+        "drained server still accepting"
+    );
+}

@@ -1,12 +1,11 @@
-//! A hand-rolled, minimal HTTP/1.1 layer: request parsing and response
-//! writing over a [`std::net::TcpStream`], with keep-alive support.
+//! A hand-rolled, minimal HTTP/1.1 layer shaped for a non-blocking
+//! transport: a *resumable* request parser that accepts bytes as they
+//! arrive, and a response encoder that produces a byte buffer the reactor
+//! can drain with non-blocking writes.
 //!
 //! Only what the live-sync service needs is implemented: request line,
 //! headers, `Content-Length` bodies, and `Connection: close`. Anything
 //! malformed surfaces as a 400.
-
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
 
 /// Cap on request bodies, so a hostile client cannot balloon a worker.
 pub const MAX_BODY_BYTES: usize = 1 << 20;
@@ -44,103 +43,199 @@ impl Request {
     }
 }
 
-/// The outcome of reading one request off a connection.
+/// One step of the incremental parser.
 #[derive(Debug)]
-pub enum ReadOutcome {
-    /// A complete request.
+pub enum Parsed {
+    /// The buffered bytes do not yet form a complete request.
+    Incomplete,
+    /// One complete request; pipelined leftovers stay buffered.
     Request(Request),
-    /// The peer closed the connection cleanly between requests.
-    Closed,
-    /// The bytes on the wire were not valid HTTP; respond 400 and close.
+    /// The bytes on the wire are not valid HTTP; respond 400 and close.
     Malformed(String),
 }
 
-/// Reads a single HTTP/1.1 request from the stream.
+/// Parser phase: before or after the blank line ending the head.
+#[derive(Debug)]
+enum Phase {
+    /// Accumulating the request line + headers.
+    Head,
+    /// Head parsed; accumulating `want` body bytes.
+    Body { request: Request, want: usize },
+}
+
+/// A resumable per-connection request parser.
 ///
-/// # Errors
+/// Feed it whatever bytes the socket produced, then [`advance`] until it
+/// reports [`Parsed::Incomplete`]. State carries over between calls, so a
+/// request head split across a hundred reads (a slow — or slow-loris —
+/// client) parses exactly like one that arrived whole.
 ///
-/// Returns the underlying I/O error for socket failures; protocol problems
-/// are reported as [`ReadOutcome::Malformed`] instead.
-pub fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<ReadOutcome> {
-    // The head is read through a `Take` so the byte cap is enforced
-    // *while* reading: a client streaming newline-free garbage hits the
-    // limit instead of growing a String without bound.
-    let mut head = (&mut *reader).take(MAX_HEAD_BYTES as u64);
-    let mut line = String::new();
-    if head.read_line(&mut line)? == 0 {
-        return Ok(ReadOutcome::Closed);
+/// [`advance`]: ConnParser::advance
+#[derive(Debug)]
+pub struct ConnParser {
+    buf: Vec<u8>,
+    phase: Option<Phase>,
+    /// How far the head terminator search has already looked, so a
+    /// byte-dribbled head costs O(n) total instead of O(n²) rescans.
+    scanned: usize,
+}
+
+impl Default for ConnParser {
+    fn default() -> Self {
+        // NOT derived: the derive would default `phase` to `None`, which
+        // is the poisoned "already failed" state.
+        ConnParser::new()
     }
-    if !line.ends_with('\n') {
-        return Ok(ReadOutcome::Malformed("request line too long".to_string()));
+}
+
+impl ConnParser {
+    /// A parser with empty buffers, ready for the first request.
+    pub fn new() -> ConnParser {
+        ConnParser {
+            buf: Vec::new(),
+            phase: Some(Phase::Head),
+            scanned: 0,
+        }
     }
+
+    /// Appends bytes read off the socket.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Whether a request is partially buffered (bytes seen, request not
+    /// complete) — the reactor keys read deadlines off this.
+    pub fn mid_request(&self) -> bool {
+        !self.buf.is_empty() || matches!(self.phase, Some(Phase::Body { .. }))
+    }
+
+    /// Tries to produce one complete request from the buffered bytes.
+    pub fn advance(&mut self) -> Parsed {
+        match self.phase.take() {
+            Some(Phase::Head) => self.advance_head(),
+            Some(Phase::Body { request, want }) => self.advance_body(request, want),
+            // `advance` after Malformed: the reactor closes the connection
+            // anyway, so just keep reporting an error.
+            None => Parsed::Malformed("connection already failed".to_string()),
+        }
+    }
+
+    fn advance_head(&mut self) -> Parsed {
+        // The terminator may straddle the previously-scanned boundary by
+        // up to two bytes ("\n\r\n"), so back up that far before resuming.
+        let resume_at = self.scanned.saturating_sub(2);
+        let Some(head_end) = find_head_end(&self.buf, resume_at) else {
+            if self.buf.len() > MAX_HEAD_BYTES {
+                return Parsed::Malformed("request head too large".to_string());
+            }
+            self.scanned = self.buf.len();
+            self.phase = Some(Phase::Head);
+            return Parsed::Incomplete;
+        };
+        if head_end > MAX_HEAD_BYTES {
+            return Parsed::Malformed("request head too large".to_string());
+        }
+        let head: Vec<u8> = self.buf.drain(..head_end).collect();
+        self.scanned = 0;
+        let head = match std::str::from_utf8(&head) {
+            Ok(s) => s,
+            Err(_) => return Parsed::Malformed("request head is not UTF-8".to_string()),
+        };
+        let (request, want) = match parse_head(head) {
+            Ok(pair) => pair,
+            Err(msg) => return Parsed::Malformed(msg),
+        };
+        self.advance_body(request, want)
+    }
+
+    fn advance_body(&mut self, mut request: Request, want: usize) -> Parsed {
+        if self.buf.len() < want {
+            self.phase = Some(Phase::Body { request, want });
+            return Parsed::Incomplete;
+        }
+        request.body = self.buf.drain(..want).collect();
+        // `drain` keeps capacity; without this, every keep-alive
+        // connection would retain a buffer as large as the biggest
+        // request it ever carried (up to MAX_BODY_BYTES each).
+        if self.buf.capacity() > MAX_HEAD_BYTES && self.buf.len() <= MAX_HEAD_BYTES {
+            self.buf.shrink_to(MAX_HEAD_BYTES);
+        }
+        self.phase = Some(Phase::Head);
+        Parsed::Request(request)
+    }
+}
+
+/// Index one past the head-terminating blank line, tolerating bare-LF
+/// line endings like the old blocking reader did. The search starts at
+/// `from` (everything before it was already checked by a prior call).
+fn find_head_end(buf: &[u8], from: usize) -> Option<usize> {
+    let mut i = from;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            if buf.get(i + 1) == Some(&b'\n') {
+                return Some(i + 2);
+            }
+            if buf.get(i + 1) == Some(&b'\r') && buf.get(i + 2) == Some(&b'\n') {
+                return Some(i + 3);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parses the head text into a request (empty body) plus the body length
+/// promised by `Content-Length`.
+fn parse_head(head: &str) -> Result<(Request, usize), String> {
+    let mut lines = head.lines();
+    let line = lines.next().unwrap_or_default();
     let mut parts = line.split_whitespace();
     let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
     else {
-        return Ok(ReadOutcome::Malformed(format!(
-            "bad request line: {}",
-            line.trim_end()
-        )));
+        return Err(format!("bad request line: {}", line.trim_end()));
     };
     if !version.starts_with("HTTP/1.") {
-        return Ok(ReadOutcome::Malformed(format!(
-            "unsupported version {version}"
-        )));
+        return Err(format!("unsupported version {version}"));
     }
-    let method = method.to_ascii_uppercase();
-    let path = path.to_string();
-
     let mut headers = Vec::new();
-    loop {
-        let mut h = String::new();
-        if head.read_line(&mut h)? == 0 {
-            return Ok(ReadOutcome::Malformed(
-                "connection closed mid-headers".to_string(),
-            ));
-        }
-        if !h.ends_with('\n') {
-            return Ok(ReadOutcome::Malformed("headers too long".to_string()));
-        }
-        let trimmed = h.trim_end();
+    for line in lines {
+        let trimmed = line.trim_end();
         if trimmed.is_empty() {
             break;
         }
         let Some((name, value)) = trimmed.split_once(':') else {
-            return Ok(ReadOutcome::Malformed(format!(
-                "bad header line: {trimmed}"
-            )));
+            return Err(format!("bad header line: {trimmed}"));
         };
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
-
     let content_length = headers
         .iter()
         .find(|(k, _)| k == "content-length")
         .map(|(_, v)| v.parse::<usize>())
-        .transpose();
-    let content_length = match content_length {
-        Ok(len) => len.unwrap_or(0),
-        Err(_) => return Ok(ReadOutcome::Malformed("bad content-length".to_string())),
-    };
+        .transpose()
+        .map_err(|_| "bad content-length".to_string())?
+        .unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
-        return Ok(ReadOutcome::Malformed("request body too large".to_string()));
+        return Err("request body too large".to_string());
     }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
-    Ok(ReadOutcome::Request(Request {
-        method,
-        path,
+    let request = Request {
+        method: method.to_ascii_uppercase(),
+        path: path.to_string(),
         headers,
-        body,
-    }))
+        body: Vec::new(),
+    };
+    Ok((request, content_length))
 }
 
 /// An HTTP response ready to serialize.
 #[derive(Debug, Clone)]
 pub struct Response {
-    /// Status code (200, 201, 400, 404, 405, 409, 500, 503).
+    /// Status code (200, 201, 400, 404, 405, 409, 422, 429, 500, 503).
     pub status: u16,
     /// Body bytes (always JSON in this service).
     pub body: Vec<u8>,
+    /// Extra headers beyond the standard set (e.g. `Retry-After`).
+    pub extra_headers: Vec<(&'static str, String)>,
 }
 
 impl Response {
@@ -149,7 +244,15 @@ impl Response {
         Response {
             status,
             body: body.into().into_bytes(),
+            extra_headers: Vec::new(),
         }
+    }
+
+    /// Adds an extra header (builder-style).
+    #[must_use]
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.extra_headers.push((name, value.into()));
+        self
     }
 
     fn reason(&self) -> &'static str {
@@ -161,34 +264,167 @@ impl Response {
             405 => "Method Not Allowed",
             409 => "Conflict",
             422 => "Unprocessable Entity",
+            429 => "Too Many Requests",
             503 => "Service Unavailable",
             _ => "Internal Server Error",
         }
     }
+
+    /// Serializes head + body into one buffer for non-blocking writing.
+    pub fn encode(&self, keep_alive: bool) -> Vec<u8> {
+        use std::fmt::Write as _;
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
+            self.status,
+            self.reason(),
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        for (name, value) in &self.extra_headers {
+            let _ = write!(head, "{name}: {value}\r\n");
+        }
+        head.push_str("\r\n");
+        let mut out = head.into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
 }
 
-/// Writes `response` to the stream, honoring keep-alive.
-///
-/// # Errors
-///
-/// Returns the underlying I/O error if the peer went away.
-pub fn write_response(
-    stream: &mut TcpStream,
-    response: &Response,
-    keep_alive: bool,
-) -> std::io::Result<()> {
-    // One buffer, one write: head and body in separate writes would let
-    // Nagle's algorithm hold the body back against a delayed ACK.
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
-        response.status,
-        response.reason(),
-        response.body.len(),
-        if keep_alive { "keep-alive" } else { "close" },
-    );
-    let mut out = Vec::with_capacity(head.len() + response.body.len());
-    out.extend_from_slice(head.as_bytes());
-    out.extend_from_slice(&response.body);
-    stream.write_all(&out)?;
-    stream.flush()
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_all(chunks: &[&[u8]]) -> Vec<Parsed> {
+        // `default()` must behave like `new()` (regression: the derived
+        // Default once produced a poisoned parser).
+        let mut parser = ConnParser::default();
+        let mut out = Vec::new();
+        for chunk in chunks {
+            parser.feed(chunk);
+        }
+        loop {
+            match parser.advance() {
+                Parsed::Incomplete => break,
+                other @ Parsed::Malformed(_) => {
+                    out.push(other);
+                    break;
+                }
+                other => out.push(other),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn whole_request_parses() {
+        let raw = b"POST /sessions HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody";
+        let out = parse_all(&[raw]);
+        assert_eq!(out.len(), 1);
+        let Parsed::Request(r) = &out[0] else {
+            panic!("{out:?}");
+        };
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/sessions");
+        assert_eq!(r.body, b"body");
+    }
+
+    #[test]
+    fn byte_at_a_time_resumes() {
+        // The slow-loris shape: every byte its own read.
+        let raw = b"GET /healthz HTTP/1.1\r\nHost: x\r\nContent-Length: 2\r\n\r\nok";
+        let mut parser = ConnParser::new();
+        for (i, b) in raw.iter().enumerate() {
+            parser.feed(std::slice::from_ref(b));
+            match parser.advance() {
+                Parsed::Incomplete => assert!(i + 1 < raw.len(), "incomplete at end"),
+                Parsed::Request(r) => {
+                    assert_eq!(i + 1, raw.len(), "complete too early");
+                    assert_eq!(r.path, "/healthz");
+                    assert_eq!(r.body, b"ok");
+                    assert!(!parser.mid_request());
+                    return;
+                }
+                Parsed::Malformed(m) => panic!("{m}"),
+            }
+            assert!(parser.mid_request());
+        }
+        panic!("never completed");
+    }
+
+    #[test]
+    fn pipelined_requests_come_out_in_order() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nContent-Length: 1\r\n\r\nZGET /c HTTP/1.1\r\n\r\n";
+        let out = parse_all(&[raw]);
+        let paths: Vec<&str> = out
+            .iter()
+            .map(|p| match p {
+                Parsed::Request(r) => r.path.as_str(),
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        assert_eq!(paths, ["/a", "/b", "/c"]);
+    }
+
+    #[test]
+    fn bare_lf_line_endings_are_tolerated() {
+        let out = parse_all(&[b"GET /x HTTP/1.1\nHost: y\n\n"]);
+        let Parsed::Request(r) = &out[0] else {
+            panic!("{out:?}");
+        };
+        assert_eq!(r.path, "/x");
+        assert_eq!(r.header("host"), Some("y"));
+    }
+
+    #[test]
+    fn malformed_heads_are_reported() {
+        for (raw, needle) in [
+            (&b"nonsense\r\n\r\n"[..], "bad request line"),
+            (b"GET / SPDY/9\r\n\r\n", "unsupported version"),
+            (
+                b"GET / HTTP/1.1\r\nbroken header\r\n\r\n",
+                "bad header line",
+            ),
+            (
+                b"GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+                "content-length",
+            ),
+        ] {
+            let out = parse_all(&[raw]);
+            let Parsed::Malformed(msg) = &out[0] else {
+                panic!("{out:?}");
+            };
+            assert!(msg.contains(needle), "{msg}");
+        }
+    }
+
+    #[test]
+    fn oversize_head_and_body_are_rejected_incrementally() {
+        // Newline-free garbage: rejected as soon as the cap is crossed,
+        // without waiting for a terminator that never comes.
+        let mut parser = ConnParser::new();
+        parser.feed(&vec![b'a'; MAX_HEAD_BYTES + 2]);
+        assert!(matches!(parser.advance(), Parsed::Malformed(_)));
+
+        let huge = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 2 << 20);
+        let out = parse_all(&[huge.as_bytes()]);
+        let Parsed::Malformed(msg) = &out[0] else {
+            panic!("{out:?}");
+        };
+        assert!(msg.contains("too large"), "{msg}");
+    }
+
+    #[test]
+    fn encode_includes_extra_headers_and_connection() {
+        let resp = Response::json(429, "{}").with_header("Retry-After", "1");
+        let text = String::from_utf8(resp.encode(true)).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+        let text = String::from_utf8(Response::json(200, "{}").encode(false)).unwrap();
+        assert!(text.contains("Connection: close\r\n"));
+    }
 }

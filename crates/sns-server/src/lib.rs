@@ -6,14 +6,24 @@
 //! session-oriented HTTP boundary so many users can live-sync programs at
 //! once:
 //!
-//! * [`http`] — hand-rolled minimal HTTP/1.1 (std `TcpListener` only);
+//! * [`reactor`] — an epoll readiness loop owning every socket: accepts,
+//!   non-blocking reads/writes, deadlines, backpressure, graceful drain;
+//! * [`http`] — hand-rolled minimal HTTP/1.1 with a *resumable* request
+//!   parser (requests arrive in whatever pieces the sockets produce);
 //! * [`json`] — a dependency-free JSON encoder/decoder;
-//! * [`threadpool`] — a fixed-size worker pool;
+//! * [`threadpool`] — a fixed-size CPU worker pool over a bounded queue;
 //! * [`session`] — one editor per session; `prepare` is cached between
 //!   drags and recomputed only on commit (the editor's mouse-up);
-//! * [`store`] — sharded session map, per-session locks, LRU eviction;
-//! * [`stats`] — request counters and p50/p99 latency;
+//! * [`store`] — sharded session map, per-session locks, LRU eviction,
+//!   per-IP session accounting;
+//! * [`stats`] — request counters, p50/p99 latency, connection gauges;
 //! * [`routes`] — the endpoint surface.
+//!
+//! `--threads` sizes the *CPU pool* (how many requests execute at once);
+//! `--max-conns` gates *connections* (how many sockets may be open). The
+//! two are independent: a 4-thread pool happily holds a thousand idle
+//! keep-alive editor sessions, because an idle connection costs a file
+//! descriptor, not a thread. See `docs/server.md` for the architecture.
 //!
 //! # Endpoints
 //!
@@ -26,29 +36,30 @@
 //! POST   /sessions/:id/reconcile    {"edits": [{"shape": 0, "attr": "x", "value": 120}]}
 //! DELETE /sessions/:id
 //! GET    /healthz
-//! GET    /stats                     sessions, requests, p50/p99 latency
+//! GET    /stats                     sessions, requests, latency, connection gauges
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // Except the epoll/signal FFI in `reactor::ffi`.
 #![warn(missing_docs)]
 
 pub mod http;
 pub mod json;
+pub mod reactor;
 pub mod routes;
 pub mod session;
 pub mod stats;
 pub mod store;
 pub mod threadpool;
 
-use std::io::BufReader;
-use std::net::{TcpListener, TcpStream};
+use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use http::{read_request, write_response, ReadOutcome, Response};
-use json::Json;
-use routes::{dispatch, ServerState};
+pub use reactor::install_sigterm_drain;
+
+use reactor::{Notifier, Reactor, ReactorOptions};
+use routes::ServerState;
 use stats::ServerStats;
 use store::SessionStore;
 use threadpool::ThreadPool;
@@ -58,52 +69,98 @@ use threadpool::ThreadPool;
 pub struct ServerConfig {
     /// Bind address, e.g. `127.0.0.1:7878` (port 0 for ephemeral).
     pub addr: String,
-    /// Worker thread count.
+    /// CPU worker count — how many requests execute concurrently
+    /// (0 = one per available core). Connections are gated separately by
+    /// [`max_conns`](ServerConfig::max_conns).
     pub threads: usize,
     /// Session capacity before LRU eviction kicks in.
     pub max_sessions: usize,
+    /// Open-connection gate: connections accepted past this are shed with
+    /// a 503 instead of admitted.
+    pub max_conns: usize,
+    /// Requests that may wait for a worker before the reactor sheds new
+    /// ones with 503s (0 = 16 per worker, at least 64).
+    pub queue_depth: usize,
+    /// How long a client may take to deliver a complete request head +
+    /// body (and, symmetrically, to read its response) before the
+    /// connection is closed.
+    pub read_timeout: Duration,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the reaper closes it.
+    pub idle_timeout: Duration,
+    /// Live sessions one client IP may hold; `POST /sessions` past the
+    /// quota answers 429 with `Retry-After` (0 disables the quota).
+    pub max_sessions_per_ip: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        // A worker owns a connection for its lifetime (blocking reads
-        // between keep-alive requests), so the pool bounds *connections*,
-        // not in-flight CPU work — size it accordingly.
         ServerConfig {
             addr: "127.0.0.1:7878".to_string(),
-            threads: 128,
+            threads: 0,
             max_sessions: 1024,
+            max_conns: 4096,
+            queue_depth: 0,
+            read_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(60),
+            max_sessions_per_ip: 0,
         }
+    }
+}
+
+impl ServerConfig {
+    /// The CPU worker count `threads` resolves to (0 = auto).
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4)
+    }
+
+    /// The pending-request queue depth `queue_depth` resolves to (0 = auto).
+    pub fn resolved_queue_depth(&self) -> usize {
+        if self.queue_depth > 0 {
+            return self.queue_depth;
+        }
+        (self.resolved_threads() * 16).max(64)
     }
 }
 
 /// A bound, not-yet-running server.
 pub struct Server {
-    listener: TcpListener,
-    state: Arc<ServerState>,
-    pool: ThreadPool,
-    shutdown: Arc<AtomicBool>,
+    reactor: Reactor,
 }
 
 impl Server {
-    /// Binds the listener and builds the worker pool.
+    /// Binds the listener, builds the worker pool, and sets up the epoll
+    /// reactor.
     ///
     /// # Errors
     ///
-    /// Fails when the address cannot be bound.
+    /// Fails when the address cannot be bound or the epoll instance (or
+    /// its wake pipe) cannot be created.
     pub fn bind(config: &ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let state = Arc::new(ServerState {
             store: SessionStore::new(config.max_sessions),
             stats: ServerStats::new(),
             started: Instant::now(),
+            max_sessions_per_ip: config.max_sessions_per_ip,
         });
-        Ok(Server {
+        let pool = ThreadPool::new(config.resolved_threads(), config.resolved_queue_depth());
+        let reactor = Reactor::new(
             listener,
             state,
-            pool: ThreadPool::new(config.threads),
-            shutdown: Arc::new(AtomicBool::new(false)),
-        })
+            pool,
+            ReactorOptions {
+                max_conns: config.max_conns.max(1),
+                read_timeout: config.read_timeout,
+                idle_timeout: config.idle_timeout,
+            },
+        )?;
+        Ok(Server { reactor })
     }
 
     /// The actual bound address (resolves port 0).
@@ -112,89 +169,41 @@ impl Server {
     ///
     /// Propagates the OS error if the socket vanished.
     pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
-        self.listener.local_addr()
+        self.reactor.listener().local_addr()
     }
 
-    /// A handle that can stop a running server from another thread.
+    /// A handle that can drain a running server from another thread.
     pub fn shutdown_handle(&self) -> ShutdownHandle {
         ShutdownHandle {
-            flag: Arc::clone(&self.shutdown),
-            addr: self.local_addr().ok(),
+            drain: self.reactor.drain_flag(),
+            notifier: self.reactor.notifier(),
         }
     }
 
-    /// Accept loop: blocks the calling thread until shut down.
+    /// The readiness loop: blocks the calling thread until the server is
+    /// drained (via [`ShutdownHandle::shutdown`] or SIGTERM after
+    /// [`install_sigterm_drain`]).
     ///
     /// # Errors
     ///
-    /// Returns the first fatal listener error.
+    /// Returns the first fatal epoll error.
     pub fn run(self) -> std::io::Result<()> {
-        for stream in self.listener.incoming() {
-            if self.shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            let stream = match stream {
-                Ok(s) => s,
-                Err(_) => continue, // Transient accept failure; keep serving.
-            };
-            // Interactive request/response traffic: never wait on Nagle.
-            let _ = stream.set_nodelay(true);
-            // A worker owns the connection; without a read timeout, idle
-            // or stalling clients would pin workers forever (slowloris).
-            let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(60)));
-            let state = Arc::clone(&self.state);
-            self.pool.execute(move || handle_connection(stream, &state));
-        }
-        Ok(())
+        self.reactor.run()
     }
 }
 
-/// Stops a running server: flips the flag and pokes the listener awake.
+/// Drains a running server: stops accepting, finishes in-flight
+/// requests, then lets [`Server::run`] return. Idempotent.
 #[derive(Debug, Clone)]
 pub struct ShutdownHandle {
-    flag: Arc<AtomicBool>,
-    addr: Option<std::net::SocketAddr>,
+    drain: Arc<AtomicBool>,
+    notifier: Arc<Notifier>,
 }
 
 impl ShutdownHandle {
-    /// Requests shutdown. Idempotent.
+    /// Requests a drain and wakes the reactor so it notices promptly.
     pub fn shutdown(&self) {
-        self.flag.store(true, Ordering::SeqCst);
-        if let Some(addr) = self.addr {
-            // Unblock `accept` so the loop observes the flag.
-            let _ = TcpStream::connect(addr);
-        }
-    }
-}
-
-/// Serves requests on one connection until it closes (keep-alive loop).
-fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut writer = stream;
-    let mut reader = BufReader::new(read_half);
-    loop {
-        let outcome = match read_request(&mut reader) {
-            Ok(o) => o,
-            Err(_) => return, // Socket error: nothing more to say.
-        };
-        match outcome {
-            ReadOutcome::Closed => return,
-            ReadOutcome::Malformed(msg) => {
-                let resp = Response::json(400, Json::obj([("error", Json::str(msg))]).to_string());
-                let _ = write_response(&mut writer, &resp, false);
-                return;
-            }
-            ReadOutcome::Request(request) => {
-                let start = Instant::now();
-                let response = dispatch(state, &request);
-                state.stats.record(start.elapsed(), response.status >= 400);
-                let keep_alive = !request.wants_close();
-                if write_response(&mut writer, &response, keep_alive).is_err() || !keep_alive {
-                    return;
-                }
-            }
-        }
+        self.drain.store(true, Ordering::SeqCst);
+        self.notifier.wake();
     }
 }

@@ -1,5 +1,6 @@
 //! Request routing: URL + JSON glue between HTTP and the session store.
 
+use std::net::IpAddr;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -20,6 +21,9 @@ pub struct ServerState {
     pub stats: ServerStats,
     /// Server start time (for uptime reporting).
     pub started: Instant,
+    /// Live sessions one IP may hold before `POST /sessions` answers 429
+    /// (0 disables the quota).
+    pub max_sessions_per_ip: usize,
 }
 
 fn error_response(status: u16, msg: &str) -> Response {
@@ -30,14 +34,15 @@ fn ok_json(status: u16, body: Json) -> Response {
     Response::json(status, body.to_string())
 }
 
-/// Dispatches one parsed request against the state.
-pub fn dispatch(state: &Arc<ServerState>, request: &Request) -> Response {
+/// Dispatches one parsed request against the state. `peer` is the client
+/// address the reactor accepted the connection from (quota accounting).
+pub fn dispatch(state: &Arc<ServerState>, request: &Request, peer: IpAddr) -> Response {
     let path = request.path.trim_end_matches('/');
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => ok_json(200, Json::obj([("ok", Json::Bool(true))])),
         ("GET", ["stats"]) => stats(state),
-        ("POST", ["sessions"]) => create_session(state, &request.body),
+        ("POST", ["sessions"]) => create_session(state, &request.body, peer),
         ("GET", ["sessions", id, "canvas"]) => with_session(state, id, |s| Ok(s.canvas_json())),
         ("GET", ["sessions", id, "code"]) => with_session(state, id, |s| {
             Ok(Json::obj([("code", Json::str(s.code()))]))
@@ -62,6 +67,7 @@ pub fn dispatch(state: &Arc<ServerState>, request: &Request) -> Response {
 
 fn stats(state: &Arc<ServerState>) -> Response {
     let live = state.stats.live();
+    let gauges = state.stats.conn_gauges();
     ok_json(
         200,
         Json::obj([
@@ -69,8 +75,33 @@ fn stats(state: &Arc<ServerState>) -> Response {
             ("requests", Json::Num(state.stats.requests() as f64)),
             ("errors", Json::Num(state.stats.errors() as f64)),
             ("evictions", Json::Num(state.store.evictions() as f64)),
+            ("conns_open", Json::Num(gauges.open as f64)),
+            ("conns_idle", Json::Num(gauges.idle as f64)),
+            ("conns_in_flight", Json::Num(gauges.in_flight as f64)),
+            ("accept_drops", Json::Num(state.stats.accept_drops() as f64)),
+            (
+                "read_timeouts",
+                Json::Num(state.stats.read_timeouts() as f64),
+            ),
+            ("idle_reaped", Json::Num(state.stats.idle_reaped() as f64)),
+            (
+                "queue_rejections",
+                Json::Num(state.stats.queue_rejections() as f64),
+            ),
+            (
+                "quota_rejections",
+                Json::Num(state.stats.quota_rejections() as f64),
+            ),
             ("p50_ms", Json::Num(state.stats.quantile_ms(0.50))),
             ("p99_ms", Json::Num(state.stats.quantile_ms(0.99))),
+            (
+                "queue_p50_ms",
+                Json::Num(state.stats.queue_quantile_ms(0.50)),
+            ),
+            (
+                "queue_p99_ms",
+                Json::Num(state.stats.queue_quantile_ms(0.99)),
+            ),
             ("prepare_full", Json::Num(live.full_prepares as f64)),
             (
                 "prepare_incremental",
@@ -92,7 +123,21 @@ fn parse_body(body: &[u8]) -> Result<Json, Response> {
     json::parse(text).map_err(|e| error_response(400, &format!("malformed JSON: {e}")))
 }
 
-fn create_session(state: &Arc<ServerState>, body: &[u8]) -> Response {
+/// 429 with a Retry-After hint: the quota frees up as the client's other
+/// sessions are deleted or age out of the LRU, not on a fixed clock, so
+/// the hint is a polite backoff, not a promise.
+fn quota_response(state: &Arc<ServerState>) -> Response {
+    state.stats.record_quota_rejection();
+    error_response(429, "per-IP session quota reached").with_header("Retry-After", "1")
+}
+
+fn create_session(state: &Arc<ServerState>, body: &[u8], peer: IpAddr) -> Response {
+    let quota = state.max_sessions_per_ip;
+    // Cheap pre-check: a client at quota is refused before its program
+    // text is parsed or evaluated.
+    if quota > 0 && state.store.ip_sessions(peer) >= quota {
+        return quota_response(state);
+    }
     let body = match parse_body(body) {
         Ok(v) => v,
         Err(resp) => return resp,
@@ -112,8 +157,15 @@ fn create_session(state: &Arc<ServerState>, body: &[u8]) -> Response {
         Ok(mut session) => {
             let code = session.code();
             let canvas = session.canvas_json();
-            state.stats.record_live(session.live_stats_delta());
-            state.store.insert(session);
+            let live_delta = session.live_stats_delta();
+            // Authoritative quota check: the insert itself is atomic with
+            // the per-IP count, so concurrent creates cannot sneak past.
+            // (Cache counters fold in only on success — a rejected
+            // session's work must not skew the /stats hit rates.)
+            if state.store.try_insert(session, Some(peer), quota).is_err() {
+                return quota_response(state);
+            }
+            state.stats.record_live(live_delta);
             ok_json(
                 201,
                 Json::obj([

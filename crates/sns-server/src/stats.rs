@@ -10,16 +10,36 @@ use std::time::Duration;
 /// Number of log2 buckets: covers 1 µs … ~36 minutes.
 const BUCKETS: usize = 32;
 
+/// Point-in-time connection gauges published by the reactor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnGauges {
+    /// Connections currently open.
+    pub open: u64,
+    /// Open connections idle between keep-alive requests.
+    pub idle: u64,
+    /// Requests dispatched to the worker pool and not yet answered.
+    pub in_flight: u64,
+}
+
 /// Request statistics shared across workers.
 #[derive(Debug, Default)]
 pub struct ServerStats {
     requests: AtomicU64,
     errors: AtomicU64,
     buckets: [AtomicU64; BUCKETS],
+    queue_buckets: [AtomicU64; BUCKETS],
     prepare_full: AtomicU64,
     prepare_incremental: AtomicU64,
     eval_fast: AtomicU64,
     eval_full: AtomicU64,
+    conns_open: AtomicU64,
+    conns_idle: AtomicU64,
+    conns_in_flight: AtomicU64,
+    accept_drops: AtomicU64,
+    read_timeouts: AtomicU64,
+    idle_reaped: AtomicU64,
+    queue_rejections: AtomicU64,
+    quota_rejections: AtomicU64,
 }
 
 impl ServerStats {
@@ -28,15 +48,27 @@ impl ServerStats {
         ServerStats::default()
     }
 
-    /// Records one request and its latency.
+    /// Records one request and its *processing* latency (route dispatch on
+    /// a worker — the number comparable across the blocking and reactor
+    /// transports; pool queue wait is recorded separately by
+    /// [`record_queue_wait`](ServerStats::record_queue_wait)).
     pub fn record(&self, latency: Duration, is_error: bool) {
         self.requests.fetch_add(1, Ordering::Relaxed);
         if is_error {
             self.errors.fetch_add(1, Ordering::Relaxed);
         }
+        self.buckets[Self::bucket_of(latency)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records how long one request waited in the worker-pool queue
+    /// before a worker picked it up.
+    pub fn record_queue_wait(&self, wait: Duration) {
+        self.queue_buckets[Self::bucket_of(wait)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn bucket_of(latency: Duration) -> usize {
         let micros = latency.as_micros().max(1) as u64;
-        let bucket = (63 - micros.leading_zeros() as usize).min(BUCKETS - 1);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        (63 - micros.leading_zeros() as usize).min(BUCKETS - 1)
     }
 
     /// Total requests served.
@@ -72,14 +104,88 @@ impl ServerStats {
         }
     }
 
-    /// The latency (in milliseconds) at or below which `q` of requests
-    /// completed — an upper-bound estimate from bucket boundaries.
+    /// Publishes the reactor's connection gauges (absolute values).
+    pub fn set_conn_gauges(&self, gauges: ConnGauges) {
+        self.conns_open.store(gauges.open, Ordering::Relaxed);
+        self.conns_idle.store(gauges.idle, Ordering::Relaxed);
+        self.conns_in_flight
+            .store(gauges.in_flight, Ordering::Relaxed);
+    }
+
+    /// The most recently published connection gauges.
+    pub fn conn_gauges(&self) -> ConnGauges {
+        ConnGauges {
+            open: self.conns_open.load(Ordering::Relaxed),
+            idle: self.conns_idle.load(Ordering::Relaxed),
+            in_flight: self.conns_in_flight.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Counts a connection turned away at the `--max-conns` accept gate.
+    pub fn record_accept_drop(&self) {
+        self.accept_drops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections turned away at the accept gate.
+    pub fn accept_drops(&self) -> u64 {
+        self.accept_drops.load(Ordering::Relaxed)
+    }
+
+    /// Counts a connection closed for blowing a read/write deadline.
+    pub fn record_read_timeout(&self) {
+        self.read_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections closed for blowing a read/write deadline.
+    pub fn read_timeouts(&self) -> u64 {
+        self.read_timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Counts an idle keep-alive connection reaped by the idle timeout.
+    pub fn record_idle_reaped(&self) {
+        self.idle_reaped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Idle keep-alive connections reaped by the idle timeout.
+    pub fn idle_reaped(&self) -> u64 {
+        self.idle_reaped.load(Ordering::Relaxed)
+    }
+
+    /// Counts a request refused with 503 because the job queue was full.
+    pub fn record_queue_rejection(&self) {
+        self.queue_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests refused with 503 (job queue full).
+    pub fn queue_rejections(&self) -> u64 {
+        self.queue_rejections.load(Ordering::Relaxed)
+    }
+
+    /// Counts a session refused with 429 (per-IP quota).
+    pub fn record_quota_rejection(&self) {
+        self.quota_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sessions refused with 429 (per-IP quota).
+    pub fn quota_rejections(&self) -> u64 {
+        self.quota_rejections.load(Ordering::Relaxed)
+    }
+
+    /// The processing latency (in milliseconds) at or below which `q` of
+    /// requests completed — an upper-bound estimate from bucket
+    /// boundaries.
     pub fn quantile_ms(&self, q: f64) -> f64 {
-        let counts: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
+        Self::quantile_of(&self.buckets, q)
+    }
+
+    /// The worker-pool queue wait (in milliseconds) at or below which `q`
+    /// of requests were picked up.
+    pub fn queue_quantile_ms(&self, q: f64) -> f64 {
+        Self::quantile_of(&self.queue_buckets, q)
+    }
+
+    fn quantile_of(buckets: &[AtomicU64; BUCKETS], q: f64) -> f64 {
+        let counts: Vec<u64> = buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
         let total: u64 = counts.iter().sum();
         if total == 0 {
             return 0.0;
@@ -115,11 +221,43 @@ mod tests {
         assert!(p50 <= 0.256, "p50 {p50}");
         assert!(p99 <= 0.256, "p99 {p99}");
         assert!(stats.quantile_ms(1.0) >= 50.0);
+        // Queue waits land in their own histogram, not the latency one.
+        stats.record_queue_wait(Duration::from_millis(8));
+        assert!(stats.queue_quantile_ms(1.0) >= 8.0);
+        assert_eq!(stats.requests(), 100);
     }
 
     #[test]
     fn empty_stats_report_zero() {
         let stats = ServerStats::new();
         assert_eq!(stats.quantile_ms(0.5), 0.0);
+    }
+
+    #[test]
+    fn gauges_and_counters_roundtrip() {
+        let stats = ServerStats::new();
+        assert_eq!(stats.conn_gauges(), ConnGauges::default());
+        let g = ConnGauges {
+            open: 1024,
+            idle: 1000,
+            in_flight: 3,
+        };
+        stats.set_conn_gauges(g);
+        assert_eq!(stats.conn_gauges(), g);
+        stats.record_accept_drop();
+        stats.record_read_timeout();
+        stats.record_idle_reaped();
+        stats.record_queue_rejection();
+        stats.record_quota_rejection();
+        assert_eq!(
+            (
+                stats.accept_drops(),
+                stats.read_timeouts(),
+                stats.idle_reaped(),
+                stats.queue_rejections(),
+                stats.quota_rejections()
+            ),
+            (1, 1, 1, 1, 1)
+        );
     }
 }

@@ -9,10 +9,15 @@
 use std::collections::hash_map::{DefaultHasher, RandomState};
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash, Hasher};
+use std::net::IpAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::session::Session;
+
+/// The owner IP is at its session quota; the session was not inserted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuotaExceeded;
 
 /// Number of shards; a power of two keeps the modulo cheap.
 pub const SHARDS: usize = 16;
@@ -21,6 +26,9 @@ struct Entry {
     session: Arc<Mutex<Session>>,
     /// Logical access clock value at last touch (for LRU).
     touched: u64,
+    /// The client IP that created the session (per-IP quota accounting);
+    /// `None` for sessions created outside the HTTP boundary.
+    owner: Option<IpAddr>,
 }
 
 /// The sharded store.
@@ -34,6 +42,9 @@ pub struct SessionStore {
     id_key: RandomState,
     max_sessions: usize,
     evictions: AtomicU64,
+    /// Live sessions per creating IP, kept in lockstep with the shards
+    /// (incremented under this lock before insert, decremented on remove).
+    ip_counts: Mutex<HashMap<IpAddr, usize>>,
 }
 
 impl SessionStore {
@@ -46,6 +57,7 @@ impl SessionStore {
             id_key: RandomState::new(),
             max_sessions: max_sessions.max(1),
             evictions: AtomicU64::new(0),
+            ip_counts: Mutex::new(HashMap::new()),
         }
     }
 
@@ -71,6 +83,30 @@ impl SessionStore {
 
     /// Inserts a session, evicting the LRU session if the store is full.
     pub fn insert(&self, session: Session) -> Arc<Mutex<Session>> {
+        self.try_insert(session, None, 0).expect("quota disabled")
+    }
+
+    /// Inserts a session on behalf of `owner`, enforcing `quota` live
+    /// sessions per IP (0 disables the quota). Evicts the LRU session if
+    /// the store is full.
+    ///
+    /// # Errors
+    ///
+    /// [`QuotaExceeded`] when `owner` already holds `quota` sessions.
+    pub fn try_insert(
+        &self,
+        session: Session,
+        owner: Option<IpAddr>,
+        quota: usize,
+    ) -> Result<Arc<Mutex<Session>>, QuotaExceeded> {
+        if let Some(ip) = owner {
+            let mut counts = self.ip_counts.lock().expect("ip counts lock");
+            let count = counts.entry(ip).or_insert(0);
+            if quota > 0 && *count >= quota {
+                return Err(QuotaExceeded);
+            }
+            *count += 1;
+        }
         if self.len() >= self.max_sessions {
             self.evict_lru();
         }
@@ -79,12 +115,24 @@ impl SessionStore {
         let entry = Entry {
             session: Arc::clone(&arc),
             touched: self.tick(),
+            owner,
         };
         self.shard_of(&id)
             .lock()
             .expect("shard lock")
             .insert(id, entry);
-        arc
+        Ok(arc)
+    }
+
+    /// Live sessions created by `ip` — a cheap pre-check so a client at
+    /// quota is refused before its program text is even evaluated.
+    pub fn ip_sessions(&self, ip: IpAddr) -> usize {
+        self.ip_counts
+            .lock()
+            .expect("ip counts lock")
+            .get(&ip)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Looks a session up, refreshing its LRU position.
@@ -97,11 +145,19 @@ impl SessionStore {
 
     /// Removes a session; returns whether it existed.
     pub fn remove(&self, id: &str) -> bool {
-        self.shard_of(id)
-            .lock()
-            .expect("shard lock")
-            .remove(id)
-            .is_some()
+        let removed = self.shard_of(id).lock().expect("shard lock").remove(id);
+        if let Some(entry) = &removed {
+            if let Some(ip) = entry.owner {
+                let mut counts = self.ip_counts.lock().expect("ip counts lock");
+                if let Some(count) = counts.get_mut(&ip) {
+                    *count = count.saturating_sub(1);
+                    if *count == 0 {
+                        counts.remove(&ip);
+                    }
+                }
+            }
+        }
+        removed.is_some()
     }
 
     /// Number of live sessions.
@@ -186,6 +242,29 @@ mod tests {
         );
         assert!(store.get(&ids[0]).is_some());
         assert_eq!(store.evictions(), 1);
+    }
+
+    #[test]
+    fn per_ip_quota_is_enforced_and_released() {
+        let store = SessionStore::new(8);
+        let ip: std::net::IpAddr = "10.0.0.7".parse().unwrap();
+        let other: std::net::IpAddr = "10.0.0.8".parse().unwrap();
+        let a = session(&store);
+        let a_id = a.id.clone();
+        store.try_insert(a, Some(ip), 2).unwrap();
+        store.try_insert(session(&store), Some(ip), 2).unwrap();
+        assert_eq!(store.ip_sessions(ip), 2);
+        assert_eq!(
+            store.try_insert(session(&store), Some(ip), 2).unwrap_err(),
+            QuotaExceeded
+        );
+        // Another IP is unaffected, and quota 0 disables the check.
+        store.try_insert(session(&store), Some(other), 2).unwrap();
+        store.try_insert(session(&store), None, 1).unwrap();
+        // Removing a session releases its owner's slot.
+        assert!(store.remove(&a_id));
+        assert_eq!(store.ip_sessions(ip), 1);
+        store.try_insert(session(&store), Some(ip), 2).unwrap();
     }
 
     #[test]

@@ -16,6 +16,7 @@ fn boot(threads: usize, max_sessions: usize) -> (String, ShutdownHandle) {
         addr: "127.0.0.1:0".to_string(),
         threads,
         max_sessions,
+        ..ServerConfig::default()
     })
     .expect("bind ephemeral port");
     let addr = server.local_addr().expect("local addr").to_string();
