@@ -78,9 +78,13 @@ COMMANDS:\n\
   serve [--addr A] [--threads N] [--max-conns N] [--max-sessions N]\n\
         [--max-sessions-per-ip N] [--queue-depth N]\n\
         [--read-timeout-ms N] [--idle-timeout-ms N]\n\
+        [--data-dir DIR] [--fsync always|batch|never] [--auth-token T]\n\
                                         run the live-sync HTTP service\n\
                                         (--threads = CPU workers; connections\n\
-                                        are gated by --max-conns; SIGTERM drains)\n\
+                                        are gated by --max-conns; SIGTERM drains;\n\
+                                        --data-dir journals sessions durably;\n\
+                                        --auth-token, or SNS_AUTH_TOKEN, gates\n\
+                                        every route except GET /healthz)\n\
 \n\
 FILE may be a path or example:SLUG (e.g. example:wave_boxes).\n\
 Zones: interior, rightedge, botrightcorner, botedge, botleftcorner,\n\
@@ -319,15 +323,40 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
         let ms: u64 = v.parse().map_err(|e| format!("--idle-timeout-ms: {e}"))?;
         config.idle_timeout = std::time::Duration::from_millis(ms);
     }
+    if let Some(dir) = args.options.get("data-dir") {
+        config.data_dir = Some(std::path::PathBuf::from(dir));
+    }
+    if let Some(policy) = args.options.get("fsync") {
+        if config.data_dir.is_none() {
+            return Err("--fsync requires --data-dir".to_string());
+        }
+        config.fsync = policy.parse().map_err(|e| format!("--fsync: {e}"))?;
+    }
+    // Flag beats environment; the env var keeps the secret off `ps`.
+    config.auth_token = args
+        .options
+        .get("auth-token")
+        .cloned()
+        .or_else(|| std::env::var("SNS_AUTH_TOKEN").ok())
+        .filter(|t| !t.is_empty());
     let server = sns_server::Server::bind(&config).map_err(|e| e.to_string())?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     // SIGTERM drains: stop accepting, finish in-flight requests, exit 0.
     sns_server::install_sigterm_drain();
     eprintln!(
-        "sns-server listening on http://{addr} ({} CPU workers, {} max connections, {} session capacity)",
+        "sns-server listening on http://{addr} ({} CPU workers, {} max connections, {} session capacity{}{})",
         config.resolved_threads(),
         config.max_conns,
-        config.max_sessions
+        config.max_sessions,
+        match &config.data_dir {
+            Some(dir) => format!(", journaling to {}", dir.display()),
+            None => String::new(),
+        },
+        if config.auth_token.is_some() {
+            ", bearer auth on"
+        } else {
+            ""
+        },
     );
     server.run().map_err(|e| e.to_string())?;
     eprintln!("sns-server drained; exiting");

@@ -268,6 +268,27 @@ impl Editor {
         self.drag = None;
     }
 
+    /// The substitution the in-flight drag would commit on mouse-up, if
+    /// any — what a write-ahead journal must record *before* calling
+    /// [`end_drag`](Editor::end_drag).
+    pub fn pending_subst(&self) -> Option<&Subst> {
+        self.drag.as_ref()?.pending.as_ref()
+    }
+
+    /// Commits an explicit substitution (pushing an undo point) exactly as
+    /// a mouse-up would: the same `LiveSync::commit`, so the incremental
+    /// prepare machinery runs. This is the journal-replay path — a
+    /// recovered commit must travel the code path that produced it.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the resulting program no longer runs.
+    pub fn apply_subst(&mut self, subst: &Subst) -> Result<(), EditorError> {
+        self.push_undo();
+        self.live.commit(subst)?;
+        Ok(())
+    }
+
     /// Convenience: a full click-drag-release of a zone by `(dx, dy)`.
     ///
     /// # Errors

@@ -260,6 +260,7 @@ impl Response {
             200 => "OK",
             201 => "Created",
             400 => "Bad Request",
+            401 => "Unauthorized",
             404 => "Not Found",
             405 => "Method Not Allowed",
             409 => "Conflict",

@@ -14,10 +14,15 @@
 //! * [`threadpool`] — a fixed-size CPU worker pool over a bounded queue;
 //! * [`session`] — one editor per session; `prepare` is cached between
 //!   drags and recomputed only on commit (the editor's mouse-up);
-//! * [`store`] — sharded session map, per-session locks, LRU eviction,
-//!   per-IP session accounting;
+//! * [`store`] — sharded session map, per-session locks, LRU eviction
+//!   (or demotion-to-disk), per-IP session accounting;
+//! * [`persist`] — the [`SessionBackend`](persist::SessionBackend) seam:
+//!   mutations journal *before* they apply;
+//! * [`journal`] — the durable backend: per-shard write-ahead journal,
+//!   snapshot compaction, crash recovery, eviction-to-disk + fault-in;
 //! * [`stats`] — request counters, p50/p99 latency, connection gauges;
-//! * [`routes`] — the endpoint surface.
+//! * [`routes`] — the endpoint surface (bearer-token gated when
+//!   configured).
 //!
 //! `--threads` sizes the *CPU pool* (how many requests execute at once);
 //! `--max-conns` gates *connections* (how many sockets may be open). The
@@ -31,19 +36,27 @@
 //! POST   /sessions                  {"source": "..."} | {"example": "slug"}
 //! GET    /sessions/:id/canvas       rendered SVG + zone/caption metadata
 //! GET    /sessions/:id/code         current program text
+//! PUT    /sessions/:id/code         {"source": "..."} (replace the program)
 //! POST   /sessions/:id/drag         {"shape": 0, "zone": "Interior", "dx": 5, "dy": 7}
 //! POST   /sessions/:id/commit       mouse-up: apply + re-prepare
 //! POST   /sessions/:id/reconcile    {"edits": [{"shape": 0, "attr": "x", "value": 120}]}
 //! DELETE /sessions/:id
-//! GET    /healthz
-//! GET    /stats                     sessions, requests, latency, connection gauges
+//! GET    /healthz                   (never requires auth)
+//! GET    /stats                     sessions, requests, latency, connection + journal gauges
 //! ```
+//!
+//! With `data_dir` set, every session mutation is appended to a
+//! write-ahead journal before it applies, restarts replay the journal
+//! (so acknowledged commits survive `kill -9`), and LRU pressure demotes
+//! sessions to disk instead of destroying them. See `docs/persistence.md`.
 
 #![deny(unsafe_code)] // Except the epoll/signal FFI in `reactor::ffi`.
 #![warn(missing_docs)]
 
 pub mod http;
+pub mod journal;
 pub mod json;
+pub mod persist;
 pub mod reactor;
 pub mod routes;
 pub mod session;
@@ -52,10 +65,13 @@ pub mod store;
 pub mod threadpool;
 
 use std::net::TcpListener;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+pub use journal::{FsyncPolicy, JournalBackend, JournalConfig};
+pub use persist::{MemoryBackend, SessionBackend};
 pub use reactor::install_sigterm_drain;
 
 use reactor::{Notifier, Reactor, ReactorOptions};
@@ -89,8 +105,23 @@ pub struct ServerConfig {
     /// before the reaper closes it.
     pub idle_timeout: Duration,
     /// Live sessions one client IP may hold; `POST /sessions` past the
-    /// quota answers 429 with `Retry-After` (0 disables the quota).
+    /// quota answers 429 with `Retry-After` (0 disables the quota). The
+    /// quota bounds *resident* sessions: under a durable backend,
+    /// demotion to disk releases the owner's slot — the disk copy is
+    /// text, not work — so it is a memory-pressure guard, not a cap on
+    /// an IP's durable footprint.
     pub max_sessions_per_ip: usize,
+    /// Durable session storage: when set, mutations are journaled here
+    /// before they apply, restarts replay the journal, and eviction
+    /// demotes to disk instead of destroying. `None` keeps the original
+    /// memory-only behavior.
+    pub data_dir: Option<PathBuf>,
+    /// When journal appends are fsynced (meaningful only with
+    /// [`data_dir`](ServerConfig::data_dir)).
+    pub fsync: FsyncPolicy,
+    /// Require `Authorization: Bearer <token>` on every route except
+    /// `GET /healthz`.
+    pub auth_token: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -104,6 +135,9 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(10),
             idle_timeout: Duration::from_secs(60),
             max_sessions_per_ip: 0,
+            data_dir: None,
+            fsync: FsyncPolicy::Always,
+            auth_token: None,
         }
     }
 }
@@ -143,11 +177,29 @@ impl Server {
     /// its wake pipe) cannot be created.
     pub fn bind(config: &ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
+        let store = match &config.data_dir {
+            Some(dir) => {
+                let (backend, recovered) = JournalBackend::open(JournalConfig {
+                    fsync: config.fsync,
+                    ..JournalConfig::new(dir)
+                })?;
+                let store = SessionStore::with_backend(config.max_sessions, Arc::new(backend));
+                // Sessions the journal tail touched come back resident
+                // (replay already paid their prepare); snapshot-only
+                // sessions stay demoted until a request faults them in.
+                for session in recovered {
+                    store.adopt(session);
+                }
+                store
+            }
+            None => SessionStore::new(config.max_sessions),
+        };
         let state = Arc::new(ServerState {
-            store: SessionStore::new(config.max_sessions),
+            store,
             stats: ServerStats::new(),
             started: Instant::now(),
             max_sessions_per_ip: config.max_sessions_per_ip,
+            auth_token: config.auth_token.clone(),
         });
         let pool = ThreadPool::new(config.resolved_threads(), config.resolved_queue_depth());
         let reactor = Reactor::new(

@@ -1,0 +1,190 @@
+//! The storage-backend seam: what the session store needs from a
+//! persistence layer, and the in-memory implementation that needs nothing.
+//!
+//! Every *mutating* session operation flows through a [`SessionBackend`]
+//! in two phases, enforcing the journal-before-apply discipline:
+//!
+//! 1. [`append`](SessionBackend::append) — called with the operation
+//!    *before* it is applied in memory. A durable backend must not return
+//!    until the record would survive a crash (per its fsync policy);
+//!    an error here aborts the operation, so nothing is ever visible in
+//!    memory that the journal does not know about.
+//! 2. [`applied`](SessionBackend::applied) — called *after* the in-memory
+//!    apply, with the session's post-state (`Some(code)`) or `None` when
+//!    the apply failed. The backend uses this to keep its materialized
+//!    shadow state (used for fault-in and snapshots) in sync with what
+//!    actually happened; a journaled record whose apply failed is harmless
+//!    because replay re-runs the same deterministic apply and skips it the
+//!    same way.
+//!
+//! The two-phase shape also lets a backend defer snapshot compaction until
+//! no operation is between its `append` and `applied` — the only window
+//! where truncating the journal could drop an acknowledged record.
+
+use std::io;
+use std::sync::Arc;
+
+use sns_lang::Subst;
+
+use crate::session::Session;
+
+/// One durable session mutation, borrowed from the request that makes it.
+#[derive(Debug, Clone, Copy)]
+pub enum Op<'a> {
+    /// A session came into existence with the given program text.
+    Create {
+        /// Session id.
+        id: &'a str,
+        /// Canonical program text at creation.
+        source: &'a str,
+    },
+    /// The program text was replaced wholesale (the code pane).
+    SetCode {
+        /// Session id.
+        id: &'a str,
+        /// Replacement program text.
+        source: &'a str,
+    },
+    /// A substitution was committed (mouse-up or reconcile).
+    Commit {
+        /// Session id.
+        id: &'a str,
+        /// The committed substitution.
+        subst: &'a Subst,
+    },
+    /// The session was deleted.
+    Delete {
+        /// Session id.
+        id: &'a str,
+    },
+}
+
+impl Op<'_> {
+    /// The session the operation targets.
+    pub fn id(&self) -> &str {
+        match self {
+            Op::Create { id, .. }
+            | Op::SetCode { id, .. }
+            | Op::Commit { id, .. }
+            | Op::Delete { id } => id,
+        }
+    }
+}
+
+/// Point-in-time durability gauges, published on `/stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct JournalGauges {
+    /// Bytes across all live write-ahead journal files.
+    pub journal_bytes: u64,
+    /// Records across all live write-ahead journal files.
+    pub journal_records: u64,
+    /// Snapshot compactions performed since boot.
+    pub snapshot_count: u64,
+    /// Wall-clock milliseconds the last boot replay took.
+    pub replay_ms_last: f64,
+    /// Sessions re-materialized from disk on access.
+    pub faultins: u64,
+    /// `fsync` calls issued by the journal.
+    pub fsyncs: u64,
+    /// Sessions the backend holds durably (resident or demoted).
+    pub durable_sessions: u64,
+}
+
+/// Where sessions live when they are not in memory.
+///
+/// [`crate::store::SessionStore`] front-ends one of these: the sharded map
+/// and LRU stay in the store, while creation/commit/delete durability,
+/// eviction demotion, and fault-in re-materialization are delegated here.
+pub trait SessionBackend: Send + Sync {
+    /// Whether this backend retains sessions across eviction and restart.
+    /// `false` means eviction destroys and restart forgets (the in-memory
+    /// backend); the store uses this to pick demotion over destruction.
+    fn durable(&self) -> bool;
+
+    /// Durably records `op` *before* it is applied in memory.
+    ///
+    /// # Errors
+    ///
+    /// An I/O failure — or, for [`Op::Commit`]/[`Op::SetCode`] on a
+    /// session the backend no longer holds (its delete was already
+    /// acknowledged), [`std::io::ErrorKind::NotFound`]. Either way the
+    /// caller must not apply the operation: the `NotFound` case is what
+    /// makes delete linearizable against racing mutations — once a
+    /// delete is acknowledged, no later mutation on that id can be.
+    fn append(&self, op: Op<'_>) -> io::Result<()>;
+
+    /// Reports that an appended [`Op::Create`] took effect, registering
+    /// the session with its initial program text.
+    fn applied_create(&self, id: &str, code: &str);
+
+    /// Reports the outcome of the last appended mutation for `id`:
+    /// `Some(code)` with the session's post-apply program text, or `None`
+    /// when the apply failed and the in-memory state is unchanged. An
+    /// update on a session deleted in the meantime is dropped — it must
+    /// not resurrect the id.
+    fn applied(&self, id: &str, code: Option<&str>);
+
+    /// Reports that an appended [`Op::Delete`] took effect.
+    fn applied_delete(&self, id: &str);
+
+    /// Whether the backend retains `id` (resident or demoted).
+    fn contains(&self, id: &str) -> bool;
+
+    /// The current program text the backend holds for `id`, if any. The
+    /// store compares this against a freshly materialized session before
+    /// publishing it, so a copy that went stale during materialization
+    /// (a racing commit bumped the state) is discarded, not served.
+    fn code_of(&self, id: &str) -> Option<String>;
+
+    /// Re-materializes a demoted session. Returns `None` when the backend
+    /// does not know `id`, or the retained program no longer runs (which a
+    /// once-valid program cannot become, absent disk corruption).
+    fn fault_in(&self, id: &str) -> Option<Session>;
+
+    /// Current durability gauges.
+    fn gauges(&self) -> JournalGauges;
+}
+
+/// The original memory-only behavior: nothing is durable, eviction
+/// destroys, restart forgets. Every hook is a no-op.
+#[derive(Debug, Default)]
+pub struct MemoryBackend;
+
+impl MemoryBackend {
+    /// A shared no-op backend.
+    pub fn shared() -> Arc<MemoryBackend> {
+        Arc::new(MemoryBackend)
+    }
+}
+
+impl SessionBackend for MemoryBackend {
+    fn durable(&self) -> bool {
+        false
+    }
+
+    fn append(&self, _op: Op<'_>) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn applied_create(&self, _id: &str, _code: &str) {}
+
+    fn applied(&self, _id: &str, _code: Option<&str>) {}
+
+    fn applied_delete(&self, _id: &str) {}
+
+    fn contains(&self, _id: &str) -> bool {
+        false
+    }
+
+    fn code_of(&self, _id: &str) -> Option<String> {
+        None
+    }
+
+    fn fault_in(&self, _id: &str) -> Option<Session> {
+        None
+    }
+
+    fn gauges(&self) -> JournalGauges {
+        JournalGauges::default()
+    }
+}

@@ -11,7 +11,7 @@ use crate::http::{Request, Response};
 use crate::json::{self, Json};
 use crate::session::Session;
 use crate::stats::ServerStats;
-use crate::store::SessionStore;
+use crate::store::{InsertError, SessionStore};
 
 /// Shared server state handed to every worker.
 pub struct ServerState {
@@ -24,6 +24,9 @@ pub struct ServerState {
     /// Live sessions one IP may hold before `POST /sessions` answers 429
     /// (0 disables the quota).
     pub max_sessions_per_ip: usize,
+    /// When set, every route except `GET /healthz` requires
+    /// `Authorization: Bearer <token>`.
+    pub auth_token: Option<String>,
 }
 
 fn error_response(status: u16, msg: &str) -> Response {
@@ -34,11 +37,48 @@ fn ok_json(status: u16, body: Json) -> Response {
     Response::json(status, body.to_string())
 }
 
+/// Constant-time byte comparison: the work done is independent of where
+/// the first mismatch occurs, so response timing does not leak a token
+/// prefix. (Token *length* is not concealed; tokens should be
+/// high-entropy, not short secrets padded by obscurity.)
+fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    let mut diff = a.len() ^ b.len();
+    for i in 0..a.len().max(b.len()) {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= usize::from(x ^ y);
+    }
+    diff == 0
+}
+
+/// 401 challenge for a missing or wrong bearer token.
+fn unauthorized() -> Response {
+    error_response(401, "missing or invalid bearer token")
+        .with_header("WWW-Authenticate", "Bearer realm=\"sns\"")
+}
+
 /// Dispatches one parsed request against the state. `peer` is the client
 /// address the reactor accepted the connection from (quota accounting).
 pub fn dispatch(state: &Arc<ServerState>, request: &Request, peer: IpAddr) -> Response {
     let path = request.path.trim_end_matches('/');
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    if let Some(token) = &state.auth_token {
+        // Health stays open so liveness probes don't need the secret.
+        let is_health = request.method == "GET" && segments.as_slice() == ["healthz"];
+        // RFC 7235: the auth-scheme token is case-insensitive (`bearer`,
+        // `BEARER`, … are all legal); only the token itself is compared
+        // byte-exactly (and in constant time).
+        let authed = request
+            .header("authorization")
+            .and_then(|h| h.split_once(' '))
+            .filter(|(scheme, _)| scheme.eq_ignore_ascii_case("bearer"))
+            .is_some_and(|(_, presented)| {
+                constant_time_eq(presented.trim_start().as_bytes(), token.as_bytes())
+            });
+        if !is_health && !authed {
+            return unauthorized();
+        }
+    }
     match (request.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => ok_json(200, Json::obj([("ok", Json::Bool(true))])),
         ("GET", ["stats"]) => stats(state),
@@ -47,20 +87,19 @@ pub fn dispatch(state: &Arc<ServerState>, request: &Request, peer: IpAddr) -> Re
         ("GET", ["sessions", id, "code"]) => with_session(state, id, |s| {
             Ok(Json::obj([("code", Json::str(s.code()))]))
         }),
+        ("PUT", ["sessions", id, "code"]) => set_code(state, id, &request.body),
         ("POST", ["sessions", id, "drag"]) => drag(state, id, &request.body),
         ("POST", ["sessions", id, "commit"]) => with_session(state, id, |s| {
             s.commit()?;
             Ok(Json::obj([("code", Json::str(s.code()))]))
         }),
         ("POST", ["sessions", id, "reconcile"]) => reconcile(state, id, &request.body),
-        ("DELETE", ["sessions", id]) => {
-            if state.store.remove(id) {
-                ok_json(200, Json::obj([("deleted", Json::Bool(true))]))
-            } else {
-                error_response(404, "no such session")
-            }
-        }
-        ("GET" | "POST" | "DELETE", _) => error_response(404, "no such route"),
+        ("DELETE", ["sessions", id]) => match state.store.remove(id) {
+            Ok(true) => ok_json(200, Json::obj([("deleted", Json::Bool(true))])),
+            Ok(false) => error_response(404, "no such session"),
+            Err(e) => error_response(500, &format!("durability failure: {e}")),
+        },
+        ("GET" | "POST" | "PUT" | "DELETE", _) => error_response(404, "no such route"),
         _ => error_response(405, "method not allowed"),
     }
 }
@@ -68,13 +107,25 @@ pub fn dispatch(state: &Arc<ServerState>, request: &Request, peer: IpAddr) -> Re
 fn stats(state: &Arc<ServerState>) -> Response {
     let live = state.stats.live();
     let gauges = state.stats.conn_gauges();
+    let journal = state.store.journal_gauges();
     ok_json(
         200,
         Json::obj([
             ("sessions", Json::Num(state.store.len() as f64)),
+            (
+                "sessions_durable",
+                Json::Num(journal.durable_sessions as f64),
+            ),
             ("requests", Json::Num(state.stats.requests() as f64)),
             ("errors", Json::Num(state.stats.errors() as f64)),
             ("evictions", Json::Num(state.store.evictions() as f64)),
+            ("demotions", Json::Num(state.store.demotions() as f64)),
+            ("journal_bytes", Json::Num(journal.journal_bytes as f64)),
+            ("journal_records", Json::Num(journal.journal_records as f64)),
+            ("snapshot_count", Json::Num(journal.snapshot_count as f64)),
+            ("replay_ms_last", Json::Num(journal.replay_ms_last)),
+            ("faultins", Json::Num(journal.faultins as f64)),
+            ("fsyncs", Json::Num(journal.fsyncs as f64)),
             ("conns_open", Json::Num(gauges.open as f64)),
             ("conns_idle", Json::Num(gauges.idle as f64)),
             ("conns_in_flight", Json::Num(gauges.in_flight as f64)),
@@ -162,8 +213,12 @@ fn create_session(state: &Arc<ServerState>, body: &[u8], peer: IpAddr) -> Respon
             // the per-IP count, so concurrent creates cannot sneak past.
             // (Cache counters fold in only on success — a rejected
             // session's work must not skew the /stats hit rates.)
-            if state.store.try_insert(session, Some(peer), quota).is_err() {
-                return quota_response(state);
+            match state.store.try_insert(session, Some(peer), quota) {
+                Ok(_) => {}
+                Err(InsertError::Quota) => return quota_response(state),
+                Err(InsertError::Journal(e)) => {
+                    return error_response(500, &format!("durability failure: {e}"))
+                }
             }
             state.stats.record_live(live_delta);
             ok_json(
@@ -191,12 +246,21 @@ fn with_session(
     let mut guard = match session.lock() {
         Ok(g) => g,
         // A worker panicked mid-request (a bug, not a client error); the
-        // session state may be inconsistent, so retire it.
+        // in-memory state may be inconsistent, so drop it — but only from
+        // memory. The durable copy holds the last *acknowledged* state,
+        // so the next request re-materializes the session intact instead
+        // of a server bug permanently deleting a user's work.
         Err(_) => {
-            state.store.remove(id);
+            state.store.discard_resident(id);
             return error_response(500, "session poisoned; discarded");
         }
     };
+    // A handler that fetched the Arc just before a DELETE journaled the
+    // session away must not touch it: mutating a tombstoned session would
+    // re-journal it into existence.
+    if guard.is_deleted() {
+        return error_response(404, "no such session");
+    }
     guard.requests += 1;
     let result = f(&mut guard);
     state.stats.record_live(guard.live_stats_delta());
@@ -204,6 +268,21 @@ fn with_session(
         Ok(v) => ok_json(200, v),
         Err(e) => error_response(e.status, &e.msg),
     }
+}
+
+fn set_code(state: &Arc<ServerState>, id: &str, body: &[u8]) -> Response {
+    let body = match parse_body(body) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let Some(source) = body
+        .get("source")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+    else {
+        return error_response(400, "body must carry `source`");
+    };
+    with_session(state, id, |s| s.set_code(&source))
 }
 
 fn field_f64(body: &Json, key: &str) -> Result<f64, Response> {

@@ -7,11 +7,16 @@
 //! after each *commit* — never per drag request, mirroring the editor's
 //! mouse-up semantics (§4, §5.2.3).
 
+use std::fmt;
+use std::sync::Arc;
+
 use sns_editor::{Editor, EditorConfig};
 use sns_eval::{Limits, Program};
+use sns_lang::Subst;
 use sns_svg::{ShapeId, Zone};
 
 use crate::json::Json;
+use crate::persist::{Op, SessionBackend};
 
 /// Server-side per-request evaluation limits: far below [`Limits::default`]
 /// so one hostile program cannot pin a worker, yet ample for every corpus
@@ -24,7 +29,6 @@ pub fn server_limits() -> Limits {
 }
 
 /// A live session.
-#[derive(Debug)]
 pub struct Session {
     /// The session id (also the store key).
     pub id: String,
@@ -36,6 +40,54 @@ pub struct Session {
     /// Live-sync counters as of the last [`Session::live_stats_delta`]
     /// call, so deltas can be folded into the server-wide stats.
     reported: sns_sync::LiveStats,
+    /// Where mutations are journaled before they apply; `None` until the
+    /// store attaches its backend (and always `None` under the in-memory
+    /// backend, whose appends would be no-ops anyway).
+    persist: Option<Arc<dyn SessionBackend>>,
+    /// Tombstone set by [`Session::mark_deleted`].
+    deleted: bool,
+}
+
+/// A journaled mutation kind; the session id (the missing half of
+/// [`Op`]) is always the session's own.
+enum MutOp<'a> {
+    Commit(&'a Subst),
+    SetCode(&'a str),
+}
+
+/// A journaled-but-not-yet-applied operation. [`finish`](JournalGuard::finish)
+/// reports the apply's outcome; dropping without finishing (an apply that
+/// panicked) reports failure, keeping the backend's in-flight accounting
+/// exact.
+struct JournalGuard {
+    pending: Option<(Arc<dyn SessionBackend>, String)>,
+}
+
+impl JournalGuard {
+    fn finish(mut self, code: Option<&str>) {
+        if let Some((backend, id)) = self.pending.take() {
+            backend.applied(&id, code);
+        }
+    }
+}
+
+impl Drop for JournalGuard {
+    fn drop(&mut self) {
+        if let Some((backend, id)) = self.pending.take() {
+            backend.applied(&id, None);
+        }
+    }
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("id", &self.id)
+            .field("drag", &self.drag)
+            .field("requests", &self.requests)
+            .field("durable", &self.persist.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 /// A session-level failure, mapped to an HTTP status by the router.
@@ -74,7 +126,90 @@ impl Session {
             drag: None,
             requests: 0,
             reported: sns_sync::LiveStats::default(),
+            persist: None,
+            deleted: false,
         })
+    }
+
+    /// Wires the session to a persistence backend: from here on every
+    /// mutating operation is journaled before it applies. The store calls
+    /// this when the session becomes resident.
+    pub fn attach_persist(&mut self, backend: Arc<dyn SessionBackend>) {
+        self.persist = Some(backend);
+    }
+
+    /// Tombstones the session. Set under the session lock by the store's
+    /// delete, it stops requests that already hold the session `Arc` from
+    /// mutating (and re-journaling) a session whose delete was already
+    /// acknowledged — without it, a racing commit's `applied` would
+    /// resurrect the id in the backend's shadow.
+    pub fn mark_deleted(&mut self) {
+        self.deleted = true;
+        self.persist = None;
+    }
+
+    /// Whether the session was deleted while this handle was live.
+    pub fn is_deleted(&self) -> bool {
+        self.deleted
+    }
+
+    /// Whether a drag is in progress (uncommitted preview state, which is
+    /// deliberately *not* durable — the store must not demote it away).
+    pub fn dragging(&self) -> bool {
+        self.drag.is_some()
+    }
+
+    /// Appends `op` to the journal (if one is attached) and returns a
+    /// guard that *must* see the apply's outcome. Mutating methods call
+    /// this *before* touching the editor; the guard's `Drop` reports a
+    /// failed apply, so the backend's append/applied pairing holds even
+    /// if the apply panics (a leaked pairing would wedge that journal
+    /// shard's compaction forever).
+    fn journal(&self, op: Op<'_>) -> Result<JournalGuard, SessionError> {
+        let Some(p) = &self.persist else {
+            return Ok(JournalGuard { pending: None });
+        };
+        p.append(op).map_err(|e| match e.kind() {
+            // The session's delete was acknowledged while this handle was
+            // in hand; the mutation loses the race cleanly.
+            std::io::ErrorKind::NotFound => SessionError {
+                status: 404,
+                msg: "session was deleted".to_string(),
+            },
+            _ => SessionError {
+                status: 500,
+                msg: format!("durability failure: {e}"),
+            },
+        })?;
+        Ok(JournalGuard {
+            pending: Some((Arc::clone(p), self.id.clone())),
+        })
+    }
+
+    /// The journal-before-apply contract, in one place: append the
+    /// record, run the editor mutation, report the outcome (post-apply
+    /// code on success, failure otherwise — panic-safe via the guard).
+    fn journaled_apply<T>(
+        &mut self,
+        op: MutOp<'_>,
+        apply: impl FnOnce(&mut Editor) -> Result<T, sns_editor::EditorError>,
+    ) -> Result<T, SessionError> {
+        let guard = self.journal(match op {
+            MutOp::Commit(subst) => Op::Commit {
+                id: &self.id,
+                subst,
+            },
+            MutOp::SetCode(source) => Op::SetCode {
+                id: &self.id,
+                source,
+            },
+        })?;
+        let result = apply(&mut self.editor);
+        match &result {
+            Ok(_) => guard.finish(Some(&self.editor.code())),
+            Err(_) => guard.finish(None),
+        }
+        result.map_err(|e| SessionError::bad(e.to_string()))
     }
 
     /// The live-sync cache counters accumulated since the last call — the
@@ -209,20 +344,84 @@ impl Session {
         self.editor.program().with_subst(subst).code()
     }
 
-    /// Commits the in-flight drag (mouse-up): applies the pending update
-    /// and re-prepares. A commit with no drag in progress is a no-op, so
-    /// clients can call it defensively.
+    /// Commits the in-flight drag (mouse-up): journals the pending update,
+    /// applies it, and re-prepares. A commit with no drag in progress is a
+    /// no-op, so clients can call it defensively.
     ///
     /// # Errors
     ///
-    /// Fails when the committed program no longer runs.
+    /// Fails when the update cannot be journaled (the drag is then aborted
+    /// rather than applied un-durably) or the committed program no longer
+    /// runs.
     pub fn commit(&mut self) -> Result<(), SessionError> {
-        if self.drag.take().is_some() {
-            self.editor
-                .end_drag()
-                .map_err(|e| SessionError::bad(e.to_string()))?;
+        if self.drag.take().is_none() {
+            return Ok(());
         }
-        Ok(())
+        let Some(subst) = self.editor.pending_subst().cloned() else {
+            // Mouse-up with no movement: nothing to persist or apply.
+            self.editor.cancel_drag();
+            return Ok(());
+        };
+        let result = self.journaled_apply(MutOp::Commit(&subst), |ed| ed.end_drag());
+        if result.is_err() {
+            // A journal failure leaves the editor's mouse-down state in
+            // place; clear it so the session is not wedged. (After a
+            // failed *apply* this is a no-op — `end_drag` already
+            // consumed the drag.)
+            self.editor.cancel_drag();
+        }
+        result
+    }
+
+    /// The substitution [`commit`](Session::commit) would journal and
+    /// apply right now — for harnesses that drive the journal by hand.
+    pub fn pending_commit(&self) -> Option<Subst> {
+        self.drag.as_ref()?;
+        self.editor.pending_subst().cloned()
+    }
+
+    /// Replaces the program text (the code pane), journaling first. An
+    /// in-flight drag is committed first, like the editor's mouse-up on
+    /// leaving the canvas — and that mouse-up stands on its own: it is
+    /// durable even if the replacement below is then rejected.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the text cannot be journaled or does not parse,
+    /// evaluate, or render (the program as of the mouse-up stays).
+    pub fn set_code(&mut self, source: &str) -> Result<Json, SessionError> {
+        self.commit()?;
+        self.journaled_apply(MutOp::SetCode(source), |ed| ed.set_code(source))?;
+        Ok(Json::obj([
+            ("code", Json::str(self.code())),
+            ("canvas", self.canvas_json()),
+        ]))
+    }
+
+    /// Journal replay: re-commits a recovered substitution through the
+    /// normal editor path (incremental prepare and all), *without*
+    /// re-journaling it.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the program no longer runs — deterministic, so this is
+    /// exactly the set of ops that also failed when first journaled.
+    pub fn replay_commit(&mut self, subst: &Subst) -> Result<(), SessionError> {
+        self.editor
+            .apply_subst(subst)
+            .map_err(|e| SessionError::bad(e.to_string()))
+    }
+
+    /// Journal replay: re-applies a recovered code replacement without
+    /// re-journaling it.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the text does not parse, evaluate, or render.
+    pub fn replay_set_code(&mut self, source: &str) -> Result<(), SessionError> {
+        self.editor
+            .set_code(source)
+            .map_err(|e| SessionError::bad(e.to_string()))
     }
 
     /// Abandons an in-flight drag in *both* the session bookkeeping and
@@ -257,11 +456,13 @@ impl Session {
                 ])
             })
             .collect();
-        // Apply the best candidate without rerunning the synthesis.
+        // Apply the best candidate without rerunning the synthesis. The
+        // applied update is a commit like any other: journal it first.
         let best = ranked.swap_remove(0);
-        self.editor
-            .apply_reconciliation(best)
-            .map_err(|e| SessionError::bad(e.to_string()))?;
+        let subst = best.update.subst.clone();
+        self.journaled_apply(MutOp::Commit(&subst), move |ed| {
+            ed.apply_reconciliation(best)
+        })?;
         Ok(Json::obj([
             ("candidates", Json::Arr(candidates)),
             ("code", Json::str(self.editor.code())),

@@ -1,10 +1,19 @@
-//! A sharded session store with LRU eviction and per-session locking.
+//! A sharded session store with LRU eviction, per-session locking, and a
+//! pluggable persistence backend.
 //!
 //! Sessions hash onto [`SHARDS`] shard maps so concurrent requests for
 //! different sessions rarely contend on the same lock, and each session is
 //! behind its own `Mutex` so two requests for the *same* session serialize
-//! without blocking its shard. A global capacity bound evicts the least
-//! recently used session across all shards.
+//! without blocking its shard. A global capacity bound bounds *resident*
+//! sessions: what happens to the session that falls off the LRU depends on
+//! the [`SessionBackend`] — the in-memory backend destroys it, a durable
+//! backend *demotes* it (the editor state is dropped, the program text
+//! stays on disk) and [`SessionStore::get`] transparently faults it back
+//! in on its next request.
+//!
+//! The durability discipline lives one layer down (see [`crate::persist`]):
+//! the store journals creates and deletes before applying them, and wires
+//! each resident session to the backend so commits do the same.
 
 use std::collections::hash_map::{DefaultHasher, RandomState};
 use std::collections::HashMap;
@@ -13,11 +22,19 @@ use std::net::IpAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use crate::persist::{JournalGauges, MemoryBackend, Op, SessionBackend};
 use crate::session::Session;
 
-/// The owner IP is at its session quota; the session was not inserted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct QuotaExceeded;
+/// Why an insert was refused.
+#[derive(Debug)]
+pub enum InsertError {
+    /// The owner IP is at its session quota; the session was not inserted.
+    Quota,
+    /// The create record could not be journaled; the session was not
+    /// inserted (nothing may become visible that would not survive a
+    /// restart).
+    Journal(std::io::Error),
+}
 
 /// Number of shards; a power of two keeps the modulo cheap.
 pub const SHARDS: usize = 16;
@@ -34,6 +51,7 @@ struct Entry {
 /// The sharded store.
 pub struct SessionStore {
     shards: Vec<Mutex<HashMap<String, Entry>>>,
+    backend: Arc<dyn SessionBackend>,
     clock: AtomicU64,
     next_id: AtomicU64,
     /// Randomly-keyed hasher making session ids unpredictable: the id is
@@ -42,23 +60,43 @@ pub struct SessionStore {
     id_key: RandomState,
     max_sessions: usize,
     evictions: AtomicU64,
+    demotions: AtomicU64,
     /// Live sessions per creating IP, kept in lockstep with the shards
     /// (incremented under this lock before insert, decremented on remove).
     ip_counts: Mutex<HashMap<IpAddr, usize>>,
 }
 
 impl SessionStore {
-    /// Creates a store bounded at `max_sessions` live sessions.
+    /// Creates a memory-only store bounded at `max_sessions` live
+    /// sessions (eviction destroys, restart forgets).
     pub fn new(max_sessions: usize) -> SessionStore {
+        SessionStore::with_backend(max_sessions, MemoryBackend::shared())
+    }
+
+    /// Creates a store bounded at `max_sessions` *resident* sessions over
+    /// an explicit persistence backend.
+    pub fn with_backend(max_sessions: usize, backend: Arc<dyn SessionBackend>) -> SessionStore {
         SessionStore {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            backend,
             clock: AtomicU64::new(1),
             next_id: AtomicU64::new(1),
             id_key: RandomState::new(),
             max_sessions: max_sessions.max(1),
             evictions: AtomicU64::new(0),
+            demotions: AtomicU64::new(0),
             ip_counts: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The persistence backend (for gauges and test harnesses).
+    pub fn backend(&self) -> &Arc<dyn SessionBackend> {
+        &self.backend
+    }
+
+    /// The backend's durability gauges.
+    pub fn journal_gauges(&self) -> JournalGauges {
+        self.backend.gauges()
     }
 
     fn shard_of(&self, id: &str) -> &Mutex<HashMap<String, Entry>> {
@@ -81,47 +119,93 @@ impl SessionStore {
         format!("s{n:04}-{:016x}", h.finish())
     }
 
-    /// Inserts a session, evicting the LRU session if the store is full.
+    /// Inserts a session, evicting (or demoting) the LRU session if the
+    /// store is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics on journal failure; test-harness convenience — the server
+    /// path is [`try_insert`](SessionStore::try_insert).
     pub fn insert(&self, session: Session) -> Arc<Mutex<Session>> {
-        self.try_insert(session, None, 0).expect("quota disabled")
+        self.try_insert(session, None, 0).expect("insert")
     }
 
     /// Inserts a session on behalf of `owner`, enforcing `quota` live
-    /// sessions per IP (0 disables the quota). Evicts the LRU session if
-    /// the store is full.
+    /// sessions per IP (0 disables the quota). The create is journaled
+    /// before the session becomes visible; the LRU session is evicted or
+    /// demoted if the store is full.
     ///
     /// # Errors
     ///
-    /// [`QuotaExceeded`] when `owner` already holds `quota` sessions.
+    /// [`InsertError::Quota`] when `owner` already holds `quota` sessions;
+    /// [`InsertError::Journal`] when the create record cannot be made
+    /// durable.
     pub fn try_insert(
         &self,
         session: Session,
         owner: Option<IpAddr>,
         quota: usize,
-    ) -> Result<Arc<Mutex<Session>>, QuotaExceeded> {
+    ) -> Result<Arc<Mutex<Session>>, InsertError> {
         if let Some(ip) = owner {
             let mut counts = self.ip_counts.lock().expect("ip counts lock");
             let count = counts.entry(ip).or_insert(0);
             if quota > 0 && *count >= quota {
-                return Err(QuotaExceeded);
+                return Err(InsertError::Quota);
             }
             *count += 1;
+        }
+        let code = session.code();
+        if let Err(e) = self.backend.append(Op::Create {
+            id: &session.id,
+            source: &code,
+        }) {
+            if let Some(ip) = owner {
+                self.release_ip(ip);
+            }
+            return Err(InsertError::Journal(e));
+        }
+        // Close the append/applied pairing immediately (the "apply" of a
+        // create is just map publication): if anything below panics, the
+        // backend already has a consistent session and fault-in recovers.
+        self.backend.applied_create(&session.id, &code);
+        Ok(self.insert_resident(session, owner))
+    }
+
+    /// Adopts a session recovered by the backend's boot replay: it becomes
+    /// resident (journaled already, so nothing is appended) and wired for
+    /// future mutations.
+    pub fn adopt(&self, session: Session) -> Arc<Mutex<Session>> {
+        self.insert_resident(session, None)
+    }
+
+    /// Makes a session resident: attaches the persistence handle, makes
+    /// room, and publishes it in its shard. If the id is already resident
+    /// (two requests faulting in the same session), the existing entry
+    /// wins and the freshly materialized copy is dropped.
+    fn insert_resident(&self, mut session: Session, owner: Option<IpAddr>) -> Arc<Mutex<Session>> {
+        if self.backend.durable() {
+            session.attach_persist(Arc::clone(&self.backend));
         }
         if self.len() >= self.max_sessions {
             self.evict_lru();
         }
         let id = session.id.clone();
+        let touched = self.tick();
+        let mut shard = self.shard_of(&id).lock().expect("shard lock");
+        if let Some(existing) = shard.get_mut(&id) {
+            existing.touched = touched;
+            return Arc::clone(&existing.session);
+        }
         let arc = Arc::new(Mutex::new(session));
-        let entry = Entry {
-            session: Arc::clone(&arc),
-            touched: self.tick(),
-            owner,
-        };
-        self.shard_of(&id)
-            .lock()
-            .expect("shard lock")
-            .insert(id, entry);
-        Ok(arc)
+        shard.insert(
+            id,
+            Entry {
+                session: Arc::clone(&arc),
+                touched,
+                owner,
+            },
+        );
+        arc
     }
 
     /// Live sessions created by `ip` — a cheap pre-check so a client at
@@ -135,32 +219,140 @@ impl SessionStore {
             .unwrap_or(0)
     }
 
-    /// Looks a session up, refreshing its LRU position.
+    fn release_ip(&self, ip: IpAddr) {
+        let mut counts = self.ip_counts.lock().expect("ip counts lock");
+        if let Some(count) = counts.get_mut(&ip) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                counts.remove(&ip);
+            }
+        }
+    }
+
+    /// Looks a session up, refreshing its LRU position. A session that was
+    /// demoted to disk is transparently faulted back in (re-parsed,
+    /// re-evaluated, re-prepared) — the caller cannot tell the difference
+    /// beyond latency.
     pub fn get(&self, id: &str) -> Option<Arc<Mutex<Session>>> {
+        // Bounded retry: a fresh materialization can go stale if a racing
+        // fault-in published first, committed, and was demoted again —
+        // all during our multi-ms prepare. Each retry re-materializes
+        // from the then-current text; in practice the racing committer's
+        // copy is still resident on the next pass, so one lap suffices.
+        for _ in 0..8 {
+            if let Some(arc) = self.get_resident(id) {
+                return Some(arc);
+            }
+            if !self.backend.durable() {
+                return None;
+            }
+            // Materialize outside any store lock — fault-in re-runs the
+            // whole prepare pipeline. Publication re-checks the backend
+            // under the shard lock: a DELETE that completed during
+            // materialization removed the entry (publishing the zombie
+            // would resurrect an acked-deleted session), and a *changed*
+            // text means our copy predates an acked commit (publishing it
+            // would roll that commit back, durably on its next apply).
+            let mut session = self.backend.fault_in(id)?;
+            session.attach_persist(Arc::clone(&self.backend));
+            if self.len() >= self.max_sessions {
+                self.evict_lru();
+            }
+            let touched = self.tick();
+            let mut shard = self.shard_of(id).lock().expect("shard lock");
+            if let Some(existing) = shard.get_mut(id) {
+                // Another request faulted it in first; its copy wins.
+                existing.touched = touched;
+                return Some(Arc::clone(&existing.session));
+            }
+            match self.backend.code_of(id) {
+                Some(code) if code == session.code() => {
+                    let arc = Arc::new(Mutex::new(session));
+                    shard.insert(
+                        id.to_string(),
+                        Entry {
+                            session: Arc::clone(&arc),
+                            touched,
+                            owner: None,
+                        },
+                    );
+                    return Some(arc);
+                }
+                Some(_) => continue, // stale copy; re-materialize
+                None => return None, // deleted while we were materializing
+            }
+        }
+        None
+    }
+
+    fn get_resident(&self, id: &str) -> Option<Arc<Mutex<Session>>> {
         let mut shard = self.shard_of(id).lock().expect("shard lock");
         let entry = shard.get_mut(id)?;
         entry.touched = self.tick();
         Some(Arc::clone(&entry.session))
     }
 
-    /// Removes a session; returns whether it existed.
-    pub fn remove(&self, id: &str) -> bool {
+    /// Removes a session everywhere — memory and backend. The delete is
+    /// journaled before the session disappears from memory, and a
+    /// resident session is tombstoned *under its own lock* first: that
+    /// serializes the delete against any in-flight mutation (whose
+    /// `applied` lands before ours) and stops requests already holding
+    /// the `Arc` from re-journaling the session back into existence.
+    ///
+    /// # Errors
+    ///
+    /// The delete record could not be journaled; the session remains.
+    pub fn remove(&self, id: &str) -> std::io::Result<bool> {
+        let resident = self.get_resident(id);
+        if resident.is_none() && !self.backend.contains(id) {
+            return Ok(false);
+        }
+        match resident.as_ref().map(|session| session.lock()) {
+            Some(Ok(mut guard)) => {
+                self.backend.append(Op::Delete { id })?;
+                guard.mark_deleted();
+            }
+            // A poisoned lock means the holder panicked mid-request; its
+            // journal guard already reported the failure, and nothing can
+            // mutate through a poisoned mutex, so skipping the tombstone
+            // is safe.
+            Some(Err(_)) | None => self.backend.append(Op::Delete { id })?,
+        }
+        self.backend.applied_delete(id);
         let removed = self.shard_of(id).lock().expect("shard lock").remove(id);
-        if let Some(entry) = &removed {
+        if let Some(entry) = removed {
+            // The entry found now may not be the one we tombstoned above
+            // (a concurrent fault-in can have published a fresh copy);
+            // mark it too. Its holders can no longer ack mutations either
+            // way — the backend refuses appends for a deleted id.
+            if let Ok(mut session) = entry.session.lock() {
+                session.mark_deleted();
+            }
             if let Some(ip) = entry.owner {
-                let mut counts = self.ip_counts.lock().expect("ip counts lock");
-                if let Some(count) = counts.get_mut(&ip) {
-                    *count = count.saturating_sub(1);
-                    if *count == 0 {
-                        counts.remove(&ip);
-                    }
-                }
+                self.release_ip(ip);
             }
         }
-        removed.is_some()
+        Ok(true)
     }
 
-    /// Number of live sessions.
+    /// Drops a session from memory *without* touching the backend — for
+    /// sessions whose in-memory state is suspect (a worker panicked while
+    /// holding the session lock). Under a durable backend the session is
+    /// not lost: its shadow still holds the last acknowledged state, and
+    /// the next request faults it back in; under the memory backend this
+    /// destroys it, as before.
+    pub fn discard_resident(&self, id: &str) {
+        let removed = self.shard_of(id).lock().expect("shard lock").remove(id);
+        if let Some(Entry {
+            owner: Some(ip), ..
+        }) = removed
+        {
+            self.release_ip(ip);
+        }
+    }
+
+    /// Number of *resident* sessions (a durable backend may hold more on
+    /// disk; see [`SessionStore::journal_gauges`]).
     pub fn len(&self) -> usize {
         self.shards
             .iter()
@@ -168,33 +360,89 @@ impl SessionStore {
             .sum()
     }
 
-    /// Whether the store is empty.
+    /// Whether no session is resident.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Total sessions evicted to make room.
+    /// Sessions destroyed to make room (memory backend only).
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
     }
 
-    /// Evicts the globally least-recently-used session. A linear scan over
-    /// shard maps is fine at the scale the capacity bound implies.
+    /// Sessions demoted to disk to make room (durable backend).
+    pub fn demotions(&self) -> u64 {
+        self.demotions.load(Ordering::Relaxed)
+    }
+
+    /// Drops least-recently-used *idle* sessions from memory until the
+    /// store is back under its bound: *demotions* when the backend
+    /// retains them durably, destroying *evictions* otherwise. Evicting
+    /// until under the bound (not just once) is what lets residency
+    /// recover after a busy burst pushed it over.
+    ///
+    /// Sessions a request currently holds (the handler's `Arc` clone
+    /// lives from `get` to response) are never victims: demoting a
+    /// session with a mutation in flight would let a concurrent fault-in
+    /// re-materialize it from the not-yet-updated shadow. Neither are
+    /// sessions mid-drag — the drag preview is deliberately not durable,
+    /// so demotion would silently turn the upcoming commit into an acked
+    /// no-op. If everything resident is busy, the store temporarily
+    /// exceeds its bound; the next `evict_lru` drains the overshoot.
     fn evict_lru(&self) {
+        while self.len() >= self.max_sessions {
+            if !self.evict_one() {
+                break; // everything resident is busy right now
+            }
+        }
+    }
+
+    /// One O(n) scan for the oldest currently-idle session, then removal
+    /// (re-checking idleness under the victim's shard lock). Returns
+    /// whether to keep trying: `false` only when no idle victim exists.
+    fn evict_one(&self) -> bool {
+        let idle_in = |entry: &Entry| {
+            // A count of one means the entry's own Arc is the only
+            // reference left, so try_lock cannot contend (a poisoned
+            // lock disqualifies: state unknown).
+            Arc::strong_count(&entry.session) == 1
+                && entry
+                    .session
+                    .try_lock()
+                    .map(|s| !s.dragging())
+                    .unwrap_or(false)
+        };
         let mut oldest: Option<(String, u64)> = None;
         for shard in &self.shards {
             let shard = shard.lock().expect("shard lock");
             for (id, entry) in shard.iter() {
-                if oldest.as_ref().is_none_or(|(_, t)| entry.touched < *t) {
+                if oldest.as_ref().is_none_or(|(_, t)| entry.touched < *t) && idle_in(entry) {
                     oldest = Some((id.clone(), entry.touched));
                 }
             }
         }
-        if let Some((id, _)) = oldest {
-            if self.remove(&id) {
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+        let Some((id, _)) = oldest else { return false };
+        let entry = {
+            let mut shard = self.shard_of(&id).lock().expect("shard lock");
+            if !shard.get(&id).is_some_and(idle_in) {
+                // The victim got busy between scan and removal; a rescan
+                // will pick someone else.
+                return true;
             }
+            shard.remove(&id).expect("checked above")
+        };
+        if let Some(ip) = entry.owner {
+            // A demoted session no longer holds one of its owner's quota
+            // slots: the quota bounds concurrent *resident* work, while
+            // the durable copy is just text.
+            self.release_ip(ip);
         }
+        if self.backend.durable() && self.backend.contains(&id) {
+            self.demotions.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        true
     }
 }
 
@@ -215,9 +463,10 @@ mod tests {
         store.insert(s);
         assert!(store.get(&id).is_some());
         assert_eq!(store.len(), 1);
-        assert!(store.remove(&id));
+        assert!(store.remove(&id).unwrap());
         assert!(store.get(&id).is_none());
         assert!(store.is_empty());
+        assert!(!store.remove(&id).unwrap());
     }
 
     #[test]
@@ -242,6 +491,7 @@ mod tests {
         );
         assert!(store.get(&ids[0]).is_some());
         assert_eq!(store.evictions(), 1);
+        assert_eq!(store.demotions(), 0);
     }
 
     #[test]
@@ -254,15 +504,15 @@ mod tests {
         store.try_insert(a, Some(ip), 2).unwrap();
         store.try_insert(session(&store), Some(ip), 2).unwrap();
         assert_eq!(store.ip_sessions(ip), 2);
-        assert_eq!(
+        assert!(matches!(
             store.try_insert(session(&store), Some(ip), 2).unwrap_err(),
-            QuotaExceeded
-        );
+            InsertError::Quota
+        ));
         // Another IP is unaffected, and quota 0 disables the check.
         store.try_insert(session(&store), Some(other), 2).unwrap();
         store.try_insert(session(&store), None, 1).unwrap();
         // Removing a session releases its owner's slot.
-        assert!(store.remove(&a_id));
+        assert!(store.remove(&a_id).unwrap());
         assert_eq!(store.ip_sessions(ip), 1);
         store.try_insert(session(&store), Some(ip), 2).unwrap();
     }

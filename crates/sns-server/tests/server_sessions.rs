@@ -12,11 +12,17 @@ use sns_server::{Server, ServerConfig, ShutdownHandle};
 /// shutdown handle (dropped handles leave the detached thread to die with
 /// the process, which is fine for tests).
 fn boot(threads: usize, max_sessions: usize) -> (String, ShutdownHandle) {
-    let server = Server::bind(&ServerConfig {
-        addr: "127.0.0.1:0".to_string(),
+    boot_with(ServerConfig {
         threads,
         max_sessions,
         ..ServerConfig::default()
+    })
+}
+
+fn boot_with(config: ServerConfig) -> (String, ShutdownHandle) {
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..config
     })
     .expect("bind ephemeral port");
     let addr = server.local_addr().expect("local addr").to_string();
@@ -28,6 +34,8 @@ fn boot(threads: usize, max_sessions: usize) -> (String, ShutdownHandle) {
 /// A tiny blocking HTTP client speaking just enough HTTP/1.1.
 struct Client {
     stream: BufReader<TcpStream>,
+    /// Sent as `Authorization: Bearer <token>` when set.
+    token: Option<String>,
 }
 
 impl Client {
@@ -36,13 +44,24 @@ impl Client {
         stream.set_nodelay(true).expect("nodelay");
         Client {
             stream: BufReader::new(stream),
+            token: None,
         }
+    }
+
+    fn with_token(addr: &str, token: &str) -> Client {
+        let mut c = Client::connect(addr);
+        c.token = Some(token.to_string());
+        c
     }
 
     fn request(&mut self, method: &str, path: &str, body: Option<&Json>) -> (u16, Json) {
         let body = body.map(Json::to_string).unwrap_or_default();
+        let auth = match &self.token {
+            Some(t) => format!("Authorization: Bearer {t}\r\n"),
+            None => String::new(),
+        };
         let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: sns\r\nContent-Length: {}\r\n\r\n",
+            "{method} {path} HTTP/1.1\r\nHost: sns\r\n{auth}Content-Length: {}\r\n\r\n",
             body.len()
         );
         let mut raw = head.into_bytes();
@@ -357,5 +376,101 @@ fn healthz_is_cheap_and_truthful() {
     let (status, v) = c.get("/healthz");
     assert_eq!(status, 200);
     assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+    handle.shutdown();
+}
+
+#[test]
+fn bearer_auth_gates_every_route_except_healthz() {
+    let (addr, handle) = boot_with(ServerConfig {
+        threads: 2,
+        auth_token: Some("sekrit-token-123".to_string()),
+        ..ServerConfig::default()
+    });
+
+    // Unauthenticated: health stays open, everything else is challenged.
+    let mut anon = Client::connect(&addr);
+    let (status, v) = anon.get("/healthz");
+    assert_eq!(status, 200, "{v}");
+    for (method, path) in [
+        ("GET", "/stats"),
+        ("POST", "/sessions"),
+        ("GET", "/sessions/nope/code"),
+        ("DELETE", "/sessions/nope"),
+    ] {
+        let (status, v) = anon.request(method, path, Some(&Json::obj([])));
+        assert_eq!(status, 401, "{method} {path}: {v}");
+    }
+
+    // The wrong token is also refused (and must not 404 first: existence
+    // probes without the secret learn nothing).
+    let mut wrong = Client::with_token(&addr, "sekrit-token-124");
+    let (status, _) = wrong.get("/sessions/nope/code");
+    assert_eq!(status, 401);
+
+    // The right token restores the full surface.
+    let mut c = Client::with_token(&addr, "sekrit-token-123");
+    let id = create_session(
+        &mut c,
+        Json::obj([("source", Json::str("(svg [(rect 'red' 1 2 3 4)])"))]),
+    );
+    let (status, v) = c.get(&format!("/sessions/{id}/code"));
+    assert_eq!(status, 200, "{v}");
+    let (status, _) = c.get("/stats");
+    assert_eq!(status, 200);
+    handle.shutdown();
+}
+
+#[test]
+fn auth_challenge_carries_www_authenticate() {
+    let (addr, handle) = boot_with(ServerConfig {
+        threads: 1,
+        auth_token: Some("t".to_string()),
+        ..ServerConfig::default()
+    });
+    // Raw request so the header (dropped by the JSON client) is visible.
+    let mut raw = TcpStream::connect(&addr).expect("connect");
+    raw.write_all(b"GET /stats HTTP/1.1\r\nHost: sns\r\nConnection: close\r\n\r\n")
+        .expect("write");
+    let mut buf = String::new();
+    raw.read_to_string(&mut buf).expect("read");
+    assert!(buf.starts_with("HTTP/1.1 401"), "{buf}");
+    assert!(buf.contains("WWW-Authenticate: Bearer"), "{buf}");
+    handle.shutdown();
+}
+
+#[test]
+fn put_code_replaces_the_program() {
+    let (addr, handle) = boot(2, 8);
+    let mut c = Client::connect(&addr);
+    let id = create_session(
+        &mut c,
+        Json::obj([("source", Json::str("(svg [(rect 'red' 1 2 3 4)])"))]),
+    );
+    let (status, v) = c.request(
+        "PUT",
+        &format!("/sessions/{id}/code"),
+        Some(&Json::obj([(
+            "source",
+            Json::str("(svg [(circle 'blue' 50 50 10)])"),
+        )])),
+    );
+    assert_eq!(status, 200, "{v}");
+    assert_eq!(
+        v.get("code").unwrap().as_str(),
+        Some("(svg [(circle 'blue' 50 50 10)])")
+    );
+    // A broken replacement is refused and the old program survives.
+    let (status, v) = c.request(
+        "PUT",
+        &format!("/sessions/{id}/code"),
+        Some(&Json::obj([("source", Json::str("(svg [(oops)])"))])),
+    );
+    assert_eq!(status, 422, "{v}");
+    let (status, v) = c.get(&format!("/sessions/{id}/code"));
+    assert_eq!(status, 200);
+    assert_eq!(
+        v.get("code").unwrap().as_str(),
+        Some("(svg [(circle 'blue' 50 50 10)])")
+    );
     handle.shutdown();
 }
