@@ -104,7 +104,7 @@ fn run_example(slug: &str, sessions: usize, commits: usize) -> Row {
         for i in 0..sessions {
             let session = Session::create(store.fresh_id(), ex.source).expect("create");
             let id = session.id.clone();
-            store.try_insert(session, None, 0).expect("insert");
+            store.try_insert(session, None, 0, 0).expect("insert");
             let arc = store.get(&id).expect("resident");
             let mut s = arc.lock().expect("session lock");
             for step in 0..commits {

@@ -6,13 +6,17 @@
 //!
 //! ```sh
 //! cargo run --release -p bench --bin serve_throughput \
-//!     [SESSIONS] [DRAGS] [--idle N] [--threads N] [--min-rps F]
+//!     [SESSIONS] [DRAGS] [--idle N] [--threads N] [--min-rps F] \
+//!     [--fsync always|batch|never]
 //! ```
 //!
 //! Without `--idle` the numbers land in `BENCH_server.json`; with it, in
 //! `BENCH_server_idle.json` (so the two baselines never overwrite each
-//! other). `--min-rps` turns the run into a regression gate: the process
-//! exits non-zero when throughput falls below the floor.
+//! other). `--fsync MODE` runs the server durably (temp data dir) under
+//! that journal policy and writes `BENCH_server_fsync_<mode>.json` —
+//! how the group-commit (`batch`) tail compares to fsync-per-record
+//! (`always`). `--min-rps` turns the run into a regression gate: the
+//! process exits non-zero when throughput falls below the floor.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -29,6 +33,7 @@ struct BenchArgs {
     idle: usize,
     threads: usize,
     min_rps: Option<f64>,
+    fsync: Option<String>,
 }
 
 fn parse_args() -> BenchArgs {
@@ -38,6 +43,7 @@ fn parse_args() -> BenchArgs {
         idle: 0,
         threads: 0,
         min_rps: None,
+        fsync: None,
     };
     let mut positional = 0usize;
     let mut args = std::env::args().skip(1);
@@ -58,6 +64,8 @@ fn parse_args() -> BenchArgs {
             out.threads = v.parse().expect("--threads");
         } else if let Some(v) = opt("--min-rps") {
             out.min_rps = Some(v.parse().expect("--min-rps"));
+        } else if let Some(v) = opt("--fsync") {
+            out.fsync = Some(v);
         } else {
             let v: usize = a.parse().unwrap_or_else(|_| panic!("bad argument {a}"));
             match positional {
@@ -75,11 +83,27 @@ fn main() {
     let args = parse_args();
     let (sessions, drags, idle) = (args.sessions, args.drags, args.idle);
 
+    // A durable run journals every mutation to a temp data dir under the
+    // requested fsync policy; commits then carry the WAL (and its sync
+    // discipline) on the request path, which is what the fsync modes are
+    // compared on.
+    let data_dir = args.fsync.as_ref().map(|_| {
+        let dir =
+            std::env::temp_dir().join(format!("sns-bench-serve-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    });
     let server = Server::bind(&ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         threads: args.threads, // CPU workers (0 = one per core).
         max_sessions: sessions + idle + 32,
         max_conns: sessions + idle + 32,
+        data_dir: data_dir.clone(),
+        fsync: args
+            .fsync
+            .as_deref()
+            .map(|m| m.parse().expect("--fsync"))
+            .unwrap_or_default(),
         ..ServerConfig::default()
     })
     .expect("bind server");
@@ -107,12 +131,17 @@ fn main() {
         eprintln!("parked {idle} idle keep-alive sessions");
     }
 
+    // Fsync-policy runs commit after every drag: commits are what carry
+    // the WAL append + sync, so a commit-dominated workload is the one
+    // that separates `always` (fsync per record) from `batch` (group
+    // commit, one fsync per interval shared by every waiting writer).
+    let commit_each = args.fsync.is_some();
     eprintln!("driving {sessions} sessions x {drags} drags against {addr}");
     let start = Instant::now();
     let workers: Vec<_> = (0..sessions)
         .map(|i| {
             let addr = addr.clone();
-            std::thread::spawn(move || drive_session(&addr, i, drags))
+            std::thread::spawn(move || drive_session(&addr, i, drags, commit_each))
         })
         .collect();
     let mut requests = 0u64;
@@ -146,6 +175,8 @@ fn main() {
     let p99 = field("p99_ms");
     let queue_p99 = field("queue_p99_ms");
     let conns_open = field("conns_open");
+    let fsyncs = field("fsyncs");
+    let journal_records = field("journal_records");
     handle.shutdown();
 
     println!("== sns-server throughput ==");
@@ -160,16 +191,32 @@ fn main() {
     println!("queue p99         {queue_p99:.3} ms");
     println!("conns open (end)  {conns_open:.0}");
 
-    let out_file = if idle > 0 {
-        "BENCH_server_idle.json"
-    } else {
-        "BENCH_server.json"
+    let out_file = match (&args.fsync, idle > 0) {
+        (Some(mode), _) => format!("BENCH_server_fsync_{mode}.json"),
+        (None, true) => "BENCH_server_idle.json".to_string(),
+        (None, false) => "BENCH_server.json".to_string(),
     };
+    if args.fsync.is_some() {
+        eprintln!("journal: {journal_records:.0} records, {fsyncs:.0} fsyncs");
+    }
+    let fsync_field = args
+        .fsync
+        .as_deref()
+        .map(|m| {
+            format!(
+                "\n  \"fsync\": \"{m}\",\n  \"commit_per_drag\": true,\n  \
+                 \"fsyncs\": {fsyncs:.0},\n  \"journal_records\": {journal_records:.0},"
+            )
+        })
+        .unwrap_or_default();
     let json = format!(
-        "{{\n  \"bench\": \"serve_throughput\",\n  \"sessions\": {sessions},\n  \"idle_conns\": {idle},\n  \"drags_per_session\": {drags},\n  \"requests\": {requests},\n  \"elapsed_secs\": {elapsed:.3},\n  \"requests_per_sec\": {rps:.1},\n  \"p50_ms\": {p50:.3},\n  \"p99_ms\": {p99:.3},\n  \"queue_p99_ms\": {queue_p99:.3}\n}}\n"
+        "{{\n  \"bench\": \"serve_throughput\",{fsync_field}\n  \"sessions\": {sessions},\n  \"idle_conns\": {idle},\n  \"drags_per_session\": {drags},\n  \"requests\": {requests},\n  \"elapsed_secs\": {elapsed:.3},\n  \"requests_per_sec\": {rps:.1},\n  \"p50_ms\": {p50:.3},\n  \"p99_ms\": {p99:.3},\n  \"queue_p99_ms\": {queue_p99:.3}\n}}\n"
     );
-    std::fs::write(out_file, &json).expect("write bench json");
+    std::fs::write(&out_file, &json).expect("write bench json");
     eprintln!("wrote {out_file}");
+    if let Some(dir) = &data_dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
 
     if let Some(floor) = args.min_rps {
         if rps < floor {
@@ -195,8 +242,9 @@ fn session_id(resp: &str) -> String {
 }
 
 /// One client: create a session, fire `drags` drag requests (keep-alive),
-/// commit, and return the number of requests issued.
-fn drive_session(addr: &str, i: usize, drags: usize) -> u64 {
+/// commit — after every drag when `commit_each` (the durable/fsync
+/// workload), else once at the end — and return the requests issued.
+fn drive_session(addr: &str, i: usize, drags: usize, commit_each: bool) -> u64 {
     let mut stream = connect(addr);
     let source = format!(
         "(def [x0 y0 w h sep] [{} 28 60 130 110]) \
@@ -226,6 +274,19 @@ fn drive_session(addr: &str, i: usize, drags: usize) -> u64 {
         );
         assert_eq!(status, 200, "drag failed");
         requests += 1;
+        if commit_each {
+            let (status, _) = http_on(
+                &mut stream,
+                "POST",
+                &format!("/sessions/{id}/commit"),
+                Some("{}"),
+            );
+            assert_eq!(status, 200);
+            requests += 1;
+        }
+    }
+    if commit_each {
+        return requests;
     }
     let (status, _) = http_on(
         &mut stream,

@@ -76,15 +76,21 @@ COMMANDS:\n\
   stats FILE                            zone/ambiguity statistics\n\
   examples [SLUG]                       list corpus / print one example\n\
   serve [--addr A] [--threads N] [--max-conns N] [--max-sessions N]\n\
-        [--max-sessions-per-ip N] [--queue-depth N]\n\
+        [--max-sessions-per-ip N] [--max-durable-per-ip N] [--queue-depth N]\n\
         [--read-timeout-ms N] [--idle-timeout-ms N]\n\
         [--data-dir DIR] [--fsync always|batch|never] [--auth-token T]\n\
+        [--repl-listen A] [--replicate-to N] [--follow A]\n\
                                         run the live-sync HTTP service\n\
                                         (--threads = CPU workers; connections\n\
                                         are gated by --max-conns; SIGTERM drains;\n\
                                         --data-dir journals sessions durably;\n\
                                         --auth-token, or SNS_AUTH_TOKEN, gates\n\
-                                        every route except GET /healthz)\n\
+                                        every route except GET /healthz;\n\
+                                        --repl-listen streams the journal to\n\
+                                        followers, --replicate-to N acks writes\n\
+                                        only after N follower acks; --follow\n\
+                                        runs a read-only follower that promotes\n\
+                                        to leader on POST /promote or SIGUSR1)\n\
 \n\
 FILE may be a path or example:SLUG (e.g. example:wave_boxes).\n\
 Zones: interior, rightedge, botrightcorner, botedge, botleftcorner,\n\
@@ -315,6 +321,8 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
     parse_usize("max-conns", &mut config.max_conns)?;
     parse_usize("queue-depth", &mut config.queue_depth)?;
     parse_usize("max-sessions-per-ip", &mut config.max_sessions_per_ip)?;
+    parse_usize("max-durable-per-ip", &mut config.max_durable_per_ip)?;
+    parse_usize("replicate-to", &mut config.replicate_to)?;
     if let Some(v) = args.options.get("read-timeout-ms") {
         let ms: u64 = v.parse().map_err(|e| format!("--read-timeout-ms: {e}"))?;
         config.read_timeout = std::time::Duration::from_millis(ms);
@@ -332,6 +340,12 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
         }
         config.fsync = policy.parse().map_err(|e| format!("--fsync: {e}"))?;
     }
+    if let Some(addr) = args.options.get("repl-listen") {
+        config.repl_listen = Some(addr.clone());
+    }
+    if let Some(addr) = args.options.get("follow") {
+        config.follow = Some(addr.clone());
+    }
     // Flag beats environment; the env var keeps the secret off `ps`.
     config.auth_token = args
         .options
@@ -343,8 +357,13 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     // SIGTERM drains: stop accepting, finish in-flight requests, exit 0.
     sns_server::install_sigterm_drain();
+    if config.follow.is_some() {
+        // SIGUSR1 promotes a follower to leader (the signal-driven twin
+        // of POST /promote).
+        sns_server::install_sigusr1_promote();
+    }
     eprintln!(
-        "sns-server listening on http://{addr} ({} CPU workers, {} max connections, {} session capacity{}{})",
+        "sns-server listening on http://{addr} ({} CPU workers, {} max connections, {} session capacity{}{}{})",
         config.resolved_threads(),
         config.max_conns,
         config.max_sessions,
@@ -357,7 +376,18 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
         } else {
             ""
         },
+        match &config.follow {
+            Some(leader) => format!(", following {leader} (read-only until promoted)"),
+            None => String::new(),
+        },
     );
+    if let Some(repl) = server.repl_addr() {
+        // Parsed by harnesses the way the "listening on" line is.
+        eprintln!(
+            "sns-server replicating on {repl} (sync factor {})",
+            config.replicate_to
+        );
+    }
     server.run().map_err(|e| e.to_string())?;
     eprintln!("sns-server drained; exiting");
     Ok(String::new())

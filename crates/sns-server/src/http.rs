@@ -230,7 +230,7 @@ fn parse_head(head: &str) -> Result<(Request, usize), String> {
 /// An HTTP response ready to serialize.
 #[derive(Debug, Clone)]
 pub struct Response {
-    /// Status code (200, 201, 400, 404, 405, 409, 422, 429, 500, 503).
+    /// Status code (200, 201, 400, 404, 405, 409, 421, 422, 429, 500, 503).
     pub status: u16,
     /// Body bytes (always JSON in this service).
     pub body: Vec<u8>,
@@ -264,6 +264,7 @@ impl Response {
             404 => "Not Found",
             405 => "Method Not Allowed",
             409 => "Conflict",
+            421 => "Misdirected Request",
             422 => "Unprocessable Entity",
             429 => "Too Many Requests",
             503 => "Service Unavailable",

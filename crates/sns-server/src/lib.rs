@@ -19,7 +19,12 @@
 //! * [`persist`] — the [`SessionBackend`](persist::SessionBackend) seam:
 //!   mutations journal *before* they apply;
 //! * [`journal`] — the durable backend: per-shard write-ahead journal,
-//!   snapshot compaction, crash recovery, eviction-to-disk + fault-in;
+//!   group-commit fsync batching, background snapshot compaction, crash
+//!   recovery, eviction-to-disk + fault-in;
+//! * [`replicate`] — journal-streaming replication: a leader tails its
+//!   WALs to connected followers (snapshot catch-up for far-behind
+//!   peers), followers serve reads locally and promote to leader for
+//!   warm fail-over;
 //! * [`stats`] — request counters, p50/p99 latency, connection gauges;
 //! * [`routes`] — the endpoint surface (bearer-token gated when
 //!   configured).
@@ -41,8 +46,9 @@
 //! POST   /sessions/:id/commit       mouse-up: apply + re-prepare
 //! POST   /sessions/:id/reconcile    {"edits": [{"shape": 0, "attr": "x", "value": 120}]}
 //! DELETE /sessions/:id
+//! POST   /promote                   follower → leader (drain stream, accept writes)
 //! GET    /healthz                   (never requires auth)
-//! GET    /stats                     sessions, requests, latency, connection + journal gauges
+//! GET    /stats                     sessions, requests, latency, connection + journal + replication gauges
 //! ```
 //!
 //! With `data_dir` set, every session mutation is appended to a
@@ -58,6 +64,7 @@ pub mod journal;
 pub mod json;
 pub mod persist;
 pub mod reactor;
+pub mod replicate;
 pub mod routes;
 pub mod session;
 pub mod stats;
@@ -72,9 +79,11 @@ use std::time::{Duration, Instant};
 
 pub use journal::{FsyncPolicy, JournalBackend, JournalConfig};
 pub use persist::{MemoryBackend, SessionBackend};
-pub use reactor::install_sigterm_drain;
+pub use reactor::{install_sigterm_drain, install_sigusr1_promote};
+pub use replicate::ReplControl;
 
 use reactor::{Notifier, Reactor, ReactorOptions};
+use replicate::ReplHub;
 use routes::ServerState;
 use stats::ServerStats;
 use store::SessionStore;
@@ -122,6 +131,22 @@ pub struct ServerConfig {
     /// Require `Authorization: Bearer <token>` on every route except
     /// `GET /healthz`.
     pub auth_token: Option<String>,
+    /// Durable (on-disk) sessions one client IP may hold; `POST /sessions`
+    /// past the quota answers 429 (0 disables). Demotion releases a
+    /// *resident* slot but never a durable one, so this bounds disk.
+    pub max_durable_per_ip: usize,
+    /// Bind a replication listener here (e.g. `127.0.0.1:7979`): followers
+    /// connect to it and receive the journal stream. Requires
+    /// [`data_dir`](ServerConfig::data_dir).
+    pub repl_listen: Option<String>,
+    /// Run as a replication follower of the leader whose `repl_listen`
+    /// address this is: apply its stream, serve reads, 421 writes, and
+    /// promote on `POST /promote` or SIGUSR1.
+    pub follow: Option<String>,
+    /// Synchronous replication factor: a write is not acknowledged until
+    /// this many connected followers have acked its journal record
+    /// (0 = asynchronous). Requires [`repl_listen`](ServerConfig::repl_listen).
+    pub replicate_to: usize,
 }
 
 impl Default for ServerConfig {
@@ -138,6 +163,10 @@ impl Default for ServerConfig {
             data_dir: None,
             fsync: FsyncPolicy::Always,
             auth_token: None,
+            max_durable_per_ip: 0,
+            repl_listen: None,
+            follow: None,
+            replicate_to: 0,
         }
     }
 }
@@ -165,25 +194,52 @@ impl ServerConfig {
 /// A bound, not-yet-running server.
 pub struct Server {
     reactor: Reactor,
+    repl_addr: Option<std::net::SocketAddr>,
 }
 
 impl Server {
     /// Binds the listener, builds the worker pool, and sets up the epoll
-    /// reactor.
+    /// reactor — plus, when configured, the replication listener
+    /// (`repl_listen`) or the follower loop (`follow`).
     ///
     /// # Errors
     ///
-    /// Fails when the address cannot be bound or the epoll instance (or
-    /// its wake pipe) cannot be created.
+    /// Fails when an address cannot be bound, the epoll instance (or its
+    /// wake pipe) cannot be created, or the replication flags are
+    /// inconsistent (`repl_listen` without `data_dir`, `replicate_to`
+    /// without `repl_listen`).
     pub fn bind(config: &ServerConfig) -> std::io::Result<Server> {
+        if config.repl_listen.is_some() && config.data_dir.is_none() {
+            return Err(std::io::Error::other(
+                "replication streams the journal: --repl-listen requires --data-dir",
+            ));
+        }
+        if config.replicate_to > 0 && config.repl_listen.is_none() {
+            return Err(std::io::Error::other(
+                "--replicate-to requires --repl-listen",
+            ));
+        }
+        if config.follow.is_some() && config.data_dir.is_none() {
+            // A memory-only follower destroys sessions under LRU pressure
+            // and then cannot apply their streamed mutations — the stream
+            // would loop on a resync forever. A follower journals what it
+            // applies, which is also what makes its promotion durable.
+            return Err(std::io::Error::other(
+                "a follower journals replicated state locally: --follow requires --data-dir",
+            ));
+        }
         let listener = TcpListener::bind(&config.addr)?;
+        let http_addr = listener.local_addr()?;
+        let mut journal: Option<Arc<JournalBackend>> = None;
         let store = match &config.data_dir {
             Some(dir) => {
                 let (backend, recovered) = JournalBackend::open(JournalConfig {
                     fsync: config.fsync,
                     ..JournalConfig::new(dir)
                 })?;
-                let store = SessionStore::with_backend(config.max_sessions, Arc::new(backend));
+                let backend = Arc::new(backend);
+                journal = Some(Arc::clone(&backend));
+                let store = SessionStore::with_backend(config.max_sessions, backend);
                 // Sessions the journal tail touched come back resident
                 // (replay already paid their prepare); snapshot-only
                 // sessions stay demoted until a request faults them in.
@@ -194,13 +250,32 @@ impl Server {
             }
             None => SessionStore::new(config.max_sessions),
         };
+        let repl = Arc::new(ReplControl::new(config.follow.is_some()));
         let state = Arc::new(ServerState {
             store,
             stats: ServerStats::new(),
             started: Instant::now(),
             max_sessions_per_ip: config.max_sessions_per_ip,
+            max_durable_per_ip: config.max_durable_per_ip,
             auth_token: config.auth_token.clone(),
+            repl: Arc::clone(&repl),
         });
+        let mut repl_addr = None;
+        if let Some(addr) = &config.repl_listen {
+            let backend = journal.as_ref().expect("checked above");
+            let hub = ReplHub::start(
+                addr,
+                backend.inner(),
+                http_addr.to_string(),
+                config.replicate_to,
+                config.auth_token.clone(),
+            )?;
+            repl_addr = Some(hub.listen_addr());
+            repl.set_hub(hub);
+        }
+        if let Some(leader) = &config.follow {
+            replicate::start_follower(Arc::clone(&state), leader.clone());
+        }
         let pool = ThreadPool::new(config.resolved_threads(), config.resolved_queue_depth());
         let reactor = Reactor::new(
             listener,
@@ -212,7 +287,13 @@ impl Server {
                 idle_timeout: config.idle_timeout,
             },
         )?;
-        Ok(Server { reactor })
+        Ok(Server { reactor, repl_addr })
+    }
+
+    /// The bound replication-listener address, when `repl_listen` was
+    /// configured (resolves port 0).
+    pub fn repl_addr(&self) -> Option<std::net::SocketAddr> {
+        self.repl_addr
     }
 
     /// The actual bound address (resolves port 0).

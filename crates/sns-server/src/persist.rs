@@ -22,6 +22,7 @@
 //! where truncating the journal could drop an acknowledged record.
 
 use std::io;
+use std::net::IpAddr;
 use std::sync::Arc;
 
 use sns_lang::Subst;
@@ -37,6 +38,9 @@ pub enum Op<'a> {
         id: &'a str,
         /// Canonical program text at creation.
         source: &'a str,
+        /// The client IP that created it, persisted so the per-IP
+        /// *durable* quota survives demotion and restart.
+        owner: Option<IpAddr>,
     },
     /// The program text was replaced wholesale (the code pane).
     SetCode {
@@ -67,6 +71,14 @@ impl Op<'_> {
             | Op::SetCode { id, .. }
             | Op::Commit { id, .. }
             | Op::Delete { id } => id,
+        }
+    }
+
+    /// The creating IP, for [`Op::Create`].
+    pub fn owner(&self) -> Option<IpAddr> {
+        match self {
+            Op::Create { owner, .. } => *owner,
+            _ => None,
         }
     }
 }
@@ -114,8 +126,8 @@ pub trait SessionBackend: Send + Sync {
     fn append(&self, op: Op<'_>) -> io::Result<()>;
 
     /// Reports that an appended [`Op::Create`] took effect, registering
-    /// the session with its initial program text.
-    fn applied_create(&self, id: &str, code: &str);
+    /// the session with its initial program text and owning IP.
+    fn applied_create(&self, id: &str, code: &str, owner: Option<IpAddr>);
 
     /// Reports the outcome of the last appended mutation for `id`:
     /// `Some(code)` with the session's post-apply program text, or `None`
@@ -140,6 +152,20 @@ pub trait SessionBackend: Send + Sync {
     /// does not know `id`, or the retained program no longer runs (which a
     /// once-valid program cannot become, absent disk corruption).
     fn fault_in(&self, id: &str) -> Option<Session>;
+
+    /// Sessions the backend holds durably (resident *or* demoted) that
+    /// were created by `ip` — the basis of the per-IP durable quota,
+    /// which demotion must not be able to dodge.
+    fn durable_sessions_of(&self, _ip: IpAddr) -> usize {
+        0
+    }
+
+    /// Every session id the backend retains (resident or demoted). Used
+    /// by a replication follower to seed its view of local state after a
+    /// restart; the in-memory backend retains nothing.
+    fn ids(&self) -> Vec<String> {
+        Vec::new()
+    }
 
     /// Current durability gauges.
     fn gauges(&self) -> JournalGauges;
@@ -166,7 +192,7 @@ impl SessionBackend for MemoryBackend {
         Ok(())
     }
 
-    fn applied_create(&self, _id: &str, _code: &str) {}
+    fn applied_create(&self, _id: &str, _code: &str, _owner: Option<IpAddr>) {}
 
     fn applied(&self, _id: &str, _code: Option<&str>) {}
 

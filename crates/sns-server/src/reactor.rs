@@ -62,6 +62,7 @@ mod ffi {
     const EPOLL_CTL_DEL: c_int = 2;
     const EPOLL_CTL_MOD: c_int = 3;
     const SIGTERM: c_int = 15;
+    const SIGUSR1: c_int = 10;
 
     /// Mirrors `struct epoll_event`; packed on x86-64, where the kernel
     /// ABI leaves the 64-bit payload unaligned.
@@ -154,6 +155,21 @@ mod ffi {
             signal(SIGTERM, on_sigterm as *const () as usize);
         }
     }
+
+    /// Set asynchronously by the SIGUSR1 handler, polled by the
+    /// replication follower loop (promotion request).
+    pub static SIGUSR1_PENDING: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_sigusr1(_sig: c_int) {
+        SIGUSR1_PENDING.store(true, Ordering::Release);
+    }
+
+    pub fn install_sigusr1() {
+        // SAFETY: installs a handler that does nothing but store a flag.
+        unsafe {
+            signal(SIGUSR1, on_sigusr1 as *const () as usize);
+        }
+    }
 }
 
 /// Routes SIGTERM into drain mode: after this call, a running server's
@@ -162,6 +178,20 @@ mod ffi {
 /// termination. Process-wide; intended for `sns serve`.
 pub fn install_sigterm_drain() {
     ffi::install_sigterm();
+}
+
+/// Routes SIGUSR1 into a promotion request: a replication follower that
+/// receives the signal drains its stream and starts accepting writes
+/// (the signal-driven twin of `POST /promote`). Process-wide; intended
+/// for `sns serve --follow`.
+pub fn install_sigusr1_promote() {
+    ffi::install_sigusr1();
+}
+
+/// Whether SIGUSR1 has been received since
+/// [`install_sigusr1_promote`] was called.
+pub fn promote_signal_pending() -> bool {
+    ffi::SIGUSR1_PENDING.load(Ordering::Acquire)
 }
 
 fn sigterm_pending() -> bool {

@@ -2,13 +2,14 @@
 
 use std::net::IpAddr;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use sns_svg::{AttrRef, ShapeId, Zone};
 use sns_sync::OutputEdit;
 
 use crate::http::{Request, Response};
 use crate::json::{self, Json};
+use crate::replicate::ReplControl;
 use crate::session::Session;
 use crate::stats::ServerStats;
 use crate::store::{InsertError, SessionStore};
@@ -24,9 +25,16 @@ pub struct ServerState {
     /// Live sessions one IP may hold before `POST /sessions` answers 429
     /// (0 disables the quota).
     pub max_sessions_per_ip: usize,
+    /// Durable (on-disk) sessions one IP may hold before `POST /sessions`
+    /// answers 429 (0 disables the quota). Unlike the resident quota,
+    /// demotion does not release these slots — this is the disk bound.
+    pub max_durable_per_ip: usize,
     /// When set, every route except `GET /healthz` requires
     /// `Authorization: Bearer <token>`.
     pub auth_token: Option<String>,
+    /// Replication role: a follower answers writes with 421 until
+    /// promoted; a leader streaming to followers publishes lag gauges.
+    pub repl: Arc<ReplControl>,
 }
 
 fn error_response(status: u16, msg: &str) -> Response {
@@ -40,8 +48,9 @@ fn ok_json(status: u16, body: Json) -> Response {
 /// Constant-time byte comparison: the work done is independent of where
 /// the first mismatch occurs, so response timing does not leak a token
 /// prefix. (Token *length* is not concealed; tokens should be
-/// high-entropy, not short secrets padded by obscurity.)
-fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+/// high-entropy, not short secrets padded by obscurity.) Shared with the
+/// replication handshake's token check.
+pub(crate) fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
     let mut diff = a.len() ^ b.len();
     for i in 0..a.len().max(b.len()) {
         let x = a.get(i).copied().unwrap_or(0);
@@ -55,6 +64,71 @@ fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
 fn unauthorized() -> Response {
     error_response(401, "missing or invalid bearer token")
         .with_header("WWW-Authenticate", "Bearer realm=\"sns\"")
+}
+
+/// Whether a request mutates session state — what a follower refuses.
+fn is_write(method: &str, segments: &[&str]) -> bool {
+    matches!(
+        (method, segments),
+        ("POST", ["sessions"])
+            | ("PUT", ["sessions", _, "code"])
+            | ("POST", ["sessions", _, "drag" | "commit" | "reconcile"])
+            | ("DELETE", ["sessions", _])
+    )
+}
+
+/// 421 for a write that landed on a read-only follower: the client is
+/// told where the leader is (as learned from its `welcome` message) both
+/// in the body and an `X-SNS-Leader` header.
+fn follower_redirect(state: &Arc<ServerState>) -> Response {
+    let leader = state.repl.leader_http().unwrap_or_default();
+    let resp = Response::json(
+        421,
+        Json::obj([
+            (
+                "error",
+                Json::str("this node is a read-only replication follower"),
+            ),
+            ("leader", Json::str(leader.clone())),
+        ])
+        .to_string(),
+    );
+    if leader.is_empty() {
+        resp
+    } else {
+        resp.with_header("X-SNS-Leader", leader)
+    }
+}
+
+/// `POST /promote`: asks the follower loop to drain the stream and start
+/// accepting writes; blocks (bounded) until the flip is visible.
+/// Idempotent — promoting a leader reports `promoted: false`.
+fn promote(state: &Arc<ServerState>) -> Response {
+    if !state.repl.is_follower() {
+        return ok_json(
+            200,
+            Json::obj([
+                ("role", Json::str("leader")),
+                ("promoted", Json::Bool(false)),
+            ]),
+        );
+    }
+    state.repl.request_promote();
+    if state.repl.wait_promoted(Duration::from_secs(10)) {
+        ok_json(
+            200,
+            Json::obj([
+                ("role", Json::str("leader")),
+                ("promoted", Json::Bool(true)),
+            ]),
+        )
+    } else {
+        error_response(
+            503,
+            "promotion pending: still draining the replication stream",
+        )
+        .with_header("Retry-After", "1")
+    }
 }
 
 /// Dispatches one parsed request against the state. `peer` is the client
@@ -79,8 +153,15 @@ pub fn dispatch(state: &Arc<ServerState>, request: &Request, peer: IpAddr) -> Re
             return unauthorized();
         }
     }
+    // Follower read-only gate: reads (canvas/code/stats) are served
+    // locally; writes are misdirected — the leader's address is in the
+    // response. Promotion itself must of course pass.
+    if state.repl.is_follower() && is_write(&request.method, &segments) {
+        return follower_redirect(state);
+    }
     match (request.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => ok_json(200, Json::obj([("ok", Json::Bool(true))])),
+        ("POST", ["promote"]) => promote(state),
         ("GET", ["stats"]) => stats(state),
         ("POST", ["sessions"]) => create_session(state, &request.body, peer),
         ("GET", ["sessions", id, "canvas"]) => with_session(state, id, |s| Ok(s.canvas_json())),
@@ -108,9 +189,41 @@ fn stats(state: &Arc<ServerState>) -> Response {
     let live = state.stats.live();
     let gauges = state.stats.conn_gauges();
     let journal = state.store.journal_gauges();
+    let repl_leader = state.repl.leader_gauges().unwrap_or_default();
+    let repl_apply = state.repl.apply_gauges();
     ok_json(
         200,
         Json::obj([
+            (
+                "repl_role",
+                Json::str(if state.repl.is_follower() {
+                    "follower"
+                } else {
+                    "leader"
+                }),
+            ),
+            (
+                "followers_connected",
+                Json::Num(repl_leader.followers_connected as f64),
+            ),
+            (
+                "repl_lag_records",
+                Json::Num(repl_leader.repl_lag_records as f64),
+            ),
+            (
+                "repl_lag_bytes",
+                Json::Num(repl_leader.repl_lag_bytes as f64),
+            ),
+            ("repl_last_ack_ms", Json::Num(repl_leader.last_ack_ms)),
+            (
+                "repl_records_applied",
+                Json::Num(repl_apply.records_applied as f64),
+            ),
+            (
+                "repl_snapshots_applied",
+                Json::Num(repl_apply.snapshots_applied as f64),
+            ),
+            ("repl_connects", Json::Num(repl_apply.connects as f64)),
             ("sessions", Json::Num(state.store.len() as f64)),
             (
                 "sessions_durable",
@@ -182,12 +295,29 @@ fn quota_response(state: &Arc<ServerState>) -> Response {
     error_response(429, "per-IP session quota reached").with_header("Retry-After", "1")
 }
 
+/// 429 for the durable bound. No Retry-After: durable slots free only on
+/// explicit DELETE, never by waiting.
+fn durable_quota_response(state: &Arc<ServerState>) -> Response {
+    state.stats.record_quota_rejection();
+    error_response(
+        429,
+        "per-IP durable-session quota reached; DELETE a session to free a slot",
+    )
+}
+
 fn create_session(state: &Arc<ServerState>, body: &[u8], peer: IpAddr) -> Response {
     let quota = state.max_sessions_per_ip;
-    // Cheap pre-check: a client at quota is refused before its program
+    let durable_quota = state.max_durable_per_ip;
+    // Cheap pre-checks: a client at quota is refused before its program
     // text is parsed or evaluated.
     if quota > 0 && state.store.ip_sessions(peer) >= quota {
         return quota_response(state);
+    }
+    if durable_quota > 0
+        && state.store.backend().durable()
+        && state.store.backend().durable_sessions_of(peer) >= durable_quota
+    {
+        return durable_quota_response(state);
     }
     let body = match parse_body(body) {
         Ok(v) => v,
@@ -213,9 +343,13 @@ fn create_session(state: &Arc<ServerState>, body: &[u8], peer: IpAddr) -> Respon
             // the per-IP count, so concurrent creates cannot sneak past.
             // (Cache counters fold in only on success — a rejected
             // session's work must not skew the /stats hit rates.)
-            match state.store.try_insert(session, Some(peer), quota) {
+            match state
+                .store
+                .try_insert(session, Some(peer), quota, durable_quota)
+            {
                 Ok(_) => {}
                 Err(InsertError::Quota) => return quota_response(state),
+                Err(InsertError::DurableQuota) => return durable_quota_response(state),
                 Err(InsertError::Journal(e)) => {
                     return error_response(500, &format!("durability failure: {e}"))
                 }

@@ -398,6 +398,33 @@ impl Session {
         ]))
     }
 
+    /// Replication: applies a commit streamed from the leader — the
+    /// follower-side twin of [`replay_commit`](Session::replay_commit),
+    /// but journaled into the follower's *own* WAL first (when one is
+    /// attached), so a promoted follower is durable in its own right.
+    /// Runs through the same incremental-prepare path as live traffic:
+    /// every replicated commit re-exercises `LiveSync::commit` as a
+    /// correctness oracle, exactly like boot recovery does.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the record cannot be journaled locally or the program
+    /// no longer runs (deterministic — the same ops failed on the leader).
+    pub fn apply_replicated(&mut self, subst: &Subst) -> Result<(), SessionError> {
+        self.journaled_apply(MutOp::Commit(subst), |ed| ed.apply_subst(subst))
+    }
+
+    /// Replication: applies a code replacement streamed from the leader,
+    /// journaled locally first (see [`apply_replicated`](Session::apply_replicated)).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the record cannot be journaled locally or the text does
+    /// not parse, evaluate, or render.
+    pub fn apply_replicated_set_code(&mut self, source: &str) -> Result<(), SessionError> {
+        self.journaled_apply(MutOp::SetCode(source), |ed| ed.set_code(source))
+    }
+
     /// Journal replay: re-commits a recovered substitution through the
     /// normal editor path (incremental prepare and all), *without*
     /// re-journaling it.

@@ -28,8 +28,13 @@ use crate::session::Session;
 /// Why an insert was refused.
 #[derive(Debug)]
 pub enum InsertError {
-    /// The owner IP is at its session quota; the session was not inserted.
+    /// The owner IP is at its *resident*-session quota; the session was
+    /// not inserted.
     Quota,
+    /// The owner IP is at its *durable*-session quota (sessions on disk,
+    /// resident or demoted): demotion frees a resident slot but not a
+    /// durable one, so this is the bound on disk footprint.
+    DurableQuota,
     /// The create record could not be journaled; the session was not
     /// inserted (nothing may become visible that would not survive a
     /// restart).
@@ -127,17 +132,22 @@ impl SessionStore {
     /// Panics on journal failure; test-harness convenience — the server
     /// path is [`try_insert`](SessionStore::try_insert).
     pub fn insert(&self, session: Session) -> Arc<Mutex<Session>> {
-        self.try_insert(session, None, 0).expect("insert")
+        self.try_insert(session, None, 0, 0).expect("insert")
     }
 
     /// Inserts a session on behalf of `owner`, enforcing `quota` live
-    /// sessions per IP (0 disables the quota). The create is journaled
-    /// before the session becomes visible; the LRU session is evicted or
-    /// demoted if the store is full.
+    /// sessions per IP and `durable_quota` journaled sessions per IP
+    /// (0 disables either). The create is journaled before the session
+    /// becomes visible; the LRU session is evicted or demoted if the
+    /// store is full.
     ///
     /// # Errors
     ///
-    /// [`InsertError::Quota`] when `owner` already holds `quota` sessions;
+    /// [`InsertError::Quota`] when `owner` already holds `quota` resident
+    /// sessions; [`InsertError::DurableQuota`] when `owner` already has
+    /// `durable_quota` sessions on disk (resident or demoted — demotion
+    /// frees a resident slot, never a durable one, so a patient client
+    /// cannot grow its disk footprint past the bound);
     /// [`InsertError::Journal`] when the create record cannot be made
     /// durable.
     pub fn try_insert(
@@ -145,6 +155,7 @@ impl SessionStore {
         session: Session,
         owner: Option<IpAddr>,
         quota: usize,
+        durable_quota: usize,
     ) -> Result<Arc<Mutex<Session>>, InsertError> {
         if let Some(ip) = owner {
             let mut counts = self.ip_counts.lock().expect("ip counts lock");
@@ -152,12 +163,24 @@ impl SessionStore {
             if quota > 0 && *count >= quota {
                 return Err(InsertError::Quota);
             }
+            // Checked under the ip_counts lock so sequential creates see
+            // each other; the backend count itself only grows at
+            // `applied_create`, so a burst of concurrent creates can
+            // overshoot by the burst width — the bound is a disk-usage
+            // guard, not an exact ledger.
+            if durable_quota > 0
+                && self.backend.durable()
+                && self.backend.durable_sessions_of(ip) >= durable_quota
+            {
+                return Err(InsertError::DurableQuota);
+            }
             *count += 1;
         }
         let code = session.code();
         if let Err(e) = self.backend.append(Op::Create {
             id: &session.id,
             source: &code,
+            owner,
         }) {
             if let Some(ip) = owner {
                 self.release_ip(ip);
@@ -167,7 +190,7 @@ impl SessionStore {
         // Close the append/applied pairing immediately (the "apply" of a
         // create is just map publication): if anything below panics, the
         // backend already has a consistent session and fault-in recovers.
-        self.backend.applied_create(&session.id, &code);
+        self.backend.applied_create(&session.id, &code, owner);
         Ok(self.insert_resident(session, owner))
     }
 
@@ -501,20 +524,24 @@ mod tests {
         let other: std::net::IpAddr = "10.0.0.8".parse().unwrap();
         let a = session(&store);
         let a_id = a.id.clone();
-        store.try_insert(a, Some(ip), 2).unwrap();
-        store.try_insert(session(&store), Some(ip), 2).unwrap();
+        store.try_insert(a, Some(ip), 2, 0).unwrap();
+        store.try_insert(session(&store), Some(ip), 2, 0).unwrap();
         assert_eq!(store.ip_sessions(ip), 2);
         assert!(matches!(
-            store.try_insert(session(&store), Some(ip), 2).unwrap_err(),
+            store
+                .try_insert(session(&store), Some(ip), 2, 0)
+                .unwrap_err(),
             InsertError::Quota
         ));
         // Another IP is unaffected, and quota 0 disables the check.
-        store.try_insert(session(&store), Some(other), 2).unwrap();
-        store.try_insert(session(&store), None, 1).unwrap();
+        store
+            .try_insert(session(&store), Some(other), 2, 0)
+            .unwrap();
+        store.try_insert(session(&store), None, 1, 0).unwrap();
         // Removing a session releases its owner's slot.
         assert!(store.remove(&a_id).unwrap());
         assert_eq!(store.ip_sessions(ip), 1);
-        store.try_insert(session(&store), Some(ip), 2).unwrap();
+        store.try_insert(session(&store), Some(ip), 2, 0).unwrap();
     }
 
     #[test]

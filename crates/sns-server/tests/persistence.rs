@@ -122,7 +122,7 @@ fn acked_commits_survive_an_abrupt_crash_bit_for_bit() {
             let ex = sns_examples::by_slug(slug).expect("corpus slug");
             let session = Session::create(store.fresh_id(), ex.source).expect(slug);
             let id = session.id.clone();
-            store.try_insert(session, None, 0).expect("insert");
+            store.try_insert(session, None, 0, 0).expect("insert");
             let mut rng = Rng(0xC0FFEE + i as u64);
             seeded_traffic(&store, &id, &mut rng, 6);
             let arc = store.get(&id).unwrap();
@@ -155,7 +155,7 @@ fn demoted_sessions_fault_in_transparently_and_keep_committing() {
         let source = format!("(svg [(rect 'red' {} 20 30 40)])", 10 + i);
         let session = Session::create(store.fresh_id(), &source).expect("create");
         ids.push(session.id.clone());
-        store.try_insert(session, None, 0).expect("insert");
+        store.try_insert(session, None, 0, 0).expect("insert");
     }
     assert_eq!(store.len(), 2, "capacity bounds resident sessions");
     assert_eq!(store.demotions(), 3);
@@ -197,7 +197,7 @@ fn set_code_and_delete_are_durable() {
         let store = open_store(&dir, 8);
         let session = Session::create(store.fresh_id(), "(svg [(rect 'red' 1 2 3 4)])").unwrap();
         id = session.id.clone();
-        store.try_insert(session, None, 0).unwrap();
+        store.try_insert(session, None, 0, 0).unwrap();
         let arc = store.get(&id).unwrap();
         arc.lock()
             .unwrap()
@@ -215,7 +215,7 @@ fn set_code_and_delete_are_durable() {
 
         let session = Session::create(store.fresh_id(), "(svg [(rect 'red' 5 6 7 8)])").unwrap();
         doomed = session.id.clone();
-        store.try_insert(session, None, 0).unwrap();
+        store.try_insert(session, None, 0, 0).unwrap();
         assert!(store.remove(&doomed).unwrap());
     }
     let store = open_store(&dir, 8);
@@ -237,14 +237,21 @@ fn replay_after_compaction_is_bounded_by_live_state() {
         let session =
             Session::create(store.fresh_id(), "(svg [(rect 'red' 10 20 30 40)])").unwrap();
         let id = session.id.clone();
-        store.try_insert(session, None, 0).unwrap();
+        store.try_insert(session, None, 0, 0).unwrap();
         let mut rng = Rng(7);
         seeded_traffic(&store, &id, &mut rng, commits);
+        // Compaction runs on the backend's maintenance thread, off the
+        // request path — give it a tick or two to notice the threshold.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while store.journal_gauges().snapshot_count == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "no compaction after {commits} commits: {:?}",
+                store.journal_gauges()
+            );
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
         let g = store.journal_gauges();
-        assert!(
-            g.snapshot_count >= 1,
-            "no compaction after {commits} commits: {g:?}"
-        );
         assert!(
             g.journal_records < commits as u64 / 2,
             "journal should have been compacted away: {g:?}"
@@ -269,7 +276,7 @@ fn delete_wins_over_a_racing_commit() {
         let session =
             Session::create(store.fresh_id(), "(svg [(rect 'red' 10 20 30 40)])").expect("create");
         id = session.id.clone();
-        store.try_insert(session, None, 0).expect("insert");
+        store.try_insert(session, None, 0, 0).expect("insert");
         let arc = store.get(&id).expect("resident");
         arc.lock()
             .unwrap()
@@ -294,6 +301,43 @@ fn delete_wins_over_a_racing_commit() {
 }
 
 #[test]
+fn durable_quota_caps_disk_not_just_residency() {
+    // The resident quota releases on demotion, so a patient client could
+    // otherwise grow its *disk* footprint without bound. The durable
+    // quota counts shadow entries — resident or demoted — and only an
+    // explicit delete frees a slot.
+    let dir = data_dir("durable-quota");
+    let store = open_store(&dir, 2); // tiny residency: forces demotion
+    let ip: std::net::IpAddr = "10.9.9.9".parse().unwrap();
+    let mut ids = Vec::new();
+    for i in 0..3 {
+        let source = format!("(svg [(rect 'red' {} 2 3 4)])", 10 + i);
+        let session = Session::create(store.fresh_id(), &source).expect("create");
+        ids.push(session.id.clone());
+        // Resident quota generous (10), durable quota 3.
+        store
+            .try_insert(session, Some(ip), 10, 3)
+            .expect("under durable quota");
+    }
+    // Only 2 resident (demotion released a resident slot), but 3 durable:
+    // the fourth create must bounce even though residency has room.
+    assert_eq!(store.len(), 2);
+    assert_eq!(store.backend().durable_sessions_of(ip), 3);
+    let session = Session::create(store.fresh_id(), "(svg [(rect 'red' 1 2 3 4)])").unwrap();
+    assert!(matches!(
+        store.try_insert(session, Some(ip), 10, 3).unwrap_err(),
+        sns_server::store::InsertError::DurableQuota
+    ));
+    // Deleting one durable session frees a durable slot.
+    assert!(store.remove(&ids[0]).unwrap());
+    let session = Session::create(store.fresh_id(), "(svg [(rect 'red' 1 2 3 4)])").unwrap();
+    store
+        .try_insert(session, Some(ip), 10, 3)
+        .expect("slot freed by delete");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn mid_drag_sessions_are_not_demoted() {
     // A drag preview is deliberately not durable, so demoting a session
     // between its drag and its commit would silently turn that commit
@@ -303,7 +347,7 @@ fn mid_drag_sessions_are_not_demoted() {
     let store = open_store(&dir, 1);
     let a = Session::create(store.fresh_id(), "(svg [(rect 'red' 10 20 30 40)])").unwrap();
     let id_a = a.id.clone();
-    store.try_insert(a, None, 0).unwrap();
+    store.try_insert(a, None, 0, 0).unwrap();
     store
         .get(&id_a)
         .unwrap()
@@ -312,7 +356,7 @@ fn mid_drag_sessions_are_not_demoted() {
         .drag(ShapeId(0), Zone::Interior, 9.0, 0.0)
         .expect("drag");
     let b = Session::create(store.fresh_id(), "(svg [(circle 'blue' 5 5 2)])").unwrap();
-    store.try_insert(b, None, 0).unwrap();
+    store.try_insert(b, None, 0, 0).unwrap();
     assert_eq!(store.len(), 2, "mid-drag session was demoted");
     assert_eq!(store.demotions(), 0);
     store.get(&id_a).unwrap().lock().unwrap().commit().unwrap();
@@ -322,7 +366,7 @@ fn mid_drag_sessions_are_not_demoted() {
     );
     // Once the drag is committed the session is an ordinary LRU victim.
     let c = Session::create(store.fresh_id(), "(svg [(circle 'red' 7 7 2)])").unwrap();
-    store.try_insert(c, None, 0).unwrap();
+    store.try_insert(c, None, 0, 0).unwrap();
     assert!(store.demotions() > 0, "idle sessions demote normally");
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,0 +1,411 @@
+//! Replication, in-process against real [`Server`]s on loopback: a
+//! leader streaming its journal and a follower applying it through the
+//! replay path. Covers the protocol's three regimes — snapshot catch-up
+//! for a far-behind (fresh) follower, live tailing, and the mid-stream
+//! compaction handoff — plus the read-only contract (421 on writes, reads
+//! served locally) and promotion. The `kill -9` fail-over version against
+//! real processes lives in `sns-cli/tests/replication.rs`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use sns_server::{Server, ServerConfig, ShutdownHandle};
+
+struct Node {
+    addr: SocketAddr,
+    repl: Option<SocketAddr>,
+    shutdown: ShutdownHandle,
+    thread: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl Node {
+    fn stop(self) {
+        self.shutdown.shutdown();
+        self.thread.join().expect("server thread").expect("run");
+    }
+}
+
+fn spawn(config: ServerConfig) -> Node {
+    let server = Server::bind(&config).expect("bind server");
+    let addr = server.local_addr().expect("local addr");
+    let repl = server.repl_addr();
+    let shutdown = server.shutdown_handle();
+    let thread = std::thread::spawn(move || server.run());
+    Node {
+        addr,
+        repl,
+        shutdown,
+        thread,
+    }
+}
+
+fn data_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sns-repl-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One request on a fresh connection (the crash-recovery test's helper).
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: sns\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn field<'a>(body: &'a str, key: &str) -> &'a str {
+    let pat = format!("\"{key}\":\"");
+    let start = body
+        .find(&pat)
+        .unwrap_or_else(|| panic!("no {key} in {body}"))
+        + pat.len();
+    let mut end = start;
+    let bytes = body.as_bytes();
+    while end < bytes.len() {
+        match bytes[end] {
+            b'\\' => end += 2,
+            b'"' => break,
+            _ => end += 1,
+        }
+    }
+    &body[start..end]
+}
+
+fn num_field(body: &str, key: &str) -> f64 {
+    let pat = format!("\"{key}\":");
+    let start = body
+        .find(&pat)
+        .unwrap_or_else(|| panic!("no {key} in {body}"))
+        + pat.len();
+    body[start..]
+        .split([',', '}'])
+        .next()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or_else(|| panic!("{key} not numeric in {body}"))
+}
+
+fn create(addr: SocketAddr, source: &str) -> String {
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/sessions",
+        &format!("{{\"source\":\"{source}\"}}"),
+    );
+    assert_eq!(status, 201, "{body}");
+    field(&body, "id").to_string()
+}
+
+fn drag_commit(addr: SocketAddr, id: &str, dx: f64) -> String {
+    let (status, body) = http(
+        addr,
+        "POST",
+        &format!("/sessions/{id}/drag"),
+        &format!("{{\"shape\":0,\"zone\":\"Interior\",\"dx\":{dx},\"dy\":0}}"),
+    );
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = http(addr, "POST", &format!("/sessions/{id}/commit"), "{}");
+    assert_eq!(status, 200, "{body}");
+    field(&body, "code").to_string()
+}
+
+fn get_code(addr: SocketAddr, id: &str) -> Option<String> {
+    let (status, body) = http(addr, "GET", &format!("/sessions/{id}/code"), "");
+    (status == 200).then(|| field(&body, "code").to_string())
+}
+
+fn wait_until(what: &str, timeout: Duration, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + timeout;
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn leader_config(dir: &Path) -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        data_dir: Some(dir.to_path_buf()),
+        repl_listen: Some("127.0.0.1:0".to_string()),
+        ..ServerConfig::default()
+    }
+}
+
+fn follower_config(dir: &Path, leader_repl: SocketAddr) -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        data_dir: Some(dir.to_path_buf()),
+        follow: Some(leader_repl.to_string()),
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn follower_catches_up_tails_survives_compaction_and_promotes() {
+    let dir_l = data_dir("leader");
+    let dir_f = data_dir("follower");
+    let leader = spawn(leader_config(&dir_l));
+    let leader_repl = leader.repl.expect("repl listener bound");
+
+    // ---- State built *before* the follower exists, deep enough that the
+    // leader compacts (> COMPACT_MIN_RECORDS in one shard): catching up
+    // will require the snapshot path, not a tail from offset zero.
+    let a = create(leader.addr, "(svg [(rect 'gold' 10 20 30 40)])");
+    let mut a_code = String::new();
+    for step in 1..=70 {
+        a_code = drag_commit(leader.addr, &a, step as f64);
+    }
+    wait_until(
+        "leader background compaction",
+        Duration::from_secs(5),
+        || num_field(&http(leader.addr, "GET", "/stats", "").1, "snapshot_count") >= 1.0,
+    );
+
+    // ---- Follower connects and catches up from the snapshot.
+    let follower = spawn(follower_config(&dir_f, leader_repl));
+    wait_until("snapshot catch-up", Duration::from_secs(10), || {
+        get_code(follower.addr, &a).as_deref() == Some(a_code.as_str())
+    });
+    let stats = http(follower.addr, "GET", "/stats", "").1;
+    assert_eq!(field(&stats, "repl_role"), "follower");
+    assert!(
+        num_field(&stats, "repl_snapshots_applied") >= 1.0,
+        "catch-up should have gone through a snapshot: {stats}"
+    );
+    let leader_stats = http(leader.addr, "GET", "/stats", "").1;
+    assert_eq!(num_field(&leader_stats, "followers_connected"), 1.0);
+
+    // ---- Live tail: a fresh commit appears on the follower.
+    let b = create(leader.addr, "(svg [(circle 'navy' 100 100 30)])");
+    let b_code = drag_commit(leader.addr, &b, 17.0);
+    wait_until("live tail", Duration::from_secs(10), || {
+        get_code(follower.addr, &b).as_deref() == Some(b_code.as_str())
+    });
+
+    // ---- Mid-stream compaction handoff: push the leader over another
+    // compaction threshold while the follower tails; the follower's
+    // cursor generation goes stale and it must re-sync via snapshot.
+    let snaps_before = num_field(
+        &http(follower.addr, "GET", "/stats", "").1,
+        "repl_snapshots_applied",
+    );
+    for step in 71..=145 {
+        a_code = drag_commit(leader.addr, &a, step as f64);
+    }
+    wait_until(
+        "post-compaction convergence",
+        Duration::from_secs(10),
+        || get_code(follower.addr, &a).as_deref() == Some(a_code.as_str()),
+    );
+    wait_until("handoff snapshot", Duration::from_secs(10), || {
+        num_field(
+            &http(follower.addr, "GET", "/stats", "").1,
+            "repl_snapshots_applied",
+        ) > snaps_before
+    });
+
+    // ---- Deletes replicate too.
+    let (status, _) = http(leader.addr, "DELETE", &format!("/sessions/{b}"), "");
+    assert_eq!(status, 200);
+    wait_until("replicated delete", Duration::from_secs(10), || {
+        get_code(follower.addr, &b).is_none()
+    });
+
+    // ---- The read-only contract: reads serve locally, writes 421 with
+    // the leader's address.
+    let (status, body) = http(
+        follower.addr,
+        "POST",
+        &format!("/sessions/{a}/commit"),
+        "{}",
+    );
+    assert_eq!(status, 421, "{body}");
+    assert_eq!(field(&body, "leader"), leader.addr.to_string());
+
+    // ---- Promotion: drain, flip, accept writes.
+    let (status, body) = http(follower.addr, "POST", "/promote", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"promoted\":true"), "{body}");
+    assert_eq!(
+        field(&http(follower.addr, "GET", "/stats", "").1, "repl_role"),
+        "leader"
+    );
+    let promoted_code = drag_commit(follower.addr, &a, 500.0);
+    assert_ne!(
+        promoted_code, a_code,
+        "write on promoted node had no effect"
+    );
+    let c = create(follower.addr, "(svg [(rect 'red' 1 2 3 4)])");
+    assert!(get_code(follower.addr, &c).is_some());
+    // Promote is idempotent.
+    let (status, body) = http(follower.addr, "POST", "/promote", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"promoted\":false"), "{body}");
+
+    leader.stop();
+    follower.stop();
+    let _ = std::fs::remove_dir_all(&dir_l);
+    let _ = std::fs::remove_dir_all(&dir_f);
+}
+
+#[test]
+fn replication_stream_is_gated_by_the_auth_token() {
+    // The journal stream carries every session's source text and its
+    // acks can satisfy --replicate-to, so when the HTTP surface is
+    // token-gated the stream is too: a client without the token gets
+    // dropped before any data (even the welcome) flows; a follower
+    // presenting its own matching --auth-token replicates normally.
+    let dir_l = data_dir("auth-leader");
+    let dir_f = data_dir("auth-follower");
+    let leader = spawn(ServerConfig {
+        auth_token: Some("sesame".to_string()),
+        ..leader_config(&dir_l)
+    });
+    let leader_repl = leader.repl.expect("repl addr");
+
+    // An unauthenticated peer: hello without a token → disconnected
+    // without a single byte of payload.
+    let mut crasher = TcpStream::connect(leader_repl).expect("connect");
+    crasher
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    // Frame: [len][crc32][payload] with the journal's CRC-32 (IEEE).
+    let payload = br#"{"t":"hello"}"#;
+    let crc = {
+        let mut crc = !0u32;
+        for b in payload.iter() {
+            crc ^= u32::from(*b);
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    0xedb8_8320 ^ (crc >> 1)
+                } else {
+                    crc >> 1
+                };
+            }
+        }
+        !crc
+    };
+    crasher
+        .write_all(&(payload.len() as u32).to_le_bytes())
+        .unwrap();
+    crasher.write_all(&crc.to_le_bytes()).unwrap();
+    crasher.write_all(payload).unwrap();
+    let mut sink = Vec::new();
+    let got = crasher.read_to_end(&mut sink).expect("read to EOF");
+    assert_eq!(got, 0, "unauthenticated peer received {got} bytes");
+
+    // A properly-credentialed follower syncs fine.
+    let follower = spawn(ServerConfig {
+        auth_token: Some("sesame".to_string()),
+        ..follower_config(&dir_f, leader_repl)
+    });
+    let auth_http = |addr: SocketAddr, method: &str, path: &str, body: &str| {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: sns\r\nConnection: close\r\n\
+             Authorization: Bearer sesame\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(head.as_bytes()).unwrap();
+        stream.write_all(body.as_bytes()).unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let status: u16 = raw
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let body = raw
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    };
+    let (status, body) = auth_http(
+        leader.addr,
+        "POST",
+        "/sessions",
+        "{\"source\":\"(svg [(rect 'gold' 10 20 30 40)])\"}",
+    );
+    assert_eq!(status, 201, "{body}");
+    let id = field(&body, "id").to_string();
+    wait_until("authed replication", Duration::from_secs(10), || {
+        auth_http(follower.addr, "GET", &format!("/sessions/{id}/code"), "").0 == 200
+    });
+
+    leader.stop();
+    follower.stop();
+    let _ = std::fs::remove_dir_all(&dir_l);
+    let _ = std::fs::remove_dir_all(&dir_f);
+}
+
+#[test]
+fn sync_replication_means_acked_implies_on_follower() {
+    // --replicate-to 1: the leader must not ack a write before the
+    // follower has journaled and applied it — so the instant a commit
+    // returns, the follower serves it. No sleeps, no polling: this is
+    // the invariant the fail-over test relies on.
+    let dir_l = data_dir("sync-leader");
+    let dir_f = data_dir("sync-follower");
+    let leader = spawn(ServerConfig {
+        replicate_to: 1,
+        ..leader_config(&dir_l)
+    });
+    let follower = spawn(follower_config(&dir_f, leader.repl.expect("repl addr")));
+    wait_until("follower registration", Duration::from_secs(10), || {
+        num_field(
+            &http(leader.addr, "GET", "/stats", "").1,
+            "followers_connected",
+        ) >= 1.0
+    });
+
+    let id = create(leader.addr, "(svg [(rect 'gold' 10 20 30 40)])");
+    assert_eq!(
+        get_code(follower.addr, &id).as_deref(),
+        get_code(leader.addr, &id).as_deref(),
+        "acked create not on follower"
+    );
+    for step in 1..=10 {
+        let acked = drag_commit(leader.addr, &id, step as f64);
+        assert_eq!(
+            get_code(follower.addr, &id).as_deref(),
+            Some(acked.as_str()),
+            "acked commit {step} not on follower at ack time"
+        );
+    }
+    // With everything acked, lag gauges sit at zero.
+    let stats = http(leader.addr, "GET", "/stats", "").1;
+    assert_eq!(num_field(&stats, "repl_lag_records"), 0.0, "{stats}");
+    assert_eq!(num_field(&stats, "repl_lag_bytes"), 0.0, "{stats}");
+
+    leader.stop();
+    follower.stop();
+    let _ = std::fs::remove_dir_all(&dir_l);
+    let _ = std::fs::remove_dir_all(&dir_f);
+}
