@@ -22,6 +22,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
+use sns_obs::Histogram;
 use sns_server::{Server, ServerConfig};
 
 struct BenchArgs {
@@ -125,14 +126,6 @@ fn num_field(body: &str, key: &str) -> f64 {
         .unwrap_or(f64::NAN)
 }
 
-fn quantile(sorted_ms: &[f64], q: f64) -> f64 {
-    if sorted_ms.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted_ms.len() as f64 * q).ceil() as usize).clamp(1, sorted_ms.len());
-    sorted_ms[idx - 1]
-}
-
 fn main() {
     let args = parse_args();
     let dir_l = tmp_dir("leader");
@@ -202,7 +195,9 @@ fn main() {
         assert_eq!(status, 201, "{body}");
         ids.push(field(&body, "id").to_string());
     }
-    let mut commit_ms = Vec::new();
+    // Same log2-bucketed histogram the server itself serves quantiles
+    // from, so the bench and `/stats` agree on estimation semantics.
+    let commit_hist = Histogram::new();
     for step in 1..=args.commits {
         for id in &ids {
             let (status, _) = http(
@@ -215,12 +210,11 @@ fn main() {
             let started = Instant::now();
             let (status, _) = http(leader_addr, "POST", &format!("/sessions/{id}/commit"), "{}");
             assert_eq!(status, 200);
-            commit_ms.push(started.elapsed().as_secs_f64() * 1e3);
+            commit_hist.record(started.elapsed());
         }
     }
-    commit_ms.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-    let commit_p50 = quantile(&commit_ms, 0.50);
-    let commit_p99 = quantile(&commit_ms, 0.99);
+    let commit_p50 = commit_hist.quantile_ms(0.50);
+    let commit_p99 = commit_hist.quantile_ms(0.99);
 
     // ---- Lag settle: leader idle → follower acked everything.
     let started = Instant::now();
@@ -263,6 +257,12 @@ fn main() {
         let (_, body) = http(leader_addr, "GET", &format!("/sessions/{id}/code"), "");
         expected.insert(id.clone(), field(&body, "code").to_string());
     }
+    // The leader's own stage breakdown for the synchronous-commit path:
+    // journal append, fsync, and the follower-ack wait.
+    let (_, leader_stats) = http(leader_addr, "GET", "/stats", "");
+    let stage = |name: &str| num_field(&leader_stats, &format!("stage_{name}_p99_ms"));
+    let (journal_p99, fsync_p99, repl_ack_p99) =
+        (stage("journal"), stage("fsync"), stage("repl_ack"));
     leader_handle.shutdown();
     let started = Instant::now();
     let (status, body) = http(f1_addr, "POST", "/promote", "");
@@ -294,6 +294,9 @@ fn main() {
     eprintln!("commits/session       {}", args.commits);
     eprintln!("sync commit p50       {commit_p50:.2} ms  (ack ⇒ applied on follower)");
     eprintln!("sync commit p99       {commit_p99:.2} ms");
+    eprintln!("  stage journal p99   {journal_p99:.3} ms");
+    eprintln!("  stage fsync p99     {fsync_p99:.3} ms");
+    eprintln!("  stage repl ack p99  {repl_ack_p99:.3} ms");
     eprintln!("lag settle after idle {lag_settle_ms:.1} ms");
     eprintln!("fresh catch-up        {catchup_ms:.1} ms");
     eprintln!("promotion             {promote_ms:.1} ms");
@@ -302,6 +305,8 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"repl_failover\",\n  \"sessions\": {},\n  \"commits_per_session\": {},\n  \
          \"sync_commit_p50_ms\": {commit_p50:.3},\n  \"sync_commit_p99_ms\": {commit_p99:.3},\n  \
+         \"stage_journal_p99_ms\": {journal_p99:.3},\n  \"stage_fsync_p99_ms\": {fsync_p99:.3},\n  \
+         \"stage_repl_ack_p99_ms\": {repl_ack_p99:.3},\n  \
          \"lag_settle_ms\": {lag_settle_ms:.1},\n  \"catchup_ms\": {catchup_ms:.1},\n  \
          \"promote_ms\": {promote_ms:.1},\n  \"diverged_sessions\": {diverged}\n}}\n",
         args.sessions, args.commits,

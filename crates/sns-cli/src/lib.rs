@@ -80,6 +80,7 @@ COMMANDS:\n\
         [--read-timeout-ms N] [--idle-timeout-ms N]\n\
         [--data-dir DIR] [--fsync always|batch|never] [--auth-token T]\n\
         [--repl-listen A] [--replicate-to N] [--follow A]\n\
+        [--no-trace] [--slow-ms N] [--log-level L] [--log-format json|text]\n\
                                         run the live-sync HTTP service\n\
                                         (--threads = CPU workers; connections\n\
                                         are gated by --max-conns; SIGTERM drains;\n\
@@ -90,7 +91,14 @@ COMMANDS:\n\
                                         followers, --replicate-to N acks writes\n\
                                         only after N follower acks; --follow\n\
                                         runs a read-only follower that promotes\n\
-                                        to leader on POST /promote or SIGUSR1)\n\
+                                        to leader on POST /promote or SIGUSR1;\n\
+                                        per-request tracing is on by default —\n\
+                                        --no-trace disables it, --slow-ms sets\n\
+                                        the slow-request log threshold (50);\n\
+                                        --log-level error|warn|info|debug and\n\
+                                        --log-format text|json shape stderr\n\
+                                        logs; scrape GET /metrics, inspect\n\
+                                        GET /debug/traces)\n\
 \n\
 FILE may be a path or example:SLUG (e.g. example:wave_boxes).\n\
 Zones: interior, rightedge, botrightcorner, botedge, botleftcorner,\n\
@@ -346,6 +354,19 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
     if let Some(addr) = args.options.get("follow") {
         config.follow = Some(addr.clone());
     }
+    config.trace = !args.has_flag("no-trace");
+    if let Some(v) = args.options.get("slow-ms") {
+        config.slow_ms = v.parse().map_err(|e| format!("--slow-ms: {e}"))?;
+    }
+    let log_level = match args.options.get("log-level") {
+        Some(v) => v.parse().map_err(|e| format!("--log-level: {e}"))?,
+        None => sns_obs::log::Level::Info,
+    };
+    let log_format = match args.options.get("log-format") {
+        Some(v) => v.parse().map_err(|e| format!("--log-format: {e}"))?,
+        None => sns_obs::log::Format::Text,
+    };
+    sns_obs::log::init(log_level, log_format);
     // Flag beats environment; the env var keeps the secret off `ps`.
     config.auth_token = args
         .options

@@ -1,0 +1,139 @@
+//! End-to-end metrics scrape against the real `sns serve` binary: the
+//! Prometheus exposition on `GET /metrics` parses, and every metric the
+//! server registers is documented in `docs/observability.md` — the
+//! doc-drift gate: adding a metric without documenting it fails CI here.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+/// Reads the "listening on http://ADDR" line the server logs at startup.
+fn wait_for_addr(child: &mut Child) -> (String, BufReader<std::process::ChildStderr>) {
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut reader = BufReader::new(stderr);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line).expect("read server stderr");
+        assert!(n > 0, "server exited before announcing its address");
+        if let Some(rest) = line.split("listening on http://").nth(1) {
+            let addr = rest
+                .split_whitespace()
+                .next()
+                .expect("address after listening banner")
+                .to_string();
+            return (addr, reader);
+        }
+    }
+}
+
+fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: sns\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad response: {raw:?}"));
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn scrape_parses_and_every_metric_is_documented() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_sns"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "2",
+            "--log-format",
+            "json",
+        ])
+        .stderr(Stdio::piped())
+        .stdout(Stdio::null())
+        .spawn()
+        .expect("spawn sns serve");
+    let (addr, _stderr) = wait_for_addr(&mut child);
+
+    // Some traffic so counters and histograms carry real samples.
+    let (status, body) = http(
+        &addr,
+        "POST",
+        "/sessions",
+        "{\"source\":\"(svg [(rect 'red' 1 2 3 4)])\"}",
+    );
+    assert_eq!(status, 201, "{body}");
+
+    let (status, exposition) = http(&addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let _ = child.kill();
+    let _ = child.wait();
+
+    // Parse the exposition: comments declare metrics, samples carry a
+    // name (optional labels) and a float value.
+    let mut declared: Vec<String> = Vec::new();
+    for line in exposition.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let kind = parts.next().unwrap_or("");
+            assert!(kind == "HELP" || kind == "TYPE", "bad comment: {line}");
+            let name = parts.next().expect("name in comment").to_string();
+            if kind == "TYPE" && !declared.contains(&name) {
+                declared.push(name);
+            }
+            continue;
+        }
+        let (sample, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("sample without value: {line}"));
+        assert!(
+            value.parse::<f64>().is_ok() || value == "+Inf",
+            "unparseable value: {line}"
+        );
+        let name = sample.split('{').next().unwrap();
+        assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad sample name: {line}"
+        );
+    }
+    assert!(
+        declared.len() >= 30,
+        "implausibly few metrics declared: {declared:?}"
+    );
+
+    // The doc-drift gate: every declared metric name appears verbatim in
+    // docs/observability.md.
+    let doc_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/observability.md");
+    let doc =
+        std::fs::read_to_string(doc_path).unwrap_or_else(|e| panic!("cannot read {doc_path}: {e}"));
+    let undocumented: Vec<&String> = declared
+        .iter()
+        .filter(|n| !doc.contains(n.as_str()))
+        .collect();
+    assert!(
+        undocumented.is_empty(),
+        "metrics served on /metrics but missing from docs/observability.md: \
+         {undocumented:?}"
+    );
+}

@@ -1,0 +1,221 @@
+//! The flight recorder: ring buffers of recently completed traces.
+//!
+//! Two rings: *recent* keeps the last N completed traces of any speed;
+//! *slow* keeps the last N traces whose total exceeded the slow
+//! threshold, so a burst of fast requests cannot evict the evidence of a
+//! stall. Writers claim a slot with one atomic `fetch_add` and take only
+//! that slot's mutex — concurrent writers on different slots never
+//! contend, and a reader snapshotting the ring holds each slot lock for
+//! a clone's worth of time.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::trace::CompletedTrace;
+
+struct Ring {
+    slots: Vec<Mutex<Option<CompletedTrace>>>,
+    head: AtomicUsize,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Ring {
+        Ring {
+            slots: (0..capacity.max(1)).map(|_| Mutex::new(None)).collect(),
+            head: AtomicUsize::new(0),
+        }
+    }
+
+    fn push(&self, trace: CompletedTrace) {
+        let i = self.head.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+        *self.slots[i].lock().expect("flight slot lock") = Some(trace);
+    }
+
+    fn snapshot(&self) -> Vec<CompletedTrace> {
+        let mut out: Vec<CompletedTrace> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.lock().expect("flight slot lock").clone())
+            .collect();
+        out.sort_by_key(|t| t.id);
+        out
+    }
+}
+
+/// Default capacity of each ring (recent and slow).
+pub const DEFAULT_CAPACITY: usize = 256;
+
+/// Keeps the last N completed traces plus every recent slow one.
+pub struct FlightRecorder {
+    recent: Ring,
+    slow: Ring,
+    slow_threshold_us: AtomicU64,
+    slow_count: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder with `capacity` slots per ring; traces whose
+    /// total meets or exceeds `slow_threshold_us` land in the slow ring
+    /// too.
+    pub fn new(capacity: usize, slow_threshold_us: u64) -> FlightRecorder {
+        FlightRecorder {
+            recent: Ring::new(capacity),
+            slow: Ring::new(capacity),
+            slow_threshold_us: AtomicU64::new(slow_threshold_us),
+            slow_count: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured slow threshold, in microseconds.
+    pub fn slow_threshold_us(&self) -> u64 {
+        self.slow_threshold_us.load(Ordering::Relaxed)
+    }
+
+    /// Records a completed trace; returns `true` when it was slow (the
+    /// caller may want to log it as a structured slow-request record).
+    pub fn record(&self, trace: CompletedTrace) -> bool {
+        let slow = trace.total_us >= self.slow_threshold_us();
+        if slow {
+            self.slow_count.fetch_add(1, Ordering::Relaxed);
+            self.slow.push(trace.clone());
+        }
+        self.recent.push(trace);
+        slow
+    }
+
+    /// Total slow traces observed (monotonic, survives ring eviction).
+    pub fn slow_count(&self) -> u64 {
+        self.slow_count.load(Ordering::Relaxed)
+    }
+
+    /// Traces currently held, recent and slow rings merged (a slow trace
+    /// appears once), ordered by id.
+    pub fn traces(&self) -> Vec<CompletedTrace> {
+        let mut all = self.recent.snapshot();
+        let slow = self.slow.snapshot();
+        // The recent ring may have already evicted a slow trace; merge by
+        // id so it still shows up exactly once.
+        for t in slow {
+            if all.binary_search_by_key(&t.id, |x| x.id).is_err() {
+                all.push(t);
+            }
+        }
+        all.sort_by_key(|t| t.id);
+        all
+    }
+
+    /// The `/debug/traces` payload: one JSON object per line, a `slow`
+    /// field marking traces over the threshold.
+    pub fn dump_jsonl(&self) -> String {
+        let threshold = self.slow_threshold_us();
+        let mut out = String::new();
+        for t in self.traces() {
+            let line = t.to_json();
+            // Splice a `slow` marker into the object: the trace itself
+            // doesn't carry it (the threshold can change at runtime).
+            let slow = t.total_us >= threshold;
+            out.push_str(&line[..line.len() - 1]);
+            out.push_str(if slow {
+                ",\"slow\":true}"
+            } else {
+                ",\"slow\":false}"
+            });
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Stage, Trace};
+    use std::sync::Arc;
+
+    fn completed(id: u64, total_us: u64) -> CompletedTrace {
+        CompletedTrace {
+            id,
+            method: "GET".to_string(),
+            path: format!("/t/{id}"),
+            status: 200,
+            total_us,
+            stamps_us: vec![(Stage::ParseDone, total_us)],
+        }
+    }
+
+    #[test]
+    fn ring_wraps_and_keeps_the_newest() {
+        let fr = FlightRecorder::new(4, u64::MAX);
+        for id in 0..10 {
+            fr.record(completed(id, 10));
+        }
+        let ids: Vec<u64> = fr.traces().iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn slow_traces_survive_fast_floods() {
+        let fr = FlightRecorder::new(4, 1_000);
+        fr.record(completed(0, 5_000)); // Slow.
+        assert_eq!(fr.slow_count(), 1);
+        for id in 1..20 {
+            fr.record(completed(id, 10)); // Fast flood evicts the recent copy.
+        }
+        let ids: Vec<u64> = fr.traces().iter().map(|t| t.id).collect();
+        assert!(ids.contains(&0), "slow trace evicted: {ids:?}");
+        assert_eq!(ids.len(), 5); // 4 recent + the retained slow one.
+        let dump = fr.dump_jsonl();
+        let slow_line = dump
+            .lines()
+            .find(|l| l.contains("\"id\":0,"))
+            .expect("slow trace in dump");
+        assert!(slow_line.contains("\"slow\":true"));
+        assert!(dump
+            .lines()
+            .filter(|l| !l.contains("\"id\":0,"))
+            .all(|l| l.contains("\"slow\":false")));
+    }
+
+    #[test]
+    fn concurrent_writers_never_lose_the_ring() {
+        let fr = Arc::new(FlightRecorder::new(64, 500));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let fr = Arc::clone(&fr);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        let id = t * 1000 + i;
+                        fr.record(completed(id, if id % 100 == 0 { 1_000 } else { 10 }));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let traces = fr.traces();
+        // Both rings full, merged without duplicates.
+        assert!(traces.len() <= 128, "{}", traces.len());
+        assert!(traces.len() >= 64);
+        let mut ids: Vec<u64> = traces.iter().map(|t| t.id).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), traces.len(), "duplicate ids in merge");
+        assert_eq!(fr.slow_count(), 80);
+    }
+
+    #[test]
+    fn dump_is_one_json_object_per_line() {
+        let fr = FlightRecorder::new(8, 1_000);
+        let t = Trace::new(1, "POST", "/sessions");
+        t.stamp(Stage::ParseDone);
+        t.stamp(Stage::ResponseWritten);
+        t.set_status(201);
+        fr.record(t.finish());
+        let dump = fr.dump_jsonl();
+        assert_eq!(dump.lines().count(), 1);
+        let line = dump.lines().next().unwrap();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"stages\":{"));
+        assert!(line.contains("\"slow\":"));
+    }
+}

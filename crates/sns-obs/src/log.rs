@@ -1,0 +1,315 @@
+//! A leveled structured logger writing one-line records to stderr.
+//!
+//! Every record is a typed *event* plus key/value fields, rendered as
+//! human-oriented text (the default) or as JSONL for machine ingestion
+//! (`--log-format json`). Level and format are process-global atomics:
+//! checking whether a `debug` event is enabled costs one relaxed load,
+//! so callers need no guards around log statements.
+//!
+//! There is deliberately no timestamp cache, no buffering, and no
+//! background thread — a log line is one `format!` and one locked write
+//! to stderr, and stderr's lock is the only serialization point.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::trace::escape_json;
+
+/// Log severity, ordered: a configured level admits itself and
+/// everything more severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable or data-affecting failures.
+    Error = 0,
+    /// Degraded but continuing (a skipped record, a dropped follower).
+    Warn = 1,
+    /// Lifecycle and notable events (promotion, compaction, slow request).
+    Info = 2,
+    /// High-volume diagnostics.
+    Debug = 3,
+}
+
+impl Level {
+    fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+impl std::str::FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Level, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            other => Err(format!(
+                "unknown log level `{other}` (error|warn|info|debug)"
+            )),
+        }
+    }
+}
+
+/// Output shape: aligned human text or one JSON object per line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Format {
+    /// `2026-02-03T04:05:06.789Z  WARN event key=value …`
+    Text = 0,
+    /// `{"ts_ms":…,"level":"warn","event":"…",…}`
+    Json = 1,
+}
+
+impl std::str::FromStr for Format {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Format, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "text" => Ok(Format::Text),
+            "json" => Ok(Format::Json),
+            other => Err(format!("unknown log format `{other}` (text|json)")),
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+static FORMAT: AtomicU8 = AtomicU8::new(Format::Text as u8);
+
+/// Sets the process-global level and format (typically once, from CLI
+/// flags, before any threads log).
+pub fn init(level: Level, format: Format) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+    FORMAT.store(format as u8, Ordering::Relaxed);
+}
+
+/// Whether records at `level` are currently emitted.
+pub fn enabled(level: Level) -> bool {
+    level as u8 <= LEVEL.load(Ordering::Relaxed)
+}
+
+fn format_now() -> Format {
+    if FORMAT.load(Ordering::Relaxed) == Format::Json as u8 {
+        Format::Json
+    } else {
+        Format::Text
+    }
+}
+
+/// A typed field value.
+#[derive(Debug, Clone, Copy)]
+pub enum Value<'a> {
+    /// A string.
+    Str(&'a str),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float.
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+}
+
+/// Emits an `error` record.
+pub fn error(event: &str, fields: &[(&str, Value)]) {
+    log(Level::Error, event, fields);
+}
+
+/// Emits a `warn` record.
+pub fn warn(event: &str, fields: &[(&str, Value)]) {
+    log(Level::Warn, event, fields);
+}
+
+/// Emits an `info` record.
+pub fn info(event: &str, fields: &[(&str, Value)]) {
+    log(Level::Info, event, fields);
+}
+
+/// Emits a `debug` record.
+pub fn debug(event: &str, fields: &[(&str, Value)]) {
+    log(Level::Debug, event, fields);
+}
+
+/// Emits one record if `level` is enabled.
+pub fn log(level: Level, event: &str, fields: &[(&str, Value)]) {
+    if !enabled(level) {
+        return;
+    }
+    let now_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let line = render(format_now(), now_ms, level, event, fields);
+    let stderr = std::io::stderr();
+    let mut lock = stderr.lock();
+    let _ = writeln!(lock, "{line}");
+}
+
+/// Renders a record (no trailing newline). Pure, for tests.
+pub fn render(
+    format: Format,
+    unix_ms: u64,
+    level: Level,
+    event: &str,
+    fields: &[(&str, Value)],
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(96);
+    match format {
+        Format::Text => {
+            let _ = write!(
+                out,
+                "{} {:>5} {}",
+                iso8601_ms(unix_ms),
+                level.name().to_ascii_uppercase(),
+                event
+            );
+            for (k, v) in fields {
+                match v {
+                    Value::Str(s) => {
+                        let _ = write!(out, " {k}=\"{}\"", escape_json(s));
+                    }
+                    Value::U64(n) => {
+                        let _ = write!(out, " {k}={n}");
+                    }
+                    Value::I64(n) => {
+                        let _ = write!(out, " {k}={n}");
+                    }
+                    Value::F64(n) => {
+                        let _ = write!(out, " {k}={n}");
+                    }
+                    Value::Bool(b) => {
+                        let _ = write!(out, " {k}={b}");
+                    }
+                }
+            }
+        }
+        Format::Json => {
+            let _ = write!(
+                out,
+                "{{\"ts_ms\":{unix_ms},\"level\":\"{}\",\"event\":\"{}\"",
+                level.name(),
+                escape_json(event)
+            );
+            for (k, v) in fields {
+                let _ = write!(out, ",\"{}\":", escape_json(k));
+                match v {
+                    Value::Str(s) => {
+                        let _ = write!(out, "\"{}\"", escape_json(s));
+                    }
+                    Value::U64(n) => {
+                        let _ = write!(out, "{n}");
+                    }
+                    Value::I64(n) => {
+                        let _ = write!(out, "{n}");
+                    }
+                    Value::F64(n) => {
+                        // JSON has no NaN/Inf; null is the honest spelling.
+                        if n.is_finite() {
+                            let _ = write!(out, "{n}");
+                        } else {
+                            out.push_str("null");
+                        }
+                    }
+                    Value::Bool(b) => {
+                        let _ = write!(out, "{b}");
+                    }
+                }
+            }
+            out.push('}');
+        }
+    }
+    out
+}
+
+/// `YYYY-MM-DDThh:mm:ss.mmmZ` from unix milliseconds (UTC, proleptic
+/// Gregorian — Howard Hinnant's civil-from-days construction).
+fn iso8601_ms(unix_ms: u64) -> String {
+    let secs = (unix_ms / 1000) as i64;
+    let ms = unix_ms % 1000;
+    let days = secs.div_euclid(86_400);
+    let tod = secs.rem_euclid(86_400);
+    let (h, m, s) = (tod / 3600, (tod / 60) % 60, tod % 60);
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = if month <= 2 { y + 1 } else { y };
+    format!("{year:04}-{month:02}-{d:02}T{h:02}:{m:02}:{s:02}.{ms:03}Z")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_format_is_one_line() {
+        let line = render(
+            Format::Text,
+            1_700_000_000_123,
+            Level::Warn,
+            "repl_follower_dropped",
+            &[
+                ("peer", Value::Str("127.0.0.1:9999")),
+                ("sent", Value::U64(42)),
+            ],
+        );
+        assert_eq!(
+            line,
+            "2023-11-14T22:13:20.123Z  WARN repl_follower_dropped peer=\"127.0.0.1:9999\" sent=42"
+        );
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn json_format_is_valid_jsonl() {
+        let line = render(
+            Format::Json,
+            123,
+            Level::Info,
+            "slow_request",
+            &[
+                ("path", Value::Str("/a\"b")),
+                ("total_us", Value::U64(70_000)),
+                ("ok", Value::Bool(true)),
+                ("lag", Value::F64(1.5)),
+                ("delta", Value::I64(-3)),
+                ("nan", Value::F64(f64::NAN)),
+            ],
+        );
+        assert_eq!(
+            line,
+            "{\"ts_ms\":123,\"level\":\"info\",\"event\":\"slow_request\",\
+             \"path\":\"/a\\\"b\",\"total_us\":70000,\"ok\":true,\"lag\":1.5,\
+             \"delta\":-3,\"nan\":null}"
+        );
+    }
+
+    #[test]
+    fn iso8601_handles_epoch_and_leap_years() {
+        assert_eq!(iso8601_ms(0), "1970-01-01T00:00:00.000Z");
+        // 2024-02-29 00:00:00 UTC (a leap day).
+        assert_eq!(iso8601_ms(1_709_164_800_000), "2024-02-29T00:00:00.000Z");
+    }
+
+    #[test]
+    fn level_gating_and_parsing() {
+        assert!("warn".parse::<Level>().unwrap() == Level::Warn);
+        assert!("JSON".parse::<Format>().unwrap() == Format::Json);
+        assert!("verbose".parse::<Level>().is_err());
+        assert!(Level::Error < Level::Debug);
+    }
+}

@@ -1,0 +1,372 @@
+//! Counters, gauges, and log2 histograms behind a registry that renders
+//! Prometheus text exposition format.
+//!
+//! Latencies land in logarithmic buckets (powers of two of microseconds),
+//! recorded with relaxed atomics — cheap enough to run on every request.
+//! Quantiles are *upper-bound* estimates from bucket edges: the reported
+//! pXX is the upper edge of the bucket the rank falls into, so the true
+//! quantile is never under-reported by more than one bucket width.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Number of log2 buckets: covers 1 µs … ~36 minutes.
+pub const BUCKETS: usize = 32;
+
+/// A monotonically increasing counter.
+///
+/// [`set`](Counter::set) exists for *mirrored* counters — values owned by
+/// another subsystem (store evictions, journal fsyncs) that the registry
+/// republishes at scrape time; it must only ever move the value forward.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value (mirroring an externally-owned counter).
+    pub fn set(&self, n: u64) {
+        self.value.store(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down, stored as `f64` bits.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a zeroed gauge.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A lock-free log2 latency histogram (microsecond buckets).
+///
+/// Bucket `i` holds observations in `[2^i, 2^(i+1))` µs, except bucket 0
+/// which also absorbs sub-microsecond observations and the last bucket
+/// which absorbs everything larger.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// The bucket index an observation of `micros` lands in.
+    pub fn bucket_of_micros(micros: u64) -> usize {
+        let micros = micros.max(1);
+        (63 - micros.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+
+    /// Upper edge (in microseconds) of bucket `i`: `2^(i+1)`.
+    pub fn bucket_upper_micros(i: usize) -> u64 {
+        1u64 << (i + 1)
+    }
+
+    /// Records one observation.
+    pub fn record(&self, d: Duration) {
+        self.record_micros(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records one observation given directly in microseconds.
+    pub fn record_micros(&self, micros: u64) {
+        self.buckets[Self::bucket_of_micros(micros)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations, in microseconds.
+    pub fn sum_micros(&self) -> u64 {
+        self.sum_micros.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the raw bucket counts.
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        let mut out = [0u64; BUCKETS];
+        for (o, b) in out.iter_mut().zip(&self.buckets) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// The value (in microseconds) at or below which `q` of observations
+    /// fall — the upper edge of the bucket holding that rank. Zero when
+    /// empty.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = (q * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper_micros(i) as f64;
+            }
+        }
+        Self::bucket_upper_micros(BUCKETS - 1) as f64
+    }
+
+    /// [`quantile_us`](Histogram::quantile_us) converted to milliseconds.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        self.quantile_us(q) / 1000.0
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Entry {
+    name: &'static str,
+    help: &'static str,
+    metric: Metric,
+}
+
+/// A set of named metrics renderable as Prometheus text exposition.
+///
+/// Registration happens at startup (each `register_*` hands back an
+/// `Arc` the hot path holds directly); rendering walks the list at
+/// scrape time. Duplicate names are a bug and panic at registration.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn push(&self, name: &'static str, help: &'static str, metric: Metric) {
+        let mut entries = self.entries.lock().expect("registry lock");
+        assert!(
+            entries.iter().all(|e| e.name != name),
+            "duplicate metric name {name}"
+        );
+        entries.push(Entry { name, help, metric });
+    }
+
+    /// Registers a counter and returns the handle the hot path records on.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> Arc<Counter> {
+        let c = Arc::new(Counter::new());
+        self.push(name, help, Metric::Counter(Arc::clone(&c)));
+        c
+    }
+
+    /// Registers a gauge and returns its handle.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> Arc<Gauge> {
+        let g = Arc::new(Gauge::new());
+        self.push(name, help, Metric::Gauge(Arc::clone(&g)));
+        g
+    }
+
+    /// Registers a histogram and returns its handle.
+    pub fn histogram(&self, name: &'static str, help: &'static str) -> Arc<Histogram> {
+        let h = Arc::new(Histogram::new());
+        self.push(name, help, Metric::Histogram(Arc::clone(&h)));
+        h
+    }
+
+    /// Every registered metric name (the doc-drift gate reads this via
+    /// `/metrics` — names also lead each exposition block).
+    pub fn metric_names(&self) -> Vec<&'static str> {
+        self.entries
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|e| e.name)
+            .collect()
+    }
+
+    /// Renders the whole registry as Prometheus text exposition format
+    /// (`text/plain; version=0.0.4`). Histogram buckets are cumulative
+    /// with `le` edges in microseconds.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for e in self.entries.lock().expect("registry lock").iter() {
+            match &e.metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
+                    let _ = writeln!(out, "# TYPE {} counter", e.name);
+                    let _ = writeln!(out, "{} {}", e.name, c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
+                    let _ = writeln!(out, "# TYPE {} gauge", e.name);
+                    let _ = writeln!(out, "{} {}", e.name, format_f64(g.get()));
+                }
+                Metric::Histogram(h) => {
+                    let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
+                    let _ = writeln!(out, "# TYPE {} histogram", e.name);
+                    let counts = h.bucket_counts();
+                    let mut cumulative = 0u64;
+                    for (i, c) in counts.iter().enumerate() {
+                        cumulative += c;
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{{le=\"{}\"}} {}",
+                            e.name,
+                            Histogram::bucket_upper_micros(i),
+                            cumulative
+                        );
+                    }
+                    let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", e.name, cumulative);
+                    let _ = writeln!(out, "{}_sum {}", e.name, h.sum_micros());
+                    let _ = writeln!(out, "{}_count {}", e.name, h.count());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Prometheus floats: plain decimal, no exponent for the magnitudes we
+/// emit; integral values render without a fraction.
+fn format_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        // Bucket i covers [2^i, 2^(i+1)) µs; sub-µs observations clamp
+        // into bucket 0 and the last bucket absorbs the tail.
+        assert_eq!(Histogram::bucket_of_micros(0), 0);
+        assert_eq!(Histogram::bucket_of_micros(1), 0);
+        assert_eq!(Histogram::bucket_of_micros(2), 1);
+        assert_eq!(Histogram::bucket_of_micros(3), 1);
+        assert_eq!(Histogram::bucket_of_micros(4), 2);
+        assert_eq!(Histogram::bucket_of_micros(1023), 9);
+        assert_eq!(Histogram::bucket_of_micros(1024), 10);
+        assert_eq!(Histogram::bucket_of_micros(u64::MAX), BUCKETS - 1);
+        assert_eq!(Histogram::bucket_upper_micros(0), 2);
+        assert_eq!(Histogram::bucket_upper_micros(9), 1024);
+    }
+
+    #[test]
+    fn quantiles_estimate_at_bucket_upper_edges() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record_micros(100); // Bucket 6: [64, 128).
+        }
+        h.record_micros(50_000); // Bucket 15: [32768, 65536).
+        assert_eq!(h.count(), 100);
+        // p50 and p99 fall in the 100 µs bucket, whose upper edge is 128.
+        assert_eq!(h.quantile_us(0.50), 128.0);
+        assert_eq!(h.quantile_us(0.99), 128.0);
+        // p100 lands in the slow bucket: upper edge 65536 µs.
+        assert_eq!(h.quantile_us(1.0), 65536.0);
+        assert_eq!(h.quantile_ms(1.0), 65.536);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile_us(0.5), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn record_duration_matches_micros() {
+        let h = Histogram::new();
+        h.record(Duration::from_micros(100));
+        h.record_micros(100);
+        let counts = h.bucket_counts();
+        assert_eq!(counts[6], 2);
+        assert_eq!(h.sum_micros(), 200);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_well_formed() {
+        let reg = Registry::new();
+        let c = reg.counter("t_requests_total", "Requests served.");
+        let g = reg.gauge("t_conns_open", "Open connections.");
+        let h = reg.histogram("t_latency_us", "Latency.");
+        c.add(3);
+        g.set(2.5);
+        h.record_micros(100);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE t_requests_total counter"));
+        assert!(text.contains("t_requests_total 3"));
+        assert!(text.contains("# TYPE t_conns_open gauge"));
+        assert!(text.contains("t_conns_open 2.5"));
+        assert!(text.contains("# TYPE t_latency_us histogram"));
+        assert!(text.contains("t_latency_us_bucket{le=\"128\"} 1"));
+        assert!(text.contains("t_latency_us_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("t_latency_us_sum 100"));
+        assert!(text.contains("t_latency_us_count 1"));
+        // Buckets are cumulative: every later edge also reports 1.
+        assert!(text.contains("t_latency_us_bucket{le=\"256\"} 1"));
+        assert_eq!(
+            reg.metric_names(),
+            vec!["t_requests_total", "t_conns_open", "t_latency_us"]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate metric name")]
+    fn duplicate_names_panic() {
+        let reg = Registry::new();
+        let _a = reg.counter("dup", "a");
+        let _b = reg.counter("dup", "b");
+    }
+}

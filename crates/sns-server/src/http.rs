@@ -232,8 +232,11 @@ fn parse_head(head: &str) -> Result<(Request, usize), String> {
 pub struct Response {
     /// Status code (200, 201, 400, 404, 405, 409, 421, 422, 429, 500, 503).
     pub status: u16,
-    /// Body bytes (always JSON in this service).
+    /// Body bytes (JSON unless [`content_type`](Response::content_type)
+    /// says otherwise).
     pub body: Vec<u8>,
+    /// The `Content-Type` header value.
+    pub content_type: &'static str,
     /// Extra headers beyond the standard set (e.g. `Retry-After`).
     pub extra_headers: Vec<(&'static str, String)>,
 }
@@ -244,6 +247,22 @@ impl Response {
         Response {
             status,
             body: body.into().into_bytes(),
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// A response with an explicit content type (Prometheus text
+    /// exposition, JSONL trace dumps).
+    pub fn with_body(
+        status: u16,
+        content_type: &'static str,
+        body: impl Into<Vec<u8>>,
+    ) -> Response {
+        Response {
+            status,
+            body: body.into(),
+            content_type,
             extra_headers: Vec::new(),
         }
     }
@@ -276,9 +295,10 @@ impl Response {
     pub fn encode(&self, keep_alive: bool) -> Vec<u8> {
         use std::fmt::Write as _;
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             self.reason(),
+            self.content_type,
             self.body.len(),
             if keep_alive { "keep-alive" } else { "close" },
         );

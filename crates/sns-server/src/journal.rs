@@ -75,6 +75,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use sns_lang::{LocId, Subst};
+use sns_obs::log::{self as obs_log, Value};
+use sns_obs::trace as obs_trace;
 
 use crate::json::{self, Json};
 use crate::persist::{JournalGauges, Op, SessionBackend};
@@ -336,6 +338,11 @@ impl ReplGate {
     pub(crate) fn set_min_sync(&self, n: usize) {
         self.min_sync.store(n, Ordering::Relaxed);
         self.cv.notify_all();
+    }
+
+    /// Whether appends currently wait for follower acks (`min_sync > 0`).
+    pub(crate) fn armed(&self) -> bool {
+        self.min_sync.load(Ordering::Relaxed) > 0
     }
 
     /// Registers a connected follower with the positions it claims to
@@ -662,7 +669,13 @@ impl JournalInner {
                             // never took; poison beats false acks, as in
                             // rollback.
                             self.group[idx].poison();
-                            eprintln!("sns-server: group fsync failed on shard {idx}: {e}");
+                            obs_log::error(
+                                "journal_group_fsync_failed",
+                                &[
+                                    ("shard", Value::U64(idx as u64)),
+                                    ("error", Value::Str(&e.to_string())),
+                                ],
+                            );
                         }
                     }
                 }
@@ -716,12 +729,19 @@ impl JournalInner {
             // The rename is visible to this process either way; worst
             // case a crash before the directory entry hits disk boots
             // from generation N, whose journal is complete up to here.
-            eprintln!("sns-server: post-compaction dir sync failed on shard {idx}: {e}");
+            obs_log::warn(
+                "journal_dir_sync_failed",
+                &[
+                    ("shard", Value::U64(idx as u64)),
+                    ("error", Value::Str(&e.to_string())),
+                ],
+            );
         }
         let _ = fs::remove_file(shard_file(&self.dir, idx, shard.gen, "wal"));
         if shard.gen > 0 {
             let _ = fs::remove_file(shard_file(&self.dir, idx, shard.gen, "snap"));
         }
+        let (folded_bytes, folded_records) = (shard.bytes, shard.records);
         shard.wal = wal;
         shard.gen = next;
         shard.bytes = 0;
@@ -731,6 +751,16 @@ impl JournalInner {
         shard.stable_frozen = false;
         self.group[idx].reset();
         self.snapshots.fetch_add(1, Ordering::Relaxed);
+        obs_log::info(
+            "journal_compacted",
+            &[
+                ("shard", Value::U64(idx as u64)),
+                ("gen", Value::U64(next)),
+                ("folded_records", Value::U64(folded_records)),
+                ("folded_bytes", Value::U64(folded_bytes)),
+                ("sessions", Value::U64(shard.shadow.len() as u64)),
+            ],
+        );
         // Streamers tailing the retired generation need to notice and
         // fall back to a snapshot of the new one.
         self.signal.bump();
@@ -760,7 +790,13 @@ impl JournalInner {
             if let Err(e) = self.compact(idx, shard) {
                 // Compaction is an optimization; the journal is still the
                 // truth. Log and carry on appending to the long journal.
-                eprintln!("sns-server: journal compaction failed on shard {idx}: {e}");
+                obs_log::warn(
+                    "journal_compaction_failed",
+                    &[
+                        ("shard", Value::U64(idx as u64)),
+                        ("error", Value::Str(&e.to_string())),
+                    ],
+                );
             }
         }
     }
@@ -1013,6 +1049,7 @@ impl SessionBackend for JournalBackend {
                     return Err(e);
                 }
             };
+            obs_trace::stamp_current(obs_trace::Stage::JournalAppended);
             match inner.fsync {
                 FsyncPolicy::Always => {
                     if let Err(e) = inner.sync(&shard.wal) {
@@ -1022,6 +1059,7 @@ impl SessionBackend for JournalBackend {
                         rollback_tail(idx, &mut shard, &e);
                         return Err(e);
                     }
+                    obs_trace::stamp_current(obs_trace::Stage::Fsynced);
                 }
                 FsyncPolicy::Batch => {
                     // Group-committed outside the shard lock, so the
@@ -1054,10 +1092,16 @@ impl SessionBackend for JournalBackend {
                 inner.abort_in_flight(idx);
                 return Err(e);
             }
+            obs_trace::stamp_current(obs_trace::Stage::Fsynced);
         }
         if let Err(e) = inner.gate.wait_replicated(idx, gen, end) {
             inner.abort_in_flight(idx);
             return Err(e);
+        }
+        if inner.gate.armed() {
+            // Only stamp when the gate actually waited for followers; an
+            // async-replication append has no repl-ack stage.
+            obs_trace::stamp_current(obs_trace::Stage::ReplAcked);
         }
         Ok(())
     }
@@ -1138,7 +1182,10 @@ impl SessionBackend for JournalBackend {
                 Some(session)
             }
             Err(e) => {
-                eprintln!("sns-server: fault-in of session {id} failed: {}", e.msg);
+                obs_log::warn(
+                    "session_faultin_failed",
+                    &[("session", Value::Str(id)), ("error", Value::Str(&e.msg))],
+                );
                 None
             }
         }
@@ -1201,9 +1248,13 @@ fn rollback_tail(idx: usize, shard: &mut Shard, cause: &io::Error) {
         .and_then(|()| shard.wal.seek(SeekFrom::End(0)).map(|_| ()));
     if let Err(e) = recovered {
         shard.poisoned = true;
-        eprintln!(
-            "sns-server: journal shard {idx} poisoned \
-             (append failed: {cause}; tail rollback failed: {e})"
+        obs_log::error(
+            "journal_shard_poisoned",
+            &[
+                ("shard", Value::U64(idx as u64)),
+                ("append_error", Value::Str(&cause.to_string())),
+                ("rollback_error", Value::Str(&e.to_string())),
+            ],
         );
     }
 }
@@ -1501,20 +1552,41 @@ fn replay_shard(dir: &Path, idx: usize) -> io::Result<(Shard, Vec<Session>)> {
                         owners.insert(id.clone(), owner);
                         live.insert(id, s);
                     }
-                    Err(e) => eprintln!("sns-server: replay create {id} skipped: {}", e.msg),
+                    Err(e) => obs_log::warn(
+                        "journal_replay_skipped",
+                        &[
+                            ("op", Value::Str("create")),
+                            ("session", Value::Str(&id)),
+                            ("error", Value::Str(&e.msg)),
+                        ],
+                    ),
                 }
             }
             OwnedOp::SetCode(id, source) => {
                 if let Some(s) = materialize(&mut live, &mut shadow, &mut owners, &id) {
                     if let Err(e) = s.replay_set_code(&source) {
-                        eprintln!("sns-server: replay set_code {id} skipped: {}", e.msg);
+                        obs_log::warn(
+                            "journal_replay_skipped",
+                            &[
+                                ("op", Value::Str("set_code")),
+                                ("session", Value::Str(&id)),
+                                ("error", Value::Str(&e.msg)),
+                            ],
+                        );
                     }
                 }
             }
             OwnedOp::Commit(id, subst) => {
                 if let Some(s) = materialize(&mut live, &mut shadow, &mut owners, &id) {
                     if let Err(e) = s.replay_commit(&subst) {
-                        eprintln!("sns-server: replay commit {id} skipped: {}", e.msg);
+                        obs_log::warn(
+                            "journal_replay_skipped",
+                            &[
+                                ("op", Value::Str("commit")),
+                                ("session", Value::Str(&id)),
+                                ("error", Value::Str(&e.msg)),
+                            ],
+                        );
                     }
                 }
             }
@@ -1526,10 +1598,12 @@ fn replay_shard(dir: &Path, idx: usize) -> io::Result<(Shard, Vec<Session>)> {
         }
     }
     if valid_end < buf.len() {
-        eprintln!(
-            "sns-server: truncating {} torn byte(s) off {}",
-            buf.len() - valid_end,
-            wal_path.display()
+        obs_log::warn(
+            "journal_torn_tail",
+            &[
+                ("bytes", Value::U64((buf.len() - valid_end) as u64)),
+                ("file", Value::Str(&wal_path.display().to_string())),
+            ],
         );
         wal.set_len(valid_end as u64)?;
     }
@@ -1598,7 +1672,14 @@ fn materialize<'a>(
                 live.insert(id.to_string(), s);
             }
             Err(e) => {
-                eprintln!("sns-server: replay materialize {id} failed: {}", e.msg);
+                obs_log::warn(
+                    "journal_replay_skipped",
+                    &[
+                        ("op", Value::Str("materialize")),
+                        ("session", Value::Str(id)),
+                        ("error", Value::Str(&e.msg)),
+                    ],
+                );
                 shadow.insert(id.to_string(), entry);
                 return None;
             }

@@ -147,6 +147,14 @@ pub struct ServerConfig {
     /// this many connected followers have acked its journal record
     /// (0 = asynchronous). Requires [`repl_listen`](ServerConfig::repl_listen).
     pub replicate_to: usize,
+    /// Allocate a per-request [`sns_obs::Trace`] stamped at each stage
+    /// boundary, feeding the `sns_stage_*` histograms and the flight
+    /// recorder (`--no-trace` disables; counters and the latency
+    /// histograms stay on either way).
+    pub trace: bool,
+    /// Requests slower than this end-to-end land in the flight
+    /// recorder's slow ring and emit a `slow_request` log record.
+    pub slow_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -167,6 +175,8 @@ impl Default for ServerConfig {
             repl_listen: None,
             follow: None,
             replicate_to: 0,
+            trace: true,
+            slow_ms: 50,
         }
     }
 }
@@ -254,6 +264,11 @@ impl Server {
         let state = Arc::new(ServerState {
             store,
             stats: ServerStats::new(),
+            telemetry: routes::Telemetry::new(
+                config.trace,
+                sns_obs::flight::DEFAULT_CAPACITY,
+                config.slow_ms.saturating_mul(1_000),
+            ),
             started: Instant::now(),
             max_sessions_per_ip: config.max_sessions_per_ip,
             max_durable_per_ip: config.max_durable_per_ip,

@@ -39,6 +39,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use sns_obs::trace::{self, Stage, Trace};
+
 use crate::http::{ConnParser, Parsed, Request, Response};
 use crate::json::Json;
 use crate::routes::{self, ServerState};
@@ -219,6 +221,9 @@ struct Completion {
     token: u64,
     response: Response,
     keep_alive: bool,
+    /// The request's trace, handed back so the reactor can stamp
+    /// `ResponseWritten` once the bytes are out.
+    trace: Option<Arc<Trace>>,
 }
 
 /// Worker → reactor channel: completed responses plus the wake pipe that
@@ -273,6 +278,9 @@ struct Conn {
     /// buffered are still answered; the connection closes once the
     /// parser runs dry instead of going idle.
     peer_closed: bool,
+    /// The in-flight request's trace, finished (stage histograms + flight
+    /// recorder) when its response is fully written.
+    trace: Option<Arc<Trace>>,
 }
 
 /// What became of a response write (or the connection under it).
@@ -483,6 +491,7 @@ impl Reactor {
                     deadline: Some(deadline),
                     interest: ffi::EPOLLIN,
                     peer_closed: false,
+                    trace: None,
                 },
             );
             self.schedule_sweep(deadline);
@@ -641,8 +650,9 @@ impl Reactor {
         }
     }
 
-    /// Hands a complete request to the worker pool (`None`), or sheds it
-    /// with a 503 when the pool's bounded queue is full — backpressure —
+    /// Hands a complete request to the worker pool (`None`), answers it
+    /// synchronously on the reactor thread (liveness probes, 503
+    /// shedding when the pool's bounded queue is full — backpressure),
     /// returning how that synchronous response went.
     fn dispatch(&mut self, token: u64, request: Request) -> Option<WriteProgress> {
         let Some(conn) = self.conns.get(&token) else {
@@ -650,16 +660,62 @@ impl Reactor {
         };
         let keep_alive = !request.wants_close() && !self.draining;
         let peer = conn.peer;
+        // The trace starts at parse completion: its clock zero *is* the
+        // ParseDone stamp.
+        let request_trace = self
+            .state
+            .telemetry
+            .start_trace(&request.method, &request.path);
+        if let Some(t) = &request_trace {
+            t.stamp(Stage::ParseDone);
+        }
+        // Liveness and telemetry bypass the pool entirely: a saturated
+        // queue must not 503 the probes that would diagnose it. These
+        // routes are read-only and allocation-light, so the reactor
+        // answers them inline.
+        if routes::is_inline(&request) {
+            let start = Instant::now();
+            if let Some(t) = &request_trace {
+                t.stamp(Stage::Dispatched);
+            }
+            let response = routes::dispatch(&self.state, &request, peer);
+            self.state
+                .stats
+                .record(start.elapsed(), response.status >= 400);
+            if let Some(t) = &request_trace {
+                t.set_status(response.status);
+                t.stamp(Stage::WorkerDone);
+            }
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.trace = request_trace;
+            }
+            return Some(self.queue_response(token, &response, keep_alive));
+        }
         let state = Arc::clone(&self.state);
         let notifier = Arc::clone(&self.notifier);
+        let job_trace = request_trace.clone();
         // Two clocks: queue wait (enqueue → worker pickup) and processing
         // (the route itself). /stats reports both, so load shows up as
         // queue_p99 instead of silently inflating the processing number
         // that is compared across transports.
         let enqueued = Instant::now();
+        if let Some(t) = &request_trace {
+            t.stamp(Stage::Queued);
+        }
         let job = move || {
             let start = Instant::now();
             state.stats.record_queue_wait(start - enqueued);
+            // Install the trace as the worker's current one so the layers
+            // below (journal append, fsync, replication gate, prepare)
+            // can stamp without being handed a handle; the guard restores
+            // on unwind too.
+            let guard = job_trace.as_ref().map(|t| {
+                t.stamp(Stage::Dequeued);
+                trace::set_current(t)
+            });
+            if let Some(t) = &job_trace {
+                t.stamp(Stage::Dispatched);
+            }
             // A panicking route must still produce a completion: without
             // it, `in_flight` never reaches zero again, the connection
             // wedges in Dispatched, and graceful drain can never finish.
@@ -672,11 +728,17 @@ impl Reactor {
                     Json::obj([("error", Json::str("internal error"))]).to_string(),
                 )
             });
+            drop(guard);
+            if let Some(t) = &job_trace {
+                t.set_status(response.status);
+                t.stamp(Stage::WorkerDone);
+            }
             state.stats.record(start.elapsed(), response.status >= 400);
             notifier.push(Completion {
                 token,
                 response,
                 keep_alive,
+                trace: job_trace,
             });
         };
         match self.pool.try_execute(job) {
@@ -699,6 +761,12 @@ impl Reactor {
                     Json::obj([("error", Json::str("server saturated"))]).to_string(),
                 )
                 .with_header("Retry-After", "1");
+                if let Some(t) = &request_trace {
+                    t.set_status(resp.status);
+                }
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.trace = request_trace;
+                }
                 Some(self.queue_response(token, &resp, keep_alive))
             }
         }
@@ -756,6 +824,16 @@ impl Reactor {
                 }
             }
         };
+        if matches!(outcome, Outcome::Done(_)) {
+            // The response is fully on the wire: stamp the final stage and
+            // feed the histograms + flight recorder. `take()` makes later
+            // passes over an already-written buffer a no-op.
+            if let Some(t) = self.conns.get_mut(&token).and_then(|c| c.trace.take()) {
+                t.stamp(Stage::ResponseWritten);
+                let done = self.state.telemetry.finish(&t);
+                self.state.stats.record_trace(&done);
+            }
+        }
         match outcome {
             // Keep-alive survives the response only outside drain mode: a
             // draining reactor must not park connections in Idle, or run()
@@ -795,6 +873,9 @@ impl Reactor {
             // The connection may have died while its request was being
             // processed; the response is then dropped on the floor.
             if self.conns.contains_key(&completion.token) {
+                if let Some(conn) = self.conns.get_mut(&completion.token) {
+                    conn.trace = completion.trace;
+                }
                 let progress = self.queue_response(
                     completion.token,
                     &completion.response,

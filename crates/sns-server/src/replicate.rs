@@ -75,6 +75,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use sns_obs::log::{self as obs_log, Value};
+
 use crate::journal::{self, crc32, read_frames, JournalInner, OwnedOp};
 use crate::json::{self, Json};
 use crate::routes::ServerState;
@@ -510,7 +512,13 @@ fn serve_follower(hub: &Arc<ReplHub>, stream: TcpStream) {
         .peer_addr()
         .unwrap_or_else(|_| "0.0.0.0:0".parse().expect("addr"));
     if let Err(e) = serve_follower_inner(hub, stream, peer) {
-        eprintln!("sns-server: replication follower {peer} dropped: {e}");
+        obs_log::warn(
+            "repl_follower_dropped",
+            &[
+                ("peer", Value::Str(&peer.to_string())),
+                ("error", Value::Str(&e.to_string())),
+            ],
+        );
     }
 }
 
@@ -586,7 +594,10 @@ fn serve_follower_inner(hub: &Arc<ReplHub>, stream: TcpStream, peer: SocketAddr)
             last_ack: Instant::now(),
         },
     );
-    eprintln!("sns-server: replication follower {peer} connected");
+    obs_log::info(
+        "repl_follower_connected",
+        &[("peer", Value::Str(&peer.to_string()))],
+    );
 
     // Ack reader: a dedicated thread so acks flow while the streamer
     // blocks in a long write. `closed` is the cross-signal.
@@ -752,7 +763,7 @@ fn follower_loop(state: &Arc<ServerState>, leader: &str) {
     loop {
         if control.promotion_requested() {
             control.complete_promotion();
-            eprintln!("sns-server: promoted to leader (stream already closed)");
+            obs_log::info("repl_promoted", &[("reason", Value::Str("stream_closed"))]);
             return;
         }
         let stream = match TcpStream::connect(leader) {
@@ -773,13 +784,19 @@ fn follower_loop(state: &Arc<ServerState>, leader: &str) {
         ) {
             Ok(()) => {
                 // Promotion completed inside the stream loop.
-                eprintln!("sns-server: promoted to leader (stream drained)");
+                obs_log::info("repl_promoted", &[("reason", Value::Str("stream_drained"))]);
                 return;
             }
             Err(e) => {
                 if control.promotion_requested() {
                     control.complete_promotion();
-                    eprintln!("sns-server: promoted to leader (leader gone: {e})");
+                    obs_log::info(
+                        "repl_promoted",
+                        &[
+                            ("reason", Value::Str("leader_gone")),
+                            ("error", Value::Str(&e.to_string())),
+                        ],
+                    );
                     return;
                 }
                 if e.kind() == io::ErrorKind::InvalidData {
@@ -792,7 +809,14 @@ fn follower_loop(state: &Arc<ServerState>, leader: &str) {
                     resync = true;
                     cursors.iter_mut().for_each(|c| *c = (0, 0));
                 }
-                eprintln!("sns-server: replication stream to {leader} ended: {e}; reconnecting");
+                obs_log::warn(
+                    "repl_stream_ended",
+                    &[
+                        ("leader", Value::Str(leader)),
+                        ("error", Value::Str(&e.to_string())),
+                        ("resync", Value::Bool(resync)),
+                    ],
+                );
                 std::thread::sleep(RECONNECT_BACKOFF);
             }
         }
@@ -963,6 +987,15 @@ fn apply_msg(
             known[idx] = desired.into_keys().collect();
             cursors[idx] = (gen, bytes);
             control.snapshots_applied.fetch_add(1, Ordering::Relaxed);
+            obs_log::info(
+                "repl_snapshot_applied",
+                &[
+                    ("shard", Value::U64(idx as u64)),
+                    ("gen", Value::U64(gen)),
+                    ("bytes", Value::U64(bytes)),
+                    ("sessions", Value::U64(known[idx].len() as u64)),
+                ],
+            );
         }
         Some("rec") => {
             let idx = field_u64(msg, "shard")? as usize;
@@ -1053,7 +1086,14 @@ fn apply_session_op(
             e.msg
         ))),
         Err(e) => {
-            eprintln!("sns-server: replicated {what} {id} skipped: {}", e.msg);
+            obs_log::warn(
+                "repl_record_skipped",
+                &[
+                    ("op", Value::Str(what)),
+                    ("session", Value::Str(id)),
+                    ("error", Value::Str(&e.msg)),
+                ],
+            );
             Ok(())
         }
     }
@@ -1098,7 +1138,14 @@ fn ensure_session(
         Err(e) => {
             // Deterministic: the same create failed its apply on the
             // leader (and would fail in boot replay); both sides skip.
-            eprintln!("sns-server: replicated create {id} skipped: {}", e.msg);
+            obs_log::warn(
+                "repl_record_skipped",
+                &[
+                    ("op", Value::Str("create")),
+                    ("session", Value::Str(id)),
+                    ("error", Value::Str(&e.msg)),
+                ],
+            );
             Ok(())
         }
     }

@@ -1,9 +1,12 @@
 //! Request routing: URL + JSON glue between HTTP and the session store.
 
 use std::net::IpAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use sns_obs::trace::Trace;
+use sns_obs::{log as obs_log, FlightRecorder};
 use sns_svg::{AttrRef, ShapeId, Zone};
 use sns_sync::OutputEdit;
 
@@ -11,8 +14,63 @@ use crate::http::{Request, Response};
 use crate::json::{self, Json};
 use crate::replicate::ReplControl;
 use crate::session::Session;
-use crate::stats::ServerStats;
+use crate::stats::{MirrorSnapshot, ServerStats};
 use crate::store::{InsertError, SessionStore};
+
+/// Per-request tracing state shared between the reactor (which allocates
+/// and finishes traces) and the routes (which dump them).
+pub struct Telemetry {
+    enabled: bool,
+    /// Completed-trace rings behind `GET /debug/traces`.
+    pub flight: FlightRecorder,
+    next_trace_id: AtomicU64,
+}
+
+impl Telemetry {
+    /// Creates telemetry state; `enabled = false` (`--no-trace`) makes
+    /// [`start_trace`](Telemetry::start_trace) a no-op returning `None`.
+    pub fn new(enabled: bool, ring_capacity: usize, slow_threshold_us: u64) -> Telemetry {
+        Telemetry {
+            enabled,
+            flight: FlightRecorder::new(ring_capacity, slow_threshold_us),
+            next_trace_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Allocates a trace for a freshly parsed request (or `None` under
+    /// `--no-trace`).
+    pub fn start_trace(&self, method: &str, path: &str) -> Option<Arc<Trace>> {
+        if !self.enabled {
+            return None;
+        }
+        let id = self.next_trace_id.fetch_add(1, Ordering::Relaxed);
+        Some(Arc::new(Trace::new(id, method, path)))
+    }
+
+    /// Whether traces are being allocated.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a completed trace into the flight recorder; slow traces
+    /// additionally produce a structured `slow_request` log record.
+    pub fn finish(&self, trace: &Trace) -> sns_obs::CompletedTrace {
+        let done = trace.finish();
+        if self.flight.record(done.clone()) {
+            obs_log::info(
+                "slow_request",
+                &[
+                    ("id", obs_log::Value::U64(done.id)),
+                    ("method", obs_log::Value::Str(&done.method)),
+                    ("path", obs_log::Value::Str(&done.path)),
+                    ("status", obs_log::Value::U64(u64::from(done.status))),
+                    ("total_us", obs_log::Value::U64(done.total_us)),
+                ],
+            );
+        }
+        done
+    }
+}
 
 /// Shared server state handed to every worker.
 pub struct ServerState {
@@ -20,6 +78,8 @@ pub struct ServerState {
     pub store: SessionStore,
     /// Request statistics.
     pub stats: ServerStats,
+    /// Tracing + flight-recorder state.
+    pub telemetry: Telemetry,
     /// Server start time (for uptime reporting).
     pub started: Instant,
     /// Live sessions one IP may hold before `POST /sessions` answers 429
@@ -163,6 +223,8 @@ pub fn dispatch(state: &Arc<ServerState>, request: &Request, peer: IpAddr) -> Re
         ("GET", ["healthz"]) => ok_json(200, Json::obj([("ok", Json::Bool(true))])),
         ("POST", ["promote"]) => promote(state),
         ("GET", ["stats"]) => stats(state),
+        ("GET", ["metrics"]) => metrics(state),
+        ("GET", ["debug", "traces"]) => debug_traces(state),
         ("POST", ["sessions"]) => create_session(state, &request.body, peer),
         ("GET", ["sessions", id, "canvas"]) => with_session(state, id, |s| Ok(s.canvas_json())),
         ("GET", ["sessions", id, "code"]) => with_session(state, id, |s| {
@@ -185,18 +247,80 @@ pub fn dispatch(state: &Arc<ServerState>, request: &Request, peer: IpAddr) -> Re
     }
 }
 
-fn stats(state: &Arc<ServerState>) -> Response {
-    let live = state.stats.live();
-    let gauges = state.stats.conn_gauges();
+/// Routes the reactor answers synchronously on its own thread, bypassing
+/// the worker pool, so liveness and telemetry stay readable when the
+/// pool queue is full (a saturated server must still answer its probes).
+/// All are read-only, allocation-light, and never touch a session lock.
+pub fn is_inline(request: &Request) -> bool {
+    request.method == "GET"
+        && matches!(
+            request.path.trim_end_matches('/'),
+            "/healthz" | "/stats" | "/metrics"
+        )
+}
+
+/// Snapshots the values owned by other subsystems (store, journal,
+/// replication) for mirroring into the registry at scrape time.
+fn mirror(state: &Arc<ServerState>) -> MirrorSnapshot {
     let journal = state.store.journal_gauges();
     let repl_leader = state.repl.leader_gauges().unwrap_or_default();
     let repl_apply = state.repl.apply_gauges();
+    MirrorSnapshot {
+        sessions: state.store.len() as u64,
+        sessions_durable: journal.durable_sessions,
+        evictions: state.store.evictions(),
+        demotions: state.store.demotions(),
+        journal_bytes: journal.journal_bytes,
+        journal_records: journal.journal_records,
+        snapshot_count: journal.snapshot_count,
+        replay_ms_last: journal.replay_ms_last,
+        faultins: journal.faultins,
+        fsyncs: journal.fsyncs,
+        repl_follower: state.repl.is_follower(),
+        followers_connected: repl_leader.followers_connected,
+        repl_lag_records: repl_leader.repl_lag_records,
+        repl_lag_bytes: repl_leader.repl_lag_bytes,
+        repl_last_ack_ms: repl_leader.last_ack_ms,
+        repl_records_applied: repl_apply.records_applied,
+        repl_snapshots_applied: repl_apply.snapshots_applied,
+        repl_connects: repl_apply.connects,
+        slow_requests: state.telemetry.flight.slow_count(),
+        uptime_secs: state.started.elapsed().as_secs_f64(),
+    }
+}
+
+/// `GET /metrics`: the whole registry as Prometheus text exposition.
+fn metrics(state: &Arc<ServerState>) -> Response {
+    state.stats.refresh(&mirror(state));
+    Response::with_body(
+        200,
+        "text/plain; version=0.0.4",
+        state.stats.render_prometheus(),
+    )
+}
+
+/// `GET /debug/traces`: recent + slow completed traces as JSONL.
+fn debug_traces(state: &Arc<ServerState>) -> Response {
+    Response::with_body(
+        200,
+        "application/x-ndjson",
+        state.telemetry.flight.dump_jsonl(),
+    )
+}
+
+fn stats(state: &Arc<ServerState>) -> Response {
+    let live = state.stats.live();
+    let gauges = state.stats.conn_gauges();
+    let m = mirror(state);
+    state.stats.refresh(&m);
+    let stage_p50 = state.stats.stage_quantiles_ms(0.50);
+    let stage_p99 = state.stats.stage_quantiles_ms(0.99);
     ok_json(
         200,
         Json::obj([
             (
                 "repl_role",
-                Json::str(if state.repl.is_follower() {
+                Json::str(if m.repl_follower {
                     "follower"
                 } else {
                     "leader"
@@ -204,41 +328,32 @@ fn stats(state: &Arc<ServerState>) -> Response {
             ),
             (
                 "followers_connected",
-                Json::Num(repl_leader.followers_connected as f64),
+                Json::Num(m.followers_connected as f64),
             ),
-            (
-                "repl_lag_records",
-                Json::Num(repl_leader.repl_lag_records as f64),
-            ),
-            (
-                "repl_lag_bytes",
-                Json::Num(repl_leader.repl_lag_bytes as f64),
-            ),
-            ("repl_last_ack_ms", Json::Num(repl_leader.last_ack_ms)),
+            ("repl_lag_records", Json::Num(m.repl_lag_records as f64)),
+            ("repl_lag_bytes", Json::Num(m.repl_lag_bytes as f64)),
+            ("repl_last_ack_ms", Json::Num(m.repl_last_ack_ms)),
             (
                 "repl_records_applied",
-                Json::Num(repl_apply.records_applied as f64),
+                Json::Num(m.repl_records_applied as f64),
             ),
             (
                 "repl_snapshots_applied",
-                Json::Num(repl_apply.snapshots_applied as f64),
+                Json::Num(m.repl_snapshots_applied as f64),
             ),
-            ("repl_connects", Json::Num(repl_apply.connects as f64)),
-            ("sessions", Json::Num(state.store.len() as f64)),
-            (
-                "sessions_durable",
-                Json::Num(journal.durable_sessions as f64),
-            ),
+            ("repl_connects", Json::Num(m.repl_connects as f64)),
+            ("sessions", Json::Num(m.sessions as f64)),
+            ("sessions_durable", Json::Num(m.sessions_durable as f64)),
             ("requests", Json::Num(state.stats.requests() as f64)),
             ("errors", Json::Num(state.stats.errors() as f64)),
-            ("evictions", Json::Num(state.store.evictions() as f64)),
-            ("demotions", Json::Num(state.store.demotions() as f64)),
-            ("journal_bytes", Json::Num(journal.journal_bytes as f64)),
-            ("journal_records", Json::Num(journal.journal_records as f64)),
-            ("snapshot_count", Json::Num(journal.snapshot_count as f64)),
-            ("replay_ms_last", Json::Num(journal.replay_ms_last)),
-            ("faultins", Json::Num(journal.faultins as f64)),
-            ("fsyncs", Json::Num(journal.fsyncs as f64)),
+            ("evictions", Json::Num(m.evictions as f64)),
+            ("demotions", Json::Num(m.demotions as f64)),
+            ("journal_bytes", Json::Num(m.journal_bytes as f64)),
+            ("journal_records", Json::Num(m.journal_records as f64)),
+            ("snapshot_count", Json::Num(m.snapshot_count as f64)),
+            ("replay_ms_last", Json::Num(m.replay_ms_last)),
+            ("faultins", Json::Num(m.faultins as f64)),
+            ("fsyncs", Json::Num(m.fsyncs as f64)),
             ("conns_open", Json::Num(gauges.open as f64)),
             ("conns_idle", Json::Num(gauges.idle as f64)),
             ("conns_in_flight", Json::Num(gauges.in_flight as f64)),
@@ -256,6 +371,7 @@ fn stats(state: &Arc<ServerState>) -> Response {
                 "quota_rejections",
                 Json::Num(state.stats.quota_rejections() as f64),
             ),
+            ("slow_requests", Json::Num(m.slow_requests as f64)),
             ("p50_ms", Json::Num(state.stats.quantile_ms(0.50))),
             ("p99_ms", Json::Num(state.stats.quantile_ms(0.99))),
             (
@@ -266,6 +382,18 @@ fn stats(state: &Arc<ServerState>) -> Response {
                 "queue_p99_ms",
                 Json::Num(state.stats.queue_quantile_ms(0.99)),
             ),
+            ("stage_queue_p50_ms", Json::Num(stage_p50[0])),
+            ("stage_queue_p99_ms", Json::Num(stage_p99[0])),
+            ("stage_prepare_p50_ms", Json::Num(stage_p50[1])),
+            ("stage_prepare_p99_ms", Json::Num(stage_p99[1])),
+            ("stage_journal_p50_ms", Json::Num(stage_p50[2])),
+            ("stage_journal_p99_ms", Json::Num(stage_p99[2])),
+            ("stage_fsync_p50_ms", Json::Num(stage_p50[3])),
+            ("stage_fsync_p99_ms", Json::Num(stage_p99[3])),
+            ("stage_repl_ack_p50_ms", Json::Num(stage_p50[4])),
+            ("stage_repl_ack_p99_ms", Json::Num(stage_p99[4])),
+            ("stage_write_p50_ms", Json::Num(stage_p50[5])),
+            ("stage_write_p99_ms", Json::Num(stage_p99[5])),
             ("prepare_full", Json::Num(live.full_prepares as f64)),
             (
                 "prepare_incremental",
@@ -273,10 +401,7 @@ fn stats(state: &Arc<ServerState>) -> Response {
             ),
             ("eval_fast", Json::Num(live.fast_evals as f64)),
             ("eval_full", Json::Num(live.full_evals as f64)),
-            (
-                "uptime_secs",
-                Json::Num(state.started.elapsed().as_secs_f64()),
-            ),
+            ("uptime_secs", Json::Num(m.uptime_secs)),
         ]),
     )
 }
@@ -336,6 +461,7 @@ fn create_session(state: &Arc<ServerState>, body: &[u8], peer: IpAddr) -> Respon
     let id = state.store.fresh_id();
     match Session::create(id.clone(), &source) {
         Ok(mut session) => {
+            sns_obs::trace::stamp_current(sns_obs::trace::Stage::PrepareDone);
             let code = session.code();
             let canvas = session.canvas_json();
             let live_delta = session.live_stats_delta();

@@ -13,6 +13,7 @@ use std::sync::Arc;
 use sns_editor::{Editor, EditorConfig};
 use sns_eval::{Limits, Program};
 use sns_lang::Subst;
+use sns_obs::trace::{stamp_current, Stage};
 use sns_svg::{ShapeId, Zone};
 
 use crate::json::Json;
@@ -206,7 +207,10 @@ impl Session {
         })?;
         let result = apply(&mut self.editor);
         match &result {
-            Ok(_) => guard.finish(Some(&self.editor.code())),
+            Ok(_) => {
+                stamp_current(Stage::PrepareDone);
+                guard.finish(Some(&self.editor.code()));
+            }
             Err(_) => guard.finish(None),
         }
         result.map_err(|e| SessionError::bad(e.to_string()))
@@ -306,6 +310,7 @@ impl Session {
         }
         match self.editor.drag_to(dx, dy) {
             Ok(feedback) => {
+                stamp_current(Stage::PrepareDone);
                 let subst: Vec<Json> = feedback
                     .subst
                     .iter()

@@ -1,14 +1,19 @@
-//! Service statistics: request counters and a lock-free latency histogram
-//! with p50/p99 estimates.
+//! Service statistics over the [`sns_obs`] metrics registry.
 //!
-//! Latencies land in logarithmic buckets (powers of two of microseconds),
-//! recorded with relaxed atomics — cheap enough to run on every request.
+//! Every counter, gauge, and histogram lives in a [`Registry`] so one
+//! source of truth feeds both surfaces: the JSON `/stats` document and
+//! the Prometheus text at `/metrics`. Hot-path metrics (request counts,
+//! latency buckets) are recorded directly on their `Arc` handles —
+//! relaxed atomics, no registry lookup. Values owned by other subsystems
+//! (the store's eviction count, the journal's byte totals, replication
+//! lag) are *mirrored*: [`ServerStats::refresh`] republishes them at
+//! scrape time.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
-/// Number of log2 buckets: covers 1 µs … ~36 minutes.
-const BUCKETS: usize = 32;
+use sns_obs::metrics::{Counter, Gauge, Histogram, Registry};
+use sns_obs::trace::{CompletedTrace, Stage};
 
 /// Point-in-time connection gauges published by the reactor.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -21,31 +26,235 @@ pub struct ConnGauges {
     pub in_flight: u64,
 }
 
-/// Request statistics shared across workers.
-#[derive(Debug, Default)]
+/// A scrape-time snapshot of values owned by other subsystems, mirrored
+/// into the registry by [`ServerStats::refresh`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MirrorSnapshot {
+    /// Resident sessions.
+    pub sessions: u64,
+    /// Durable (on-disk) sessions.
+    pub sessions_durable: u64,
+    /// LRU evictions (destroy or demote).
+    pub evictions: u64,
+    /// Demotions to disk.
+    pub demotions: u64,
+    /// Live journal bytes across shards.
+    pub journal_bytes: u64,
+    /// Live journal records across shards.
+    pub journal_records: u64,
+    /// Snapshot (compaction) generations taken.
+    pub snapshot_count: u64,
+    /// Duration of the last boot replay, in milliseconds.
+    pub replay_ms_last: f64,
+    /// Sessions faulted in from disk.
+    pub faultins: u64,
+    /// fsync calls issued by the journal.
+    pub fsyncs: u64,
+    /// 1 when this node is a replication follower.
+    pub repl_follower: bool,
+    /// Followers currently connected (leader side).
+    pub followers_connected: u64,
+    /// Worst follower lag, in records.
+    pub repl_lag_records: u64,
+    /// Worst follower lag, in bytes.
+    pub repl_lag_bytes: u64,
+    /// Milliseconds since the freshest follower ack.
+    pub repl_last_ack_ms: f64,
+    /// Records applied from the leader's stream (follower side).
+    pub repl_records_applied: u64,
+    /// Snapshot catch-ups applied (follower side).
+    pub repl_snapshots_applied: u64,
+    /// Times the follower (re)connected to its leader.
+    pub repl_connects: u64,
+    /// Requests slower than the `--slow-ms` threshold.
+    pub slow_requests: u64,
+    /// Seconds since the server started.
+    pub uptime_secs: f64,
+}
+
+/// Request statistics shared across workers, backed by a metrics
+/// registry renderable as Prometheus text.
 pub struct ServerStats {
-    requests: AtomicU64,
-    errors: AtomicU64,
-    buckets: [AtomicU64; BUCKETS],
-    queue_buckets: [AtomicU64; BUCKETS],
-    prepare_full: AtomicU64,
-    prepare_incremental: AtomicU64,
-    eval_fast: AtomicU64,
-    eval_full: AtomicU64,
-    conns_open: AtomicU64,
-    conns_idle: AtomicU64,
-    conns_in_flight: AtomicU64,
-    accept_drops: AtomicU64,
-    read_timeouts: AtomicU64,
-    idle_reaped: AtomicU64,
-    queue_rejections: AtomicU64,
-    quota_rejections: AtomicU64,
+    registry: Registry,
+    requests: Arc<Counter>,
+    errors: Arc<Counter>,
+    request_us: Arc<Histogram>,
+    stage_queue_us: Arc<Histogram>,
+    stage_prepare_us: Arc<Histogram>,
+    stage_journal_us: Arc<Histogram>,
+    stage_fsync_us: Arc<Histogram>,
+    stage_repl_ack_us: Arc<Histogram>,
+    stage_write_us: Arc<Histogram>,
+    prepare_full: Arc<Counter>,
+    prepare_incremental: Arc<Counter>,
+    eval_fast: Arc<Counter>,
+    eval_full: Arc<Counter>,
+    conns_open: Arc<Gauge>,
+    conns_idle: Arc<Gauge>,
+    conns_in_flight: Arc<Gauge>,
+    accept_drops: Arc<Counter>,
+    read_timeouts: Arc<Counter>,
+    idle_reaped: Arc<Counter>,
+    queue_rejections: Arc<Counter>,
+    quota_rejections: Arc<Counter>,
+    // Mirrored from other subsystems at scrape time.
+    sessions: Arc<Gauge>,
+    sessions_durable: Arc<Gauge>,
+    evictions: Arc<Counter>,
+    demotions: Arc<Counter>,
+    journal_bytes: Arc<Gauge>,
+    journal_records: Arc<Gauge>,
+    snapshot_count: Arc<Counter>,
+    replay_ms_last: Arc<Gauge>,
+    faultins: Arc<Counter>,
+    fsyncs: Arc<Counter>,
+    repl_follower: Arc<Gauge>,
+    followers_connected: Arc<Gauge>,
+    repl_lag_records: Arc<Gauge>,
+    repl_lag_bytes: Arc<Gauge>,
+    repl_last_ack_ms: Arc<Gauge>,
+    repl_records_applied: Arc<Counter>,
+    repl_snapshots_applied: Arc<Counter>,
+    repl_connects: Arc<Counter>,
+    slow_requests: Arc<Counter>,
+    uptime_seconds: Arc<Gauge>,
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        ServerStats::new()
+    }
 }
 
 impl ServerStats {
-    /// Creates zeroed stats.
+    /// Creates zeroed stats with every metric registered.
     pub fn new() -> ServerStats {
-        ServerStats::default()
+        let r = Registry::new();
+        ServerStats {
+            requests: r.counter("sns_requests_total", "Requests served."),
+            errors: r.counter("sns_errors_total", "Requests answered with a non-2xx status."),
+            request_us: r.histogram(
+                "sns_request_us",
+                "Route processing latency on a worker, in microseconds.",
+            ),
+            stage_queue_us: r.histogram(
+                "sns_stage_queue_us",
+                "Time a request waited in the worker-pool queue, in microseconds.",
+            ),
+            stage_prepare_us: r.histogram(
+                "sns_stage_prepare_us",
+                "Time spent in live-sync prepare/apply, in microseconds.",
+            ),
+            stage_journal_us: r.histogram(
+                "sns_stage_journal_us",
+                "Time spent appending to the write-ahead journal, in microseconds.",
+            ),
+            stage_fsync_us: r.histogram(
+                "sns_stage_fsync_us",
+                "Time spent waiting for the journal fsync (direct or group commit), in microseconds.",
+            ),
+            stage_repl_ack_us: r.histogram(
+                "sns_stage_repl_ack_us",
+                "Time spent waiting for synchronous follower acks, in microseconds.",
+            ),
+            stage_write_us: r.histogram(
+                "sns_stage_write_us",
+                "Time from worker completion to the response fully written, in microseconds.",
+            ),
+            prepare_full: r.counter("sns_prepare_full_total", "Full (cold) prepares."),
+            prepare_incremental: r.counter(
+                "sns_prepare_incremental_total",
+                "Incremental (cached) prepares.",
+            ),
+            eval_fast: r.counter("sns_eval_fast_total", "Fast-path (substitution-only) evals."),
+            eval_full: r.counter("sns_eval_full_total", "Full re-evaluations."),
+            conns_open: r.gauge("sns_conns_open", "Connections currently open."),
+            conns_idle: r.gauge(
+                "sns_conns_idle",
+                "Open connections idle between keep-alive requests.",
+            ),
+            conns_in_flight: r.gauge(
+                "sns_conns_in_flight",
+                "Requests dispatched to the worker pool and not yet answered.",
+            ),
+            accept_drops: r.counter(
+                "sns_accept_drops_total",
+                "Connections turned away at the --max-conns accept gate.",
+            ),
+            read_timeouts: r.counter(
+                "sns_read_timeouts_total",
+                "Connections closed for blowing a read/write deadline.",
+            ),
+            idle_reaped: r.counter(
+                "sns_idle_reaped_total",
+                "Idle keep-alive connections reaped by the idle timeout.",
+            ),
+            queue_rejections: r.counter(
+                "sns_queue_rejections_total",
+                "Requests refused with 503 because the job queue was full.",
+            ),
+            quota_rejections: r.counter(
+                "sns_quota_rejections_total",
+                "Sessions refused with 429 (per-IP quota).",
+            ),
+            sessions: r.gauge("sns_sessions", "Resident sessions."),
+            sessions_durable: r.gauge("sns_sessions_durable", "Durable (on-disk) sessions."),
+            evictions: r.counter("sns_evictions_total", "LRU evictions (destroy or demote)."),
+            demotions: r.counter("sns_demotions_total", "Sessions demoted to disk."),
+            journal_bytes: r.gauge("sns_journal_bytes", "Live journal bytes across shards."),
+            journal_records: r.gauge(
+                "sns_journal_records",
+                "Live journal records across shards.",
+            ),
+            snapshot_count: r.counter(
+                "sns_snapshot_count_total",
+                "Snapshot (compaction) generations taken.",
+            ),
+            replay_ms_last: r.gauge(
+                "sns_replay_ms_last",
+                "Duration of the last boot replay, in milliseconds.",
+            ),
+            faultins: r.counter("sns_faultins_total", "Sessions faulted in from disk."),
+            fsyncs: r.counter("sns_fsyncs_total", "fsync calls issued by the journal."),
+            repl_follower: r.gauge(
+                "sns_repl_follower",
+                "1 when this node is a replication follower, 0 on a leader.",
+            ),
+            followers_connected: r.gauge(
+                "sns_repl_followers_connected",
+                "Followers currently connected (leader side).",
+            ),
+            repl_lag_records: r.gauge(
+                "sns_repl_lag_records",
+                "Worst connected-follower lag, in journal records.",
+            ),
+            repl_lag_bytes: r.gauge(
+                "sns_repl_lag_bytes",
+                "Worst connected-follower lag, in journal bytes.",
+            ),
+            repl_last_ack_ms: r.gauge(
+                "sns_repl_last_ack_ms",
+                "Milliseconds since the freshest follower ack.",
+            ),
+            repl_records_applied: r.counter(
+                "sns_repl_records_applied_total",
+                "Records applied from the leader's stream (follower side).",
+            ),
+            repl_snapshots_applied: r.counter(
+                "sns_repl_snapshots_applied_total",
+                "Snapshot catch-ups applied (follower side).",
+            ),
+            repl_connects: r.counter(
+                "sns_repl_connects_total",
+                "Times the follower (re)connected to its leader.",
+            ),
+            slow_requests: r.counter(
+                "sns_slow_requests_total",
+                "Requests slower than the --slow-ms threshold.",
+            ),
+            uptime_seconds: r.gauge("sns_uptime_seconds", "Seconds since the server started."),
+            registry: r,
+        }
     }
 
     /// Records one request and its *processing* latency (route dispatch on
@@ -53,153 +262,202 @@ impl ServerStats {
     /// transports; pool queue wait is recorded separately by
     /// [`record_queue_wait`](ServerStats::record_queue_wait)).
     pub fn record(&self, latency: Duration, is_error: bool) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.requests.inc();
         if is_error {
-            self.errors.fetch_add(1, Ordering::Relaxed);
+            self.errors.inc();
         }
-        self.buckets[Self::bucket_of(latency)].fetch_add(1, Ordering::Relaxed);
+        self.request_us.record(latency);
     }
 
     /// Records how long one request waited in the worker-pool queue
-    /// before a worker picked it up.
+    /// before a worker picked it up. This feeds the queue-stage histogram
+    /// directly (rather than via trace completion) so the number exists
+    /// even under `--no-trace`.
     pub fn record_queue_wait(&self, wait: Duration) {
-        self.queue_buckets[Self::bucket_of(wait)].fetch_add(1, Ordering::Relaxed);
+        self.stage_queue_us.record(wait);
     }
 
-    fn bucket_of(latency: Duration) -> usize {
-        let micros = latency.as_micros().max(1) as u64;
-        (63 - micros.leading_zeros() as usize).min(BUCKETS - 1)
+    /// Feeds a completed trace's stage durations into the per-stage
+    /// histograms. The queue stage is skipped — `record_queue_wait`
+    /// already counted it.
+    pub fn record_trace(&self, trace: &CompletedTrace) {
+        for (stage, us) in trace.stage_durations_us() {
+            match stage {
+                Stage::JournalAppended => self.stage_journal_us.record_micros(us),
+                Stage::Fsynced => self.stage_fsync_us.record_micros(us),
+                Stage::ReplAcked => self.stage_repl_ack_us.record_micros(us),
+                Stage::PrepareDone => self.stage_prepare_us.record_micros(us),
+                Stage::ResponseWritten => self.stage_write_us.record_micros(us),
+                _ => {}
+            }
+        }
     }
 
     /// Total requests served.
     pub fn requests(&self) -> u64 {
-        self.requests.load(Ordering::Relaxed)
+        self.requests.get()
     }
 
     /// Requests that produced a non-2xx response.
     pub fn errors(&self) -> u64 {
-        self.errors.load(Ordering::Relaxed)
+        self.errors.get()
     }
 
     /// Accumulates live-sync cache counters reported by a session after a
     /// request (deltas since that session's previous report).
     pub fn record_live(&self, delta: sns_sync::LiveStats) {
-        self.prepare_full
-            .fetch_add(delta.full_prepares, Ordering::Relaxed);
-        self.prepare_incremental
-            .fetch_add(delta.incremental_prepares, Ordering::Relaxed);
-        self.eval_fast
-            .fetch_add(delta.fast_evals, Ordering::Relaxed);
-        self.eval_full
-            .fetch_add(delta.full_evals, Ordering::Relaxed);
+        self.prepare_full.add(delta.full_prepares);
+        self.prepare_incremental.add(delta.incremental_prepares);
+        self.eval_fast.add(delta.fast_evals);
+        self.eval_full.add(delta.full_evals);
     }
 
     /// Aggregate live-sync cache counters across all sessions.
     pub fn live(&self) -> sns_sync::LiveStats {
         sns_sync::LiveStats {
-            full_prepares: self.prepare_full.load(Ordering::Relaxed),
-            incremental_prepares: self.prepare_incremental.load(Ordering::Relaxed),
-            fast_evals: self.eval_fast.load(Ordering::Relaxed),
-            full_evals: self.eval_full.load(Ordering::Relaxed),
+            full_prepares: self.prepare_full.get(),
+            incremental_prepares: self.prepare_incremental.get(),
+            fast_evals: self.eval_fast.get(),
+            full_evals: self.eval_full.get(),
         }
     }
 
     /// Publishes the reactor's connection gauges (absolute values).
     pub fn set_conn_gauges(&self, gauges: ConnGauges) {
-        self.conns_open.store(gauges.open, Ordering::Relaxed);
-        self.conns_idle.store(gauges.idle, Ordering::Relaxed);
-        self.conns_in_flight
-            .store(gauges.in_flight, Ordering::Relaxed);
+        self.conns_open.set(gauges.open as f64);
+        self.conns_idle.set(gauges.idle as f64);
+        self.conns_in_flight.set(gauges.in_flight as f64);
     }
 
     /// The most recently published connection gauges.
     pub fn conn_gauges(&self) -> ConnGauges {
         ConnGauges {
-            open: self.conns_open.load(Ordering::Relaxed),
-            idle: self.conns_idle.load(Ordering::Relaxed),
-            in_flight: self.conns_in_flight.load(Ordering::Relaxed),
+            open: self.conns_open.get() as u64,
+            idle: self.conns_idle.get() as u64,
+            in_flight: self.conns_in_flight.get() as u64,
         }
     }
 
     /// Counts a connection turned away at the `--max-conns` accept gate.
     pub fn record_accept_drop(&self) {
-        self.accept_drops.fetch_add(1, Ordering::Relaxed);
+        self.accept_drops.inc();
     }
 
     /// Connections turned away at the accept gate.
     pub fn accept_drops(&self) -> u64 {
-        self.accept_drops.load(Ordering::Relaxed)
+        self.accept_drops.get()
     }
 
     /// Counts a connection closed for blowing a read/write deadline.
     pub fn record_read_timeout(&self) {
-        self.read_timeouts.fetch_add(1, Ordering::Relaxed);
+        self.read_timeouts.inc();
     }
 
     /// Connections closed for blowing a read/write deadline.
     pub fn read_timeouts(&self) -> u64 {
-        self.read_timeouts.load(Ordering::Relaxed)
+        self.read_timeouts.get()
     }
 
     /// Counts an idle keep-alive connection reaped by the idle timeout.
     pub fn record_idle_reaped(&self) {
-        self.idle_reaped.fetch_add(1, Ordering::Relaxed);
+        self.idle_reaped.inc();
     }
 
     /// Idle keep-alive connections reaped by the idle timeout.
     pub fn idle_reaped(&self) -> u64 {
-        self.idle_reaped.load(Ordering::Relaxed)
+        self.idle_reaped.get()
     }
 
     /// Counts a request refused with 503 because the job queue was full.
     pub fn record_queue_rejection(&self) {
-        self.queue_rejections.fetch_add(1, Ordering::Relaxed);
+        self.queue_rejections.inc();
     }
 
     /// Requests refused with 503 (job queue full).
     pub fn queue_rejections(&self) -> u64 {
-        self.queue_rejections.load(Ordering::Relaxed)
+        self.queue_rejections.get()
     }
 
     /// Counts a session refused with 429 (per-IP quota).
     pub fn record_quota_rejection(&self) {
-        self.quota_rejections.fetch_add(1, Ordering::Relaxed);
+        self.quota_rejections.inc();
     }
 
     /// Sessions refused with 429 (per-IP quota).
     pub fn quota_rejections(&self) -> u64 {
-        self.quota_rejections.load(Ordering::Relaxed)
+        self.quota_rejections.get()
     }
 
     /// The processing latency (in milliseconds) at or below which `q` of
     /// requests completed — an upper-bound estimate from bucket
     /// boundaries.
     pub fn quantile_ms(&self, q: f64) -> f64 {
-        Self::quantile_of(&self.buckets, q)
+        self.request_us.quantile_ms(q)
     }
 
     /// The worker-pool queue wait (in milliseconds) at or below which `q`
     /// of requests were picked up.
     pub fn queue_quantile_ms(&self, q: f64) -> f64 {
-        Self::quantile_of(&self.queue_buckets, q)
+        self.stage_queue_us.quantile_ms(q)
     }
 
-    fn quantile_of(buckets: &[AtomicU64; BUCKETS], q: f64) -> f64 {
-        let counts: Vec<u64> = buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0.0;
-        }
-        let rank = (q * total as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                // Upper edge of bucket i: 2^(i+1) microseconds.
-                return (1u64 << (i + 1)) as f64 / 1000.0;
-            }
-        }
-        (1u64 << BUCKETS) as f64 / 1000.0
+    /// Per-stage p-quantile in milliseconds, in ISSUE order:
+    /// (queue, prepare, journal, fsync, repl_ack, write).
+    pub fn stage_quantiles_ms(&self, q: f64) -> [f64; 6] {
+        [
+            self.stage_queue_us.quantile_ms(q),
+            self.stage_prepare_us.quantile_ms(q),
+            self.stage_journal_us.quantile_ms(q),
+            self.stage_fsync_us.quantile_ms(q),
+            self.stage_repl_ack_us.quantile_ms(q),
+            self.stage_write_us.quantile_ms(q),
+        ]
+    }
+
+    /// Republishes mirrored values (store, journal, replication, uptime)
+    /// into the registry. Called by `/stats` and `/metrics` handlers just
+    /// before rendering.
+    pub fn refresh(&self, m: &MirrorSnapshot) {
+        self.sessions.set(m.sessions as f64);
+        self.sessions_durable.set(m.sessions_durable as f64);
+        self.evictions.set(m.evictions);
+        self.demotions.set(m.demotions);
+        self.journal_bytes.set(m.journal_bytes as f64);
+        self.journal_records.set(m.journal_records as f64);
+        self.snapshot_count.set(m.snapshot_count);
+        self.replay_ms_last.set(m.replay_ms_last);
+        self.faultins.set(m.faultins);
+        self.fsyncs.set(m.fsyncs);
+        self.repl_follower
+            .set(if m.repl_follower { 1.0 } else { 0.0 });
+        self.followers_connected.set(m.followers_connected as f64);
+        self.repl_lag_records.set(m.repl_lag_records as f64);
+        self.repl_lag_bytes.set(m.repl_lag_bytes as f64);
+        self.repl_last_ack_ms.set(m.repl_last_ack_ms);
+        self.repl_records_applied.set(m.repl_records_applied);
+        self.repl_snapshots_applied.set(m.repl_snapshots_applied);
+        self.repl_connects.set(m.repl_connects);
+        self.slow_requests.set(m.slow_requests);
+        self.uptime_seconds.set(m.uptime_secs);
+    }
+
+    /// Renders every metric as Prometheus text exposition.
+    pub fn render_prometheus(&self) -> String {
+        self.registry.render_prometheus()
+    }
+
+    /// Every registered metric name (the docs drift gate).
+    pub fn metric_names(&self) -> Vec<&'static str> {
+        self.registry.metric_names()
+    }
+}
+
+impl std::fmt::Debug for ServerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerStats")
+            .field("requests", &self.requests())
+            .field("errors", &self.errors())
+            .finish_non_exhaustive()
     }
 }
 
@@ -259,5 +517,63 @@ mod tests {
             ),
             (1, 1, 1, 1, 1)
         );
+    }
+
+    #[test]
+    fn trace_completion_feeds_stage_histograms() {
+        use sns_obs::trace::Trace;
+        let stats = ServerStats::new();
+        let t = Trace::new(1, "POST", "/sessions/x/drag");
+        t.stamp(Stage::ParseDone);
+        t.stamp(Stage::Queued);
+        t.stamp(Stage::Dequeued);
+        t.stamp(Stage::Dispatched);
+        t.stamp(Stage::JournalAppended);
+        t.stamp(Stage::Fsynced);
+        t.stamp(Stage::PrepareDone);
+        t.stamp(Stage::WorkerDone);
+        t.stamp(Stage::ResponseWritten);
+        stats.record_trace(&t.finish());
+        // journal/fsync/prepare/write got one observation each; repl_ack
+        // (never stamped) and queue (fed by record_queue_wait) got none.
+        let p100 = stats.stage_quantiles_ms(1.0);
+        assert_eq!(p100[0], 0.0, "queue fed only by record_queue_wait");
+        assert!(p100[1] > 0.0, "prepare");
+        assert!(p100[2] > 0.0, "journal");
+        assert!(p100[3] > 0.0, "fsync");
+        assert_eq!(p100[4], 0.0, "repl_ack unstamped");
+        assert!(p100[5] > 0.0, "write");
+    }
+
+    #[test]
+    fn prometheus_covers_stats_fields() {
+        let stats = ServerStats::new();
+        stats.refresh(&MirrorSnapshot {
+            sessions: 3,
+            journal_bytes: 4096,
+            repl_follower: true,
+            uptime_secs: 1.5,
+            ..MirrorSnapshot::default()
+        });
+        let text = stats.render_prometheus();
+        for name in [
+            "sns_requests_total",
+            "sns_errors_total",
+            "sns_request_us",
+            "sns_stage_queue_us",
+            "sns_stage_prepare_us",
+            "sns_stage_journal_us",
+            "sns_stage_fsync_us",
+            "sns_stage_repl_ack_us",
+            "sns_stage_write_us",
+            "sns_sessions",
+            "sns_journal_bytes",
+            "sns_repl_follower",
+            "sns_uptime_seconds",
+        ] {
+            assert!(text.contains(&format!("# TYPE {name} ")), "missing {name}");
+        }
+        assert!(text.contains("sns_sessions 3"));
+        assert!(text.contains("sns_repl_follower 1"));
     }
 }
