@@ -81,6 +81,7 @@ COMMANDS:\n\
         [--data-dir DIR] [--fsync always|batch|never] [--auth-token T]\n\
         [--repl-listen A] [--replicate-to N] [--follow A]\n\
         [--no-trace] [--slow-ms N] [--log-level L] [--log-format json|text]\n\
+        [--fault-plan SPEC]\n\
                                         run the live-sync HTTP service\n\
                                         (--threads = CPU workers; connections\n\
                                         are gated by --max-conns; SIGTERM drains;\n\
@@ -98,7 +99,10 @@ COMMANDS:\n\
                                         --log-level error|warn|info|debug and\n\
                                         --log-format text|json shape stderr\n\
                                         logs; scrape GET /metrics, inspect\n\
-                                        GET /debug/traces)\n\
+                                        GET /debug/traces; --fault-plan, or\n\
+                                        SNS_FAULT_PLAN, arms deterministic\n\
+                                        fault injection — debug builds only,\n\
+                                        see docs/robustness.md)\n\
 \n\
 FILE may be a path or example:SLUG (e.g. example:wave_boxes).\n\
 Zones: interior, rightedge, botrightcorner, botedge, botleftcorner,\n\
@@ -374,6 +378,14 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
         .cloned()
         .or_else(|| std::env::var("SNS_AUTH_TOKEN").ok())
         .filter(|t| !t.is_empty());
+    // Fault injection (debug builds only; `Server::bind` refuses the
+    // plan in release). Flag beats environment, same as the token.
+    config.fault_spec = args
+        .options
+        .get("fault-plan")
+        .cloned()
+        .or_else(|| std::env::var("SNS_FAULT_PLAN").ok())
+        .filter(|s| !s.is_empty());
     let server = sns_server::Server::bind(&config).map_err(|e| e.to_string())?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     // SIGTERM drains: stop accepting, finish in-flight requests, exit 0.

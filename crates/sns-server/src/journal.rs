@@ -74,6 +74,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use sns_faults::{FaultAction, Faults};
 use sns_lang::{LocId, Subst};
 use sns_obs::log::{self as obs_log, Value};
 use sns_obs::trace as obs_trace;
@@ -143,6 +144,10 @@ pub struct JournalConfig {
     /// The group-commit time bound under [`FsyncPolicy::Batch`]: an
     /// append waits at most this long for the shared fsync.
     pub batch_interval: Duration,
+    /// Fault injection handle (debug builds only; disarmed by default).
+    /// Injection points: `journal.write`, `journal.fsync`,
+    /// `journal.rename`.
+    pub faults: Faults,
 }
 
 impl JournalConfig {
@@ -156,9 +161,23 @@ impl JournalConfig {
             compact_bytes: 1 << 20,
             compact_factor: 8,
             batch_interval: Duration::from_millis(5),
+            faults: Faults::disabled(),
         }
     }
 }
+
+/// Consecutive append failures on one shard before it degrades to
+/// read-only (a single failed write is the client's problem; a run of
+/// them means the disk, not the request).
+const DEGRADE_AFTER_FAILURES: u32 = 3;
+
+/// How often the maintenance thread probes a degraded shard's disk.
+const PROBE_INTERVAL: Duration = Duration::from_millis(100);
+
+/// The record a degraded-shard probe appends (and immediately truncates
+/// away). Decodes to no known op, so a crash mid-probe replays past it
+/// harmlessly.
+const PROBE_RECORD: &[u8] = br#"{"op":"probe"}"#;
 
 /// A shard never compacts below this many records (avoids churn while a
 /// shard is nearly empty).
@@ -201,10 +220,22 @@ struct Shard {
     /// until the next compaction rewrites history from the shadow (which
     /// is the point where the orphaned record leaves the journal).
     stable_frozen: bool,
-    /// Set when a failed append could not be truncated away: the tail may
-    /// hold garbage that would make replay discard later records, so the
-    /// shard refuses further appends instead of issuing false acks.
-    poisoned: bool,
+    /// Set when the shard's disk stopped taking writes — a failed append
+    /// could not be truncated away, a group fsync failed, or appends kept
+    /// failing — and the shard refuses appends instead of issuing false
+    /// acks. Unlike the old permanent "poisoned" state this is
+    /// *recoverable*: the maintenance thread probes the disk
+    /// ([`JournalInner::probe_degraded`]) and re-arms writes once a full
+    /// write + fsync round-trip succeeds again. Reads never consult this
+    /// flag; a degraded shard keeps serving from its shadow.
+    degraded: bool,
+    /// Consecutive failed appends; at [`DEGRADE_AFTER_FAILURES`] the
+    /// shard degrades. Reset by any successful append.
+    append_failures: u32,
+    /// When the shard degraded (for the recovery log's outage span).
+    degraded_since: Option<Instant>,
+    /// When the maintenance thread last probed this degraded shard.
+    last_probe: Option<Instant>,
     shadow: HashMap<String, ShadowEntry>,
 }
 
@@ -271,6 +302,19 @@ impl GroupSync {
 
     fn poison(&self) {
         self.state.lock().expect("group sync lock").poisoned = true;
+        self.cv.notify_all();
+    }
+
+    /// Clears a poisoned group after the shard's disk recovered: the
+    /// probe has fsynced the whole file, so `synced` jumps to the shard
+    /// head. The epoch bump keeps any straggling fsync of the failed
+    /// regime from publishing.
+    fn repair(&self, synced: u64) {
+        let mut st = self.state.lock().expect("group sync lock");
+        st.poisoned = false;
+        st.synced = synced;
+        st.epoch += 1;
+        drop(st);
         self.cv.notify_all();
     }
 }
@@ -429,6 +473,9 @@ pub(crate) struct JournalInner {
     owner_counts: Mutex<HashMap<IpAddr, usize>>,
     pub(crate) signal: AppendSignal,
     pub(crate) gate: ReplGate,
+    faults: Faults,
+    /// How many shards are currently degraded (read-only).
+    degraded_count: AtomicUsize,
     snapshots: AtomicU64,
     faultins: AtomicU64,
     fsyncs: AtomicU64,
@@ -574,6 +621,8 @@ impl JournalBackend {
             owner_counts: Mutex::new(owner_counts),
             signal: AppendSignal::new(),
             gate: ReplGate::new(),
+            faults: config.faults,
+            degraded_count: AtomicUsize::new(0),
             snapshots: AtomicU64::new(0),
             faultins: AtomicU64::new(0),
             fsyncs: AtomicU64::new(0),
@@ -647,41 +696,175 @@ fn maintenance_loop(inner: &JournalInner) {
 
 impl JournalInner {
     fn sync(&self, file: &File) -> io::Result<()> {
+        match self.faults.decide("journal.fsync") {
+            None => {}
+            Some(FaultAction::Delay(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+            Some(action) => return Err(sns_faults::write_error(action)),
+        }
         file.sync_all()?;
         self.fsyncs.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
-    /// One maintenance pass over every shard: flush the pending group
-    /// fsync (batch policy) and compact where thresholds crossed.
+    /// [`write_frame`] with the `journal.write` injection point applied.
+    /// `Short`/`Truncate` leave a genuinely torn frame on disk before
+    /// failing — exactly the tail the rollback must cut.
+    fn write_frame_checked(&self, file: &mut File, payload: &[u8]) -> io::Result<u64> {
+        match self.faults.decide("journal.write") {
+            None => write_frame(file, payload),
+            Some(FaultAction::Delay(ms)) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                write_frame(file, payload)
+            }
+            Some(action @ (FaultAction::Short | FaultAction::Truncate)) => {
+                let frame = frame_bytes(payload);
+                let _ = file.write_all(&frame[..frame.len() / 2]);
+                Err(sns_faults::write_error(action))
+            }
+            Some(action) => Err(sns_faults::write_error(action)),
+        }
+    }
+
+    /// One maintenance pass over every shard: re-probe degraded disks,
+    /// flush the pending group fsync (batch policy), and compact where
+    /// thresholds crossed.
     fn tick(&self) {
         for idx in 0..SHARDS {
+            self.probe_degraded(idx);
             if self.fsync == FsyncPolicy::Batch {
                 let pending = {
                     let shard = self.shards[idx].lock().expect("journal shard lock");
-                    !shard.poisoned && shard.unsynced > 0
+                    !shard.degraded && shard.unsynced > 0
                 };
                 if pending {
                     match self.sync_shard_tail(idx) {
                         Ok((end, epoch)) => self.group[idx].advance(epoch, end),
                         Err(e) => {
                             // Waiters must not be acked records the disk
-                            // never took; poison beats false acks, as in
-                            // rollback.
+                            // never took; degrading beats false acks, as
+                            // in rollback.
                             self.group[idx].poison();
-                            obs_log::error(
-                                "journal_group_fsync_failed",
-                                &[
-                                    ("shard", Value::U64(idx as u64)),
-                                    ("error", Value::Str(&e.to_string())),
-                                ],
-                            );
+                            let mut shard = self.shards[idx].lock().expect("journal shard lock");
+                            self.enter_degraded(idx, &mut shard, "group_fsync", &e);
                         }
                     }
                 }
             }
             let mut shard = self.shards[idx].lock().expect("journal shard lock");
             self.maybe_compact(idx, &mut shard);
+        }
+    }
+
+    /// Marks a shard degraded (idempotent; called with the shard locked)
+    /// and emits the typed `journal_degraded` event. Reads keep serving;
+    /// appends are refused until [`probe_degraded`](Self::probe_degraded)
+    /// proves the disk works again.
+    fn enter_degraded(&self, idx: usize, shard: &mut Shard, cause: &str, error: &io::Error) {
+        if shard.degraded {
+            return;
+        }
+        shard.degraded = true;
+        shard.degraded_since = Some(Instant::now());
+        shard.last_probe = None;
+        self.degraded_count.fetch_add(1, Ordering::Relaxed);
+        obs_log::error(
+            "journal_degraded",
+            &[
+                ("shard", Value::U64(idx as u64)),
+                ("cause", Value::Str(cause)),
+                ("error", Value::Str(&error.to_string())),
+            ],
+        );
+    }
+
+    /// While a shard is degraded, periodically proves its disk works
+    /// again and re-arms writes: cut any garbage past the accounted
+    /// tail, append a probe frame, fsync, truncate the probe away, fsync
+    /// again. Success means a full write + fsync round-trip works, so
+    /// the shard leaves degraded mode (`journal_recovered`); failure
+    /// stays quiet — the transition was already logged — and the next
+    /// tick retries.
+    fn probe_degraded(&self, idx: usize) {
+        let mut shard = self.shards[idx].lock().expect("journal shard lock");
+        if !shard.degraded {
+            return;
+        }
+        if shard
+            .last_probe
+            .is_some_and(|at| at.elapsed() < PROBE_INTERVAL)
+        {
+            return;
+        }
+        shard.last_probe = Some(Instant::now());
+        let probed = (|| -> io::Result<()> {
+            shard.wal.set_len(shard.bytes)?;
+            shard.wal.seek(SeekFrom::End(0))?;
+            self.write_frame_checked(&mut shard.wal, PROBE_RECORD)?;
+            self.sync(&shard.wal)?;
+            shard.wal.set_len(shard.bytes)?;
+            self.sync(&shard.wal)?;
+            shard.wal.seek(SeekFrom::End(0))?;
+            Ok(())
+        })();
+        if probed.is_err() {
+            return;
+        }
+        shard.degraded = false;
+        shard.append_failures = 0;
+        // Records journaled after the last successful fsync were failed
+        // to their clients (un-acked); freeze the snapshot cursor until
+        // compaction rewrites history without them.
+        shard.stable_frozen = true;
+        let outage_ms = shard
+            .degraded_since
+            .take()
+            .map(|at| at.elapsed().as_millis() as u64)
+            .unwrap_or(0);
+        self.degraded_count.fetch_sub(1, Ordering::Relaxed);
+        // The probe's final fsync covered the whole file, so the group
+        // cursor jumps straight to the head.
+        self.group[idx].repair(shard.bytes);
+        obs_log::info(
+            "journal_recovered",
+            &[
+                ("shard", Value::U64(idx as u64)),
+                ("outage_ms", Value::U64(outage_ms)),
+            ],
+        );
+    }
+
+    /// Cuts a shard's journal back to its last complete, acknowledged
+    /// record after a failed append or fsync (a partial or
+    /// unacknowledged frame must not survive to replay). If the file
+    /// cannot be restored — truncate or its fsync fails — the shard
+    /// degrades immediately: refusing appends until the probe repairs
+    /// the tail beats acknowledging records that replay may discard.
+    fn rollback_tail(&self, idx: usize, shard: &mut Shard, cause: &io::Error) {
+        let recovered = shard
+            .wal
+            .set_len(shard.bytes)
+            .and_then(|()| shard.wal.sync_all())
+            .and_then(|()| shard.wal.seek(SeekFrom::End(0)).map(|_| ()));
+        if let Err(e) = recovered {
+            obs_log::error(
+                "journal_rollback_failed",
+                &[
+                    ("shard", Value::U64(idx as u64)),
+                    ("append_error", Value::Str(&cause.to_string())),
+                    ("rollback_error", Value::Str(&e.to_string())),
+                ],
+            );
+            self.enter_degraded(idx, shard, "rollback_failed", &e);
+        }
+    }
+
+    /// Counts a failed append; a run of [`DEGRADE_AFTER_FAILURES`]
+    /// consecutive failures means the disk, not the request, and the
+    /// shard degrades to read-only.
+    fn note_append_failure(&self, idx: usize, shard: &mut Shard, error: &io::Error) {
+        shard.append_failures = shard.append_failures.saturating_add(1);
+        if shard.append_failures >= DEGRADE_AFTER_FAILURES {
+            self.enter_degraded(idx, shard, "persistent_append_failure", error);
         }
     }
 
@@ -723,6 +906,9 @@ impl JournalInner {
         // them; boot keys generation selection off *snapshots*, so the
         // pre-created wal is invisible until this rename lands.
         sync_dir(&self.dir)?;
+        if let Some(action) = self.faults.decide("journal.rename") {
+            return Err(sns_faults::write_error(action));
+        }
         fs::rename(&tmp_path, &snap_path)?;
         // Commit point passed: from here on, only best-effort steps.
         if let Err(e) = sync_dir(&self.dir) {
@@ -778,7 +964,7 @@ impl JournalInner {
     }
 
     fn maybe_compact(&self, idx: usize, shard: &mut Shard) {
-        if shard.in_flight != 0 || shard.poisoned || shard.records <= COMPACT_MIN_RECORDS {
+        if shard.in_flight != 0 || shard.degraded || shard.records <= COMPACT_MIN_RECORDS {
             return;
         }
         let by_bytes = shard.bytes > self.compact_bytes;
@@ -843,14 +1029,14 @@ impl JournalInner {
     /// file handle *outside* the shard lock — that is the whole point of
     /// the group commit: writers keep appending (and joining the next
     /// group) while the disk works. Records appended after the clone may
-    /// get synced too; the returned offset only under-claims. Poisons
-    /// the shard on failure (unsynced records may be anywhere behind the
-    /// head; no rollback can be exact).
+    /// get synced too; the returned offset only under-claims. The caller
+    /// degrades the shard on failure (unsynced records may be anywhere
+    /// behind the head; no rollback can be exact).
     fn sync_shard_tail(&self, idx: usize) -> io::Result<(u64, u64)> {
         let (wal, end, epoch) = {
             let mut shard = self.shards[idx].lock().expect("journal shard lock");
-            if shard.poisoned {
-                return Err(io::Error::other("journal shard poisoned"));
+            if shard.degraded {
+                return Err(io::Error::other("journal shard degraded"));
             }
             let wal = shard.wal.try_clone()?;
             shard.unsynced = 0;
@@ -863,10 +1049,8 @@ impl JournalInner {
         match self.sync(&wal) {
             Ok(()) => Ok((end, epoch)),
             Err(e) => {
-                self.shards[idx]
-                    .lock()
-                    .expect("journal shard lock")
-                    .poisoned = true;
+                let mut shard = self.shards[idx].lock().expect("journal shard lock");
+                self.enter_degraded(idx, &mut shard, "tail_fsync", &e);
                 Err(e)
             }
         }
@@ -884,7 +1068,7 @@ impl JournalInner {
         let mut st = gs.state.lock().expect("group sync lock");
         loop {
             if st.poisoned {
-                return Err(io::Error::other("journal shard poisoned during group sync"));
+                return Err(io::Error::other("journal shard degraded during group sync"));
             }
             if st.synced >= end {
                 return Ok(());
@@ -1015,9 +1199,9 @@ impl SessionBackend for JournalBackend {
         let mut group_wait: Option<u64> = None;
         let (gen, end) = {
             let mut shard = inner.shards[idx].lock().expect("journal shard lock");
-            if shard.poisoned {
+            if shard.degraded {
                 return Err(io::Error::other(
-                    "journal shard poisoned by an unrecoverable write failure",
+                    "journal degraded: writes suspended until the disk recovers",
                 ));
             }
             // Mutations on a session the shadow no longer holds lost a race
@@ -1038,14 +1222,15 @@ impl SessionBackend for JournalBackend {
                 // pin the snapshot cursor before this record muddies it.
                 shard.shadow_stable = shard.bytes;
             }
-            let wrote = match write_frame(&mut shard.wal, payload.as_bytes()) {
+            let wrote = match inner.write_frame_checked(&mut shard.wal, payload.as_bytes()) {
                 Ok(n) => n,
                 Err(e) => {
                     // A partial frame may be on disk (e.g. ENOSPC mid-write).
                     // Cut the file back to the last valid record: replay stops
                     // at the first bad frame, so garbage left here would make
                     // it silently discard every *acked* record appended after.
-                    rollback_tail(idx, &mut shard, &e);
+                    inner.rollback_tail(idx, &mut shard, &e);
+                    inner.note_append_failure(idx, &mut shard, &e);
                     return Err(e);
                 }
             };
@@ -1056,7 +1241,8 @@ impl SessionBackend for JournalBackend {
                         // The frame is fully written but the client will be
                         // told failure: remove it, or replay would apply an
                         // operation that was never acknowledged.
-                        rollback_tail(idx, &mut shard, &e);
+                        inner.rollback_tail(idx, &mut shard, &e);
+                        inner.note_append_failure(idx, &mut shard, &e);
                         return Err(e);
                     }
                     obs_trace::stamp_current(obs_trace::Stage::Fsynced);
@@ -1073,6 +1259,7 @@ impl SessionBackend for JournalBackend {
             shard.bytes += wrote;
             shard.records += 1;
             shard.in_flight += 1;
+            shard.append_failures = 0;
             (shard.gen, shard.bytes)
         };
         inner.signal.bump();
@@ -1216,6 +1403,10 @@ impl SessionBackend for JournalBackend {
             .collect()
     }
 
+    fn degraded(&self) -> bool {
+        self.inner.degraded_count.load(Ordering::Relaxed) > 0
+    }
+
     fn gauges(&self) -> JournalGauges {
         let inner = &*self.inner;
         let mut g = JournalGauges {
@@ -1223,6 +1414,7 @@ impl SessionBackend for JournalBackend {
             replay_ms_last: inner.replay_us.load(Ordering::Relaxed) as f64 / 1000.0,
             faultins: inner.faultins.load(Ordering::Relaxed),
             fsyncs: inner.fsyncs.load(Ordering::Relaxed),
+            degraded_shards: inner.degraded_count.load(Ordering::Relaxed) as u64,
             ..JournalGauges::default()
         };
         for shard in &inner.shards {
@@ -1232,30 +1424,6 @@ impl SessionBackend for JournalBackend {
             g.durable_sessions += shard.shadow.len() as u64;
         }
         g
-    }
-}
-
-/// Cuts a shard's journal back to its last complete, acknowledged record
-/// after a failed append or fsync (a partial or unacknowledged frame must
-/// not survive to replay). If the file cannot be restored — truncate or
-/// its fsync fails — the shard is poisoned: refusing all future appends
-/// beats acknowledging records that replay may discard.
-fn rollback_tail(idx: usize, shard: &mut Shard, cause: &io::Error) {
-    let recovered = shard
-        .wal
-        .set_len(shard.bytes)
-        .and_then(|()| shard.wal.sync_all())
-        .and_then(|()| shard.wal.seek(SeekFrom::End(0)).map(|_| ()));
-    if let Err(e) = recovered {
-        shard.poisoned = true;
-        obs_log::error(
-            "journal_shard_poisoned",
-            &[
-                ("shard", Value::U64(idx as u64)),
-                ("append_error", Value::Str(&cause.to_string())),
-                ("rollback_error", Value::Str(&e.to_string())),
-            ],
-        );
     }
 }
 
@@ -1310,12 +1478,18 @@ pub(crate) fn crc32(bytes: &[u8]) -> u32 {
     !crc
 }
 
-/// Appends one framed record; returns the bytes written.
-fn write_frame(file: &mut File, payload: &[u8]) -> io::Result<u64> {
+/// One framed record as it appears on disk.
+fn frame_bytes(payload: &[u8]) -> Vec<u8> {
     let mut frame = Vec::with_capacity(8 + payload.len());
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     frame.extend_from_slice(&crc32(payload).to_le_bytes());
     frame.extend_from_slice(payload);
+    frame
+}
+
+/// Appends one framed record; returns the bytes written.
+fn write_frame(file: &mut File, payload: &[u8]) -> io::Result<u64> {
+    let frame = frame_bytes(payload);
     file.write_all(&frame)?;
     Ok(frame.len() as u64)
 }
@@ -1649,7 +1823,10 @@ fn replay_shard(dir: &Path, idx: usize) -> io::Result<(Shard, Vec<Session>)> {
             in_flight: 0,
             shadow_stable: bytes,
             stable_frozen: false,
-            poisoned: false,
+            degraded: false,
+            append_failures: 0,
+            degraded_since: None,
+            last_probe: None,
             shadow,
         },
         sessions,
@@ -2179,6 +2356,213 @@ mod tests {
         gate.deregister(7);
         gate.set_min_sync(0);
         gate.wait_replicated(3, 0, 999).unwrap();
+    }
+
+    // Fault-injection tests are debug-only: release builds compile the
+    // injection points to no-ops and `Faults::from_spec` refuses to arm.
+    #[cfg(debug_assertions)]
+    #[test]
+    fn enospc_degrades_shard_then_probe_recovers() {
+        let dir = tmp_dir("enospc");
+        let src = "(svg [(rect 'red' 1 2 3 4)])";
+        let config = JournalConfig {
+            // Hit 1 is the create; hits 2..8 fail with ENOSPC. The
+            // recovery probe's own writes advance the window past 8, so
+            // the "disk" heals while the shard is degraded.
+            faults: Faults::from_spec("journal.write=enospc@2..8").unwrap(),
+            ..JournalConfig::new(&dir)
+        };
+        let (backend, _) = JournalBackend::open(config).unwrap();
+        backend
+            .append(Op::Create {
+                id: "a",
+                source: src,
+                owner: None,
+            })
+            .unwrap();
+        backend.applied_create("a", src, None);
+        let subst = Subst::from_pairs([(LocId(0), 9.0)]);
+        // Three consecutive ENOSPC appends degrade the shard.
+        for _ in 0..3 {
+            let err = backend
+                .append(Op::Commit {
+                    id: "a",
+                    subst: &subst,
+                })
+                .unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        }
+        assert!(backend.degraded(), "three ENOSPC appends should degrade");
+        assert_eq!(backend.gauges().degraded_shards, 1);
+        // Reads keep serving from the shadow...
+        assert_eq!(backend.code_of("a").as_deref(), Some(src));
+        assert!(backend.contains("a"));
+        // ...while appends are refused at the gate (not with ENOSPC).
+        let err = backend
+            .append(Op::Commit {
+                id: "a",
+                subst: &subst,
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("degraded"), "{err}");
+        // The maintenance probe re-arms writes once its round-trip works.
+        wait_for(|| !backend.degraded(), "probe recovery");
+        assert_eq!(backend.gauges().degraded_shards, 0);
+        backend
+            .append(Op::Commit {
+                id: "a",
+                subst: &subst,
+            })
+            .unwrap();
+        backend.applied("a", Some(src));
+        drop(backend);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn short_write_is_rolled_back_and_replays_cleanly() {
+        let dir = tmp_dir("short-write");
+        let src = "(svg [(rect 'red' 1 2 3 4)])";
+        {
+            let config = JournalConfig {
+                faults: Faults::from_spec("journal.write=short@2").unwrap(),
+                ..JournalConfig::new(&dir)
+            };
+            let (backend, _) = JournalBackend::open(config).unwrap();
+            backend
+                .append(Op::Create {
+                    id: "a",
+                    source: src,
+                    owner: None,
+                })
+                .unwrap();
+            backend.applied_create("a", src, None);
+            let idx = shard_index("a");
+            let wal = shard_file(&dir, idx, 0, "wal");
+            let clean_len = fs::metadata(&wal).unwrap().len();
+            // The torn append leaves half a frame on disk, then fails;
+            // rollback must cut the file back to the last good record.
+            let subst = Subst::from_pairs([(LocId(0), 9.0)]);
+            let err = backend
+                .append(Op::Commit {
+                    id: "a",
+                    subst: &subst,
+                })
+                .unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+            assert_eq!(
+                fs::metadata(&wal).unwrap().len(),
+                clean_len,
+                "torn frame not rolled back"
+            );
+            assert!(!backend.degraded(), "one failure is not persistent");
+            // The next append lands after the cut tail.
+            let mut s = Session::create("a".into(), src).unwrap();
+            use sns_svg::{ShapeId, Zone};
+            s.drag(ShapeId(0), Zone::Interior, 5.0, 0.0).unwrap();
+            let pending = s.pending_commit().unwrap();
+            backend
+                .append(Op::Commit {
+                    id: "a",
+                    subst: &pending,
+                })
+                .unwrap();
+            s.commit().unwrap();
+            backend.applied("a", Some(&s.code()));
+        }
+        let (backend, recovered) = JournalBackend::open(JournalConfig::new(&dir)).unwrap();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].code(), "(svg [(rect 'red' 6 2 3 4)])");
+        drop(backend);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn failed_compaction_rename_leaves_generation_live() {
+        let dir = tmp_dir("rename-fault");
+        let src = "(svg [(rect 'red' 1 2 3 4)])";
+        {
+            let config = JournalConfig {
+                faults: Faults::from_spec("journal.rename=fail@1").unwrap(),
+                ..JournalConfig::new(&dir)
+            };
+            let (backend, _) = JournalBackend::open(config).unwrap();
+            backend
+                .append(Op::Create {
+                    id: "a",
+                    source: src,
+                    owner: None,
+                })
+                .unwrap();
+            backend.applied_create("a", src, None);
+            // The rename is the commit point; failing it must leave the
+            // shard appending to generation 0 with no snapshot claimed.
+            backend.compact_now().unwrap_err();
+            assert_eq!(backend.gauges().snapshot_count, 0);
+            let inner = backend.inner();
+            assert_eq!(inner.positions()[shard_index("a")].0, 0, "gen advanced");
+            // Appends still work after the failed rotation.
+            let subst = Subst::from_pairs([(LocId(0), 9.0)]);
+            backend
+                .append(Op::Commit {
+                    id: "a",
+                    subst: &subst,
+                })
+                .unwrap();
+            backend.applied("a", Some(src));
+        }
+        // A restart replays generation 0 (reaping the leftover tmp
+        // snapshot), and a fault-free compaction then succeeds.
+        let (backend, recovered) = JournalBackend::open(JournalConfig::new(&dir)).unwrap();
+        assert_eq!(recovered.len(), 1);
+        backend.compact_now().unwrap();
+        assert_eq!(backend.gauges().snapshot_count, 1);
+        drop(backend);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn fsync_failures_degrade_and_probe_recovers() {
+        let dir = tmp_dir("fsync-fault");
+        let src = "(svg [(rect 'red' 1 2 3 4)])";
+        let config = JournalConfig {
+            // Hit 1 is the create's fsync; hits 2..6 fail. Each failed
+            // commit costs one hit; each probe costs two (frame + cut).
+            faults: Faults::from_spec("journal.fsync=fail@2..6").unwrap(),
+            ..JournalConfig::new(&dir)
+        };
+        let (backend, _) = JournalBackend::open(config).unwrap();
+        backend
+            .append(Op::Create {
+                id: "a",
+                source: src,
+                owner: None,
+            })
+            .unwrap();
+        backend.applied_create("a", src, None);
+        let subst = Subst::from_pairs([(LocId(0), 9.0)]);
+        for _ in 0..3 {
+            backend
+                .append(Op::Commit {
+                    id: "a",
+                    subst: &subst,
+                })
+                .unwrap_err();
+        }
+        assert!(backend.degraded(), "three fsync failures should degrade");
+        wait_for(|| !backend.degraded(), "probe recovery");
+        backend
+            .append(Op::Commit {
+                id: "a",
+                subst: &subst,
+            })
+            .unwrap();
+        backend.applied("a", Some(src));
+        drop(backend);
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

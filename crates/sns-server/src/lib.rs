@@ -155,6 +155,12 @@ pub struct ServerConfig {
     /// Requests slower than this end-to-end land in the flight
     /// recorder's slow ring and emit a `slow_request` log record.
     pub slow_ms: u64,
+    /// Deterministic fault-injection plan (`--fault-plan` /
+    /// `SNS_FAULT_PLAN`), e.g. `journal.write=enospc@3..;seed=7`. Only
+    /// honored in debug builds — [`Server::bind`] refuses it in release,
+    /// where every injection point compiles to a no-op. See
+    /// `docs/robustness.md` for the grammar and the point catalogue.
+    pub fault_spec: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -177,6 +183,7 @@ impl Default for ServerConfig {
             replicate_to: 0,
             trace: true,
             slow_ms: 50,
+            fault_spec: None,
         }
     }
 }
@@ -238,6 +245,10 @@ impl Server {
                 "a follower journals replicated state locally: --follow requires --data-dir",
             ));
         }
+        let faults = match &config.fault_spec {
+            Some(spec) => sns_faults::Faults::from_spec(spec).map_err(std::io::Error::other)?,
+            None => sns_faults::Faults::disabled(),
+        };
         let listener = TcpListener::bind(&config.addr)?;
         let http_addr = listener.local_addr()?;
         let mut journal: Option<Arc<JournalBackend>> = None;
@@ -245,6 +256,7 @@ impl Server {
             Some(dir) => {
                 let (backend, recovered) = JournalBackend::open(JournalConfig {
                     fsync: config.fsync,
+                    faults: faults.clone(),
                     ..JournalConfig::new(dir)
                 })?;
                 let backend = Arc::new(backend);
@@ -274,6 +286,7 @@ impl Server {
             max_durable_per_ip: config.max_durable_per_ip,
             auth_token: config.auth_token.clone(),
             repl: Arc::clone(&repl),
+            faults: faults.clone(),
         });
         let mut repl_addr = None;
         if let Some(addr) = &config.repl_listen {
@@ -284,6 +297,7 @@ impl Server {
                 http_addr.to_string(),
                 config.replicate_to,
                 config.auth_token.clone(),
+                faults.clone(),
             )?;
             repl_addr = Some(hub.listen_addr());
             repl.set_hub(hub);

@@ -100,6 +100,9 @@ pub struct JournalGauges {
     pub fsyncs: u64,
     /// Sessions the backend holds durably (resident or demoted).
     pub durable_sessions: u64,
+    /// Shards currently degraded to read-only (disk trouble; the
+    /// maintenance probe re-arms them once writes succeed again).
+    pub degraded_shards: u64,
 }
 
 /// Where sessions live when they are not in memory.
@@ -165,6 +168,14 @@ pub trait SessionBackend: Send + Sync {
     /// restart; the in-memory backend retains nothing.
     fn ids(&self) -> Vec<String> {
         Vec::new()
+    }
+
+    /// Whether the backend is currently degraded to read-only (persistent
+    /// write failures; see `docs/robustness.md`). The server answers
+    /// writes with `503 + Retry-After` while this holds, and the backend
+    /// clears it on its own once appends succeed again.
+    fn degraded(&self) -> bool {
+        false
     }
 
     /// Current durability gauges.

@@ -70,11 +70,12 @@
 
 use std::collections::{HashMap, HashSet};
 use std::io::{self, Read, Write};
-use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
 
+use sns_faults::{FaultAction, Faults, SplitMix64};
 use sns_obs::log::{self as obs_log, Value};
 
 use crate::journal::{self, crc32, read_frames, JournalInner, OwnedOp};
@@ -103,8 +104,59 @@ const LEADER_ACK_TIMEOUT: Duration = Duration::from_secs(10);
 /// re-scanning shard positions anyway.
 const STREAM_PARK: Duration = Duration::from_millis(25);
 
-/// Reconnect backoff for a follower that lost its leader.
-const RECONNECT_BACKOFF: Duration = Duration::from_millis(150);
+/// First reconnect delay for a follower that lost its leader; doubles
+/// per consecutive failure up to [`RECONNECT_BACKOFF_CAP`], with equal
+/// jitter so a fleet of followers does not reconnect in lockstep.
+const RECONNECT_BACKOFF_BASE: Duration = Duration::from_millis(100);
+
+/// Ceiling on the reconnect backoff.
+const RECONNECT_BACKOFF_CAP: Duration = Duration::from_secs(5);
+
+/// Dial timeout for a follower connecting to its leader: an unreachable
+/// host (packets blackholed, not refused) must not wedge the reconnect
+/// loop for the OS's multi-minute TCP timeout.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// Capped exponential reconnect backoff with equal jitter: failure N
+/// sleeps between half and all of `min(base · 2^N, cap)`. Reset by any
+/// successful connection.
+struct Backoff {
+    failures: u32,
+    rng: SplitMix64,
+}
+
+impl Backoff {
+    fn new() -> Backoff {
+        // Jitter only has to decorrelate followers, not be reproducible,
+        // so wall clock + pid is the right seed here (the deterministic
+        // seeded randomness lives in `sns_faults::FaultPlan`).
+        let nanos = SystemTime::UNIX_EPOCH
+            .elapsed()
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
+        Backoff {
+            failures: 0,
+            rng: SplitMix64::seed_from_u64(u64::from(nanos) ^ u64::from(std::process::id())),
+        }
+    }
+
+    /// The delay for the next retry; each call counts one more failure.
+    fn next_delay(&mut self) -> Duration {
+        let base = RECONNECT_BACKOFF_BASE.as_millis() as u64;
+        let cap = RECONNECT_BACKOFF_CAP.as_millis() as u64;
+        let ceiling = base
+            .saturating_mul(1u64 << self.failures.min(16))
+            .min(cap)
+            .max(2);
+        self.failures = self.failures.saturating_add(1);
+        let jittered = ceiling / 2 + self.rng.next_u64() % (ceiling / 2);
+        Duration::from_millis(jittered)
+    }
+
+    fn reset(&mut self) {
+        self.failures = 0;
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Framing
@@ -118,6 +170,34 @@ fn write_msg(w: &mut impl Write, msg: &Json) -> io::Result<()> {
     frame.extend_from_slice(&crc32(&payload).to_le_bytes());
     frame.extend_from_slice(&payload);
     w.write_all(&frame)
+}
+
+/// [`write_msg`] behind the `repl.send` injection point, used for the
+/// leader's `snap`/`rec` frames. `drop` skips the send (modelling a
+/// leader streaming bug — the differential oracles exist to catch this
+/// class), `truncate`/`short` ship half a frame and then kill the
+/// stream (the follower must discard the torn tail and resync on
+/// reconnect), `delay` stalls the streamer, anything else fails the
+/// stream outright.
+fn write_msg_injected(w: &mut impl Write, msg: &Json, faults: &Faults) -> io::Result<()> {
+    match faults.decide("repl.send") {
+        None => write_msg(w, msg),
+        Some(FaultAction::Drop) => Ok(()),
+        Some(FaultAction::Delay(ms)) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            write_msg(w, msg)
+        }
+        Some(FaultAction::Short | FaultAction::Truncate) => {
+            let payload = msg.to_string().into_bytes();
+            let mut frame = Vec::with_capacity(8 + payload.len());
+            frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+            frame.extend_from_slice(&payload);
+            let _ = w.write_all(&frame[..frame.len() / 2]);
+            Err(io::Error::other("injected fault: truncated frame"))
+        }
+        Some(_) => Err(io::Error::other("injected fault: send failed")),
+    }
 }
 
 /// Incremental frame reader over a socket with a read timeout: partial
@@ -258,6 +338,10 @@ pub struct ReplApplyGauges {
     pub snapshots_applied: u64,
     /// Connections made to the leader (1 = the initial connect).
     pub connects: u64,
+    /// The reconnect delay currently being served, in milliseconds
+    /// (0 while connected). Rises with consecutive failures, so a
+    /// persistently unreachable leader is visible at a glance.
+    pub reconnect_backoff_ms: u64,
 }
 
 /// The node's replication role and its coupling to the HTTP layer: routes
@@ -273,6 +357,7 @@ pub struct ReplControl {
     records_applied: AtomicU64,
     snapshots_applied: AtomicU64,
     connects: AtomicU64,
+    reconnect_backoff_ms: AtomicU64,
 }
 
 impl ReplControl {
@@ -288,6 +373,7 @@ impl ReplControl {
             records_applied: AtomicU64::new(0),
             snapshots_applied: AtomicU64::new(0),
             connects: AtomicU64::new(0),
+            reconnect_backoff_ms: AtomicU64::new(0),
         }
     }
 
@@ -362,6 +448,7 @@ impl ReplControl {
             records_applied: self.records_applied.load(Ordering::Relaxed),
             snapshots_applied: self.snapshots_applied.load(Ordering::Relaxed),
             connects: self.connects.load(Ordering::Relaxed),
+            reconnect_backoff_ms: self.reconnect_backoff_ms.load(Ordering::Relaxed),
         }
     }
 }
@@ -402,6 +489,10 @@ pub struct ReplHub {
     auth_token: Option<String>,
     followers: Mutex<HashMap<u64, FollowerInfo>>,
     next_id: AtomicU64,
+    /// Injection points `repl.connect` and `repl.send`; disabled (and
+    /// compiled out in release) unless the server was armed with a
+    /// fault plan.
+    faults: Faults,
 }
 
 impl ReplHub {
@@ -422,6 +513,7 @@ impl ReplHub {
         http_addr: String,
         min_sync: usize,
         auth_token: Option<String>,
+        faults: Faults,
     ) -> io::Result<Arc<ReplHub>> {
         let listener = TcpListener::bind(addr)?;
         let listen_addr = listener.local_addr()?;
@@ -433,6 +525,7 @@ impl ReplHub {
             auth_token,
             followers: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
+            faults,
         });
         let accept_hub = Arc::clone(&hub);
         std::thread::Builder::new()
@@ -523,6 +616,16 @@ fn serve_follower(hub: &Arc<ReplHub>, stream: TcpStream) {
 }
 
 fn serve_follower_inner(hub: &Arc<ReplHub>, stream: TcpStream, peer: SocketAddr) -> io::Result<()> {
+    match hub.faults.decide("repl.connect") {
+        None => {}
+        Some(FaultAction::Delay(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+        Some(_) => {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                "injected fault: follower connection refused",
+            ))
+        }
+    }
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(LEADER_ACK_TIMEOUT))?;
     let mut writer = stream.try_clone()?;
@@ -675,7 +778,7 @@ fn stream_to_follower(
                         Json::obj(pairs)
                     })
                     .collect();
-                write_msg(
+                write_msg_injected(
                     writer,
                     &Json::obj([
                         ("t", Json::str("snap")),
@@ -684,6 +787,7 @@ fn stream_to_follower(
                         ("bytes", Json::Num(sbytes as f64)),
                         ("sessions", Json::Arr(rows)),
                     ]),
+                    &hub.faults,
                 )?;
                 cursors[idx] = (sgen, sbytes);
                 continue;
@@ -704,7 +808,7 @@ fn stream_to_follower(
                     .ok()
                     .and_then(|t| json::parse(t).ok())
                     .ok_or_else(|| io::Error::other("journal record is not JSON"))?;
-                write_msg(
+                write_msg_injected(
                     writer,
                     &Json::obj([
                         ("t", Json::str("rec")),
@@ -713,6 +817,7 @@ fn stream_to_follower(
                         ("end", Json::Num(at as f64)),
                         ("op", op),
                     ]),
+                    &hub.faults,
                 )?;
                 sent_records += 1;
             }
@@ -760,19 +865,34 @@ fn follower_loop(state: &Arc<ServerState>, leader: &str) {
     // sessions the leader never had would otherwise survive here
     // forever. Divergence mid-stream re-arms this below.
     let mut resync = known.iter().any(|s| !s.is_empty());
+    let mut backoff = Backoff::new();
     loop {
         if control.promotion_requested() {
             control.complete_promotion();
             obs_log::info("repl_promoted", &[("reason", Value::Str("stream_closed"))]);
             return;
         }
-        let stream = match TcpStream::connect(leader) {
+        let stream = match connect_leader(leader) {
             Ok(s) => s,
-            Err(_) => {
-                std::thread::sleep(RECONNECT_BACKOFF);
+            Err(e) => {
+                let delay = backoff.next_delay();
+                control
+                    .reconnect_backoff_ms
+                    .store(delay.as_millis() as u64, Ordering::Relaxed);
+                obs_log::warn(
+                    "repl_connect_failed",
+                    &[
+                        ("leader", Value::Str(leader)),
+                        ("error", Value::Str(&e.to_string())),
+                        ("backoff_ms", Value::U64(delay.as_millis() as u64)),
+                    ],
+                );
+                sleep_backoff(&control, delay);
                 continue;
             }
         };
+        backoff.reset();
+        control.reconnect_backoff_ms.store(0, Ordering::Relaxed);
         control.connects.fetch_add(1, Ordering::Relaxed);
         match apply_stream(
             state,
@@ -809,17 +929,56 @@ fn follower_loop(state: &Arc<ServerState>, leader: &str) {
                     resync = true;
                     cursors.iter_mut().for_each(|c| *c = (0, 0));
                 }
+                let delay = backoff.next_delay();
+                control
+                    .reconnect_backoff_ms
+                    .store(delay.as_millis() as u64, Ordering::Relaxed);
                 obs_log::warn(
                     "repl_stream_ended",
                     &[
                         ("leader", Value::Str(leader)),
                         ("error", Value::Str(&e.to_string())),
                         ("resync", Value::Bool(resync)),
+                        ("backoff_ms", Value::U64(delay.as_millis() as u64)),
                     ],
                 );
-                std::thread::sleep(RECONNECT_BACKOFF);
+                sleep_backoff(&control, delay);
             }
         }
+    }
+}
+
+/// Dials the leader with [`CONNECT_TIMEOUT`] per resolved address, so a
+/// blackholed leader costs a bounded slice of the reconnect loop instead
+/// of the OS's multi-minute TCP handshake timeout.
+fn connect_leader(leader: &str) -> io::Result<TcpStream> {
+    let mut last = io::Error::new(
+        io::ErrorKind::AddrNotAvailable,
+        format!("no address for {leader}"),
+    );
+    for addr in leader.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last = e,
+        }
+    }
+    Err(last)
+}
+
+/// Sleeps out a reconnect delay in short slices so a promotion request
+/// (fail-over is exactly when the leader is unreachable and the backoff
+/// is at its cap) is honored within ~50 ms, not seconds.
+fn sleep_backoff(control: &ReplControl, delay: Duration) {
+    let deadline = Instant::now() + delay;
+    loop {
+        if control.promotion_requested() {
+            return;
+        }
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return;
+        }
+        std::thread::sleep(left.min(Duration::from_millis(50)));
     }
 }
 
@@ -945,6 +1104,13 @@ fn apply_msg(
     known: &mut [HashSet<String>],
     applied: &mut u64,
 ) -> io::Result<()> {
+    // `repl.apply`: stall the follower (its acks stop flowing, sync-mode
+    // leaders feel the lag) or fail the stream to force a reconnect.
+    match state.faults.decide("repl.apply") {
+        None => {}
+        Some(FaultAction::Delay(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+        Some(_) => return Err(io::Error::other("injected fault: apply failed")),
+    }
     match msg.get("t").and_then(Json::as_str) {
         Some("snap") => {
             let idx = field_u64(msg, "shard")? as usize;

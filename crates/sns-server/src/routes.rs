@@ -95,6 +95,10 @@ pub struct ServerState {
     /// Replication role: a follower answers writes with 421 until
     /// promoted; a leader streaming to followers publishes lag gauges.
     pub repl: Arc<ReplControl>,
+    /// Fault-injection handle (disabled unless the server was armed with
+    /// a `--fault-plan`; always disabled in release builds). The follower
+    /// apply loop reads its `repl.apply` point from here.
+    pub faults: sns_faults::Faults,
 }
 
 fn error_response(status: u16, msg: &str) -> Response {
@@ -219,8 +223,26 @@ pub fn dispatch(state: &Arc<ServerState>, request: &Request, peer: IpAddr) -> Re
     if state.repl.is_follower() && is_write(&request.method, &segments) {
         return follower_redirect(state);
     }
+    // Degraded read-only gate: the journal backend has suspended appends
+    // after persistent disk failures. Reads keep flowing from memory;
+    // writes are refused with a retry hint rather than an opaque 500,
+    // because the backend's probe re-arms appends on its own once the
+    // disk recovers (see docs/robustness.md).
+    if state.store.backend().degraded() && is_write(&request.method, &segments) {
+        return error_response(
+            503,
+            "journal degraded: node is read-only until the disk recovers",
+        )
+        .with_header("Retry-After", "1");
+    }
     match (request.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => ok_json(200, Json::obj([("ok", Json::Bool(true))])),
+        ("GET", ["healthz"]) => ok_json(
+            200,
+            Json::obj([
+                ("ok", Json::Bool(true)),
+                ("degraded", Json::Bool(state.store.backend().degraded())),
+            ]),
+        ),
         ("POST", ["promote"]) => promote(state),
         ("GET", ["stats"]) => stats(state),
         ("GET", ["metrics"]) => metrics(state),
@@ -284,6 +306,8 @@ fn mirror(state: &Arc<ServerState>) -> MirrorSnapshot {
         repl_records_applied: repl_apply.records_applied,
         repl_snapshots_applied: repl_apply.snapshots_applied,
         repl_connects: repl_apply.connects,
+        repl_reconnect_backoff_ms: repl_apply.reconnect_backoff_ms,
+        degraded: journal.degraded_shards > 0,
         slow_requests: state.telemetry.flight.slow_count(),
         uptime_secs: state.started.elapsed().as_secs_f64(),
     }
@@ -342,6 +366,11 @@ fn stats(state: &Arc<ServerState>) -> Response {
                 Json::Num(m.repl_snapshots_applied as f64),
             ),
             ("repl_connects", Json::Num(m.repl_connects as f64)),
+            (
+                "repl_reconnect_backoff_ms",
+                Json::Num(m.repl_reconnect_backoff_ms as f64),
+            ),
+            ("degraded", Json::Bool(m.degraded)),
             ("sessions", Json::Num(m.sessions as f64)),
             ("sessions_durable", Json::Num(m.sessions_durable as f64)),
             ("requests", Json::Num(state.stats.requests() as f64)),

@@ -66,6 +66,12 @@ pub struct MirrorSnapshot {
     pub repl_snapshots_applied: u64,
     /// Times the follower (re)connected to its leader.
     pub repl_connects: u64,
+    /// The reconnect delay the follower is currently serving, in
+    /// milliseconds (0 while connected).
+    pub repl_reconnect_backoff_ms: u64,
+    /// Whether the journal has degraded to read-only after persistent
+    /// disk failures.
+    pub degraded: bool,
     /// Requests slower than the `--slow-ms` threshold.
     pub slow_requests: u64,
     /// Seconds since the server started.
@@ -116,6 +122,8 @@ pub struct ServerStats {
     repl_records_applied: Arc<Counter>,
     repl_snapshots_applied: Arc<Counter>,
     repl_connects: Arc<Counter>,
+    repl_reconnect_backoff_ms: Arc<Gauge>,
+    degraded: Arc<Gauge>,
     slow_requests: Arc<Counter>,
     uptime_seconds: Arc<Gauge>,
 }
@@ -247,6 +255,14 @@ impl ServerStats {
             repl_connects: r.counter(
                 "sns_repl_connects_total",
                 "Times the follower (re)connected to its leader.",
+            ),
+            repl_reconnect_backoff_ms: r.gauge(
+                "sns_repl_reconnect_backoff_ms",
+                "Reconnect delay the follower is currently serving (0 while connected).",
+            ),
+            degraded: r.gauge(
+                "sns_degraded",
+                "1 while the journal is degraded to read-only after persistent disk failures.",
             ),
             slow_requests: r.counter(
                 "sns_slow_requests_total",
@@ -437,6 +453,9 @@ impl ServerStats {
         self.repl_records_applied.set(m.repl_records_applied);
         self.repl_snapshots_applied.set(m.repl_snapshots_applied);
         self.repl_connects.set(m.repl_connects);
+        self.repl_reconnect_backoff_ms
+            .set(m.repl_reconnect_backoff_ms as f64);
+        self.degraded.set(if m.degraded { 1.0 } else { 0.0 });
         self.slow_requests.set(m.slow_requests);
         self.uptime_seconds.set(m.uptime_secs);
     }

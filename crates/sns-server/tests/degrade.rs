@@ -1,0 +1,210 @@
+//! Graceful degradation, end to end over HTTP: a journal whose disk
+//! starts failing (injected ENOSPC) takes the node to read-only —
+//! writes answer `503 + Retry-After`, reads keep serving, `/healthz`
+//! and the `sns_degraded` gauge report it — and once the injected
+//! fault window closes, the maintenance probe re-arms writes with no
+//! restart. Debug builds only: fault plans are compiled out of release.
+
+#![cfg(debug_assertions)]
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use sns_server::{Server, ServerConfig};
+
+fn data_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sns-degrade-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One request on a fresh connection.
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: sns\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let (headers, body) = raw
+        .split_once("\r\n\r\n")
+        .map(|(h, b)| (h.to_string(), b.to_string()))
+        .unwrap_or_default();
+    (status, headers, body)
+}
+
+fn field<'a>(body: &'a str, key: &str) -> &'a str {
+    let pat = format!("\"{key}\":\"");
+    let start = body
+        .find(&pat)
+        .unwrap_or_else(|| panic!("no {key} in {body}"))
+        + pat.len();
+    let mut end = start;
+    let bytes = body.as_bytes();
+    while end < bytes.len() {
+        match bytes[end] {
+            b'\\' => end += 2,
+            b'"' => break,
+            _ => end += 1,
+        }
+    }
+    &body[start..end]
+}
+
+fn healthz_degraded(addr: SocketAddr) -> bool {
+    let (status, _, body) = http(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200, "healthz must serve while degraded: {body}");
+    body.contains("\"degraded\":true")
+}
+
+#[test]
+fn enospc_degrades_to_read_only_and_recovers_without_restart() {
+    let dir = data_dir("enospc");
+    // Hit choreography on the `journal.write` point: the create lands on
+    // hit 1, the failure window [2, 8] eats three commit appends (the
+    // third of which flips the shard to degraded — writes after it are
+    // refused *before* the journal, so they burn no hits), and then the
+    // recovery probes spend the rest of the window until one succeeds.
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        data_dir: Some(dir.clone()),
+        fault_spec: Some("journal.write=enospc@2..8;seed=7".to_string()),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(&config).expect("bind server");
+    let addr = server.local_addr().expect("local addr");
+    let shutdown = server.shutdown_handle();
+    let thread = std::thread::spawn(move || server.run());
+
+    let (status, _, body) = http(
+        addr,
+        "POST",
+        "/sessions",
+        "{\"source\":\"(svg [(rect 'red' 1 2 3 4)])\"}",
+    );
+    assert_eq!(status, 201, "{body}");
+    let id = field(&body, "id").to_string();
+    assert!(!healthz_degraded(addr));
+
+    // Three commits hit injected ENOSPC (500 each: the disk "failed",
+    // nothing was acknowledged); the third flips the node to degraded.
+    for round in 0..3 {
+        let (status, _, body) = http(
+            addr,
+            "POST",
+            &format!("/sessions/{id}/drag"),
+            "{\"shape\":0,\"zone\":\"Interior\",\"dx\":5,\"dy\":0}",
+        );
+        assert_eq!(status, 200, "drags are in-memory: {body}");
+        let (status, _, body) = http(addr, "POST", &format!("/sessions/{id}/commit"), "{}");
+        assert_eq!(status, 500, "commit {round} should hit ENOSPC: {body}");
+        assert!(
+            body.contains("no space left") || body.contains("degraded"),
+            "commit {round} should surface the disk error: {body}"
+        );
+    }
+    assert!(healthz_degraded(addr), "three failures must degrade");
+
+    // Degraded: writes answer 503 + Retry-After, reads keep serving.
+    let (status, headers, body) = http(addr, "POST", &format!("/sessions/{id}/commit"), "{}");
+    assert_eq!(status, 503, "{body}");
+    assert!(
+        headers.to_ascii_lowercase().contains("retry-after"),
+        "503 must carry Retry-After: {headers}"
+    );
+    let (status, _, body) = http(addr, "GET", &format!("/sessions/{id}/code"), "");
+    assert_eq!(status, 200, "reads must survive degradation: {body}");
+    assert!(body.contains("rect"), "{body}");
+    let (status, _, metrics) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("sns_degraded 1"),
+        "gauge must report degradation:\n{metrics}"
+    );
+
+    // The probe burns through the fault window and re-arms writes — no
+    // restart, no operator action.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while healthz_degraded(addr) {
+        assert!(Instant::now() < deadline, "probe never recovered");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let (status, _, body) = http(addr, "POST", &format!("/sessions/{id}/commit"), "{}");
+    assert_eq!(status, 200, "writes must recover: {body}");
+    let (status, _, metrics) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("sns_degraded 0"),
+        "gauge must clear after recovery:\n{metrics}"
+    );
+
+    // The recovered journal is coherent: a restart replays to exactly
+    // the state the surviving acknowledgements describe.
+    let (_, _, before) = http(addr, "GET", &format!("/sessions/{id}/code"), "");
+    shutdown.shutdown();
+    thread.join().expect("server thread").expect("run");
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        data_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(&config).expect("rebind server");
+    let addr = server.local_addr().expect("local addr");
+    let shutdown = server.shutdown_handle();
+    let thread = std::thread::spawn(move || server.run());
+    let (status, _, after) = http(addr, "GET", &format!("/sessions/{id}/code"), "");
+    assert_eq!(status, 200, "{after}");
+    assert_eq!(field(&before, "code"), field(&after, "code"));
+    shutdown.shutdown();
+    thread.join().expect("server thread").expect("run");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn release_builds_refuse_fault_plans_only_in_release() {
+    // In this (debug) build an armed plan must bind fine; the inverse —
+    // `Server::bind` refusing the plan in release — is enforced by
+    // `sns_faults::Faults::armed` and unreachable from a debug test.
+    let dir = data_dir("arm");
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 1,
+        data_dir: Some(dir.clone()),
+        fault_spec: Some("journal.fsync=delay:1@p1;seed=3".to_string()),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(&config).expect("debug builds arm fault plans");
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // A malformed plan is refused loudly in any build.
+    let dir = data_dir("bad");
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 1,
+        data_dir: Some(dir.clone()),
+        fault_spec: Some("journal.write=banana@0".to_string()),
+        ..ServerConfig::default()
+    };
+    assert!(
+        Server::bind(&config).is_err(),
+        "garbage plans must not bind"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
