@@ -300,6 +300,10 @@ impl Fleet {
         let mut flags = vec![
             "--addr".into(),
             self.leader_http.clone(),
+            // Two reactors regardless of core count: the hammer must cover
+            // the SO_REUSEPORT sharded accept path, not just one loop.
+            "--reactors".into(),
+            "2".into(),
             "--threads".into(),
             "2".into(),
             "--data-dir".into(),
@@ -322,6 +326,8 @@ impl Fleet {
         let mut flags = vec![
             "--addr".into(),
             self.follower_http.clone(),
+            "--reactors".into(),
+            "2".into(),
             "--threads".into(),
             "2".into(),
             "--data-dir".into(),

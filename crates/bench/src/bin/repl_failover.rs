@@ -135,6 +135,9 @@ fn main() {
     // ---- Leader with synchronous replication (factor 1).
     let leader = Server::bind(&ServerConfig {
         addr: "127.0.0.1:0".to_string(),
+        // Sharded even on one core, so fail-over is tested against the
+        // SO_REUSEPORT accept path and per-reactor drain.
+        reactors: 2,
         threads: 2,
         data_dir: Some(dir_l.clone()),
         repl_listen: Some("127.0.0.1:0".to_string()),
@@ -150,6 +153,7 @@ fn main() {
     let follower = |dir: &PathBuf| {
         let server = Server::bind(&ServerConfig {
             addr: "127.0.0.1:0".to_string(),
+            reactors: 2,
             threads: 2,
             data_dir: Some(dir.clone()),
             follow: Some(leader_repl.to_string()),

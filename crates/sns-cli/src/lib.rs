@@ -75,7 +75,7 @@ COMMANDS:\n\
   export FILE                           final SVG (helpers hidden)\n\
   stats FILE                            zone/ambiguity statistics\n\
   examples [SLUG]                       list corpus / print one example\n\
-  serve [--addr A] [--threads N] [--max-conns N] [--max-sessions N]\n\
+  serve [--addr A] [--threads N] [--reactors N] [--max-conns N] [--max-sessions N]\n\
         [--max-sessions-per-ip N] [--max-durable-per-ip N] [--queue-depth N]\n\
         [--read-timeout-ms N] [--idle-timeout-ms N]\n\
         [--data-dir DIR] [--fsync always|batch|never] [--auth-token T]\n\
@@ -83,7 +83,10 @@ COMMANDS:\n\
         [--no-trace] [--slow-ms N] [--log-level L] [--log-format json|text]\n\
         [--fault-plan SPEC]\n\
                                         run the live-sync HTTP service\n\
-                                        (--threads = CPU workers; connections\n\
+                                        (--threads = CPU workers; --reactors =\n\
+                                        epoll event loops, one per core by\n\
+                                        default, sharing the port via\n\
+                                        SO_REUSEPORT; connections\n\
                                         are gated by --max-conns; SIGTERM drains;\n\
                                         --data-dir journals sessions durably;\n\
                                         --auth-token, or SNS_AUTH_TOKEN, gates\n\
@@ -329,6 +332,7 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
         Ok(())
     };
     parse_usize("threads", &mut config.threads)?;
+    parse_usize("reactors", &mut config.reactors)?;
     parse_usize("max-sessions", &mut config.max_sessions)?;
     parse_usize("max-conns", &mut config.max_conns)?;
     parse_usize("queue-depth", &mut config.queue_depth)?;
@@ -396,7 +400,8 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
         sns_server::install_sigusr1_promote();
     }
     eprintln!(
-        "sns-server listening on http://{addr} ({} CPU workers, {} max connections, {} session capacity{}{}{})",
+        "sns-server listening on http://{addr} ({} reactors, {} CPU workers, {} max connections, {} session capacity{}{}{})",
+        server.reactor_count(),
         config.resolved_threads(),
         config.max_conns,
         config.max_sessions,

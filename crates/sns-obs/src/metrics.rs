@@ -164,6 +164,18 @@ enum Metric {
     Counter(Arc<Counter>),
     Gauge(Arc<Gauge>),
     Histogram(Arc<Histogram>),
+    /// A family of gauges sharing one name, distinguished by a label
+    /// (e.g. `sns_reactor_conns{reactor="3"}`). One `# TYPE` block, one
+    /// sample line per member.
+    GaugeVec {
+        label: &'static str,
+        slots: Vec<(String, Arc<Gauge>)>,
+    },
+    /// A labeled counter family, same shape as [`Metric::GaugeVec`].
+    CounterVec {
+        label: &'static str,
+        slots: Vec<(String, Arc<Counter>)>,
+    },
 }
 
 struct Entry {
@@ -218,6 +230,44 @@ impl Registry {
         h
     }
 
+    /// Registers a labeled gauge family: one handle per label value, all
+    /// rendered under a single `# TYPE name gauge` block as
+    /// `name{label="value"} v` sample lines. The family counts as one
+    /// name for [`metric_names`](Registry::metric_names).
+    pub fn gauge_vec(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        label: &'static str,
+        values: impl IntoIterator<Item = String>,
+    ) -> Vec<Arc<Gauge>> {
+        let slots: Vec<(String, Arc<Gauge>)> = values
+            .into_iter()
+            .map(|v| (v, Arc::new(Gauge::new())))
+            .collect();
+        let handles = slots.iter().map(|(_, g)| Arc::clone(g)).collect();
+        self.push(name, help, Metric::GaugeVec { label, slots });
+        handles
+    }
+
+    /// Registers a labeled counter family; see
+    /// [`gauge_vec`](Registry::gauge_vec).
+    pub fn counter_vec(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        label: &'static str,
+        values: impl IntoIterator<Item = String>,
+    ) -> Vec<Arc<Counter>> {
+        let slots: Vec<(String, Arc<Counter>)> = values
+            .into_iter()
+            .map(|v| (v, Arc::new(Counter::new())))
+            .collect();
+        let handles = slots.iter().map(|(_, c)| Arc::clone(c)).collect();
+        self.push(name, help, Metric::CounterVec { label, slots });
+        handles
+    }
+
     /// Every registered metric name (the doc-drift gate reads this via
     /// `/metrics` — names also lead each exposition block).
     pub fn metric_names(&self) -> Vec<&'static str> {
@@ -246,6 +296,27 @@ impl Registry {
                     let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
                     let _ = writeln!(out, "# TYPE {} gauge", e.name);
                     let _ = writeln!(out, "{} {}", e.name, format_f64(g.get()));
+                }
+                Metric::GaugeVec { label, slots } => {
+                    let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
+                    let _ = writeln!(out, "# TYPE {} gauge", e.name);
+                    for (value, g) in slots {
+                        let _ = writeln!(
+                            out,
+                            "{}{{{}=\"{}\"}} {}",
+                            e.name,
+                            label,
+                            value,
+                            format_f64(g.get())
+                        );
+                    }
+                }
+                Metric::CounterVec { label, slots } => {
+                    let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
+                    let _ = writeln!(out, "# TYPE {} counter", e.name);
+                    for (value, c) in slots {
+                        let _ = writeln!(out, "{}{{{}=\"{}\"}} {}", e.name, label, value, c.get());
+                    }
                 }
                 Metric::Histogram(h) => {
                     let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
@@ -359,6 +430,41 @@ mod tests {
         assert_eq!(
             reg.metric_names(),
             vec!["t_requests_total", "t_conns_open", "t_latency_us"]
+        );
+    }
+
+    #[test]
+    fn labeled_families_render_under_one_type_block() {
+        let reg = Registry::new();
+        let gauges = reg.gauge_vec(
+            "t_reactor_conns",
+            "Connections per reactor.",
+            "reactor",
+            (0..2).map(|i| i.to_string()),
+        );
+        let counters = reg.counter_vec(
+            "t_reactor_wakes_total",
+            "Wakes per reactor.",
+            "reactor",
+            (0..2).map(|i| i.to_string()),
+        );
+        gauges[0].set(5.0);
+        gauges[1].set(7.5);
+        counters[1].add(3);
+        let text = reg.render_prometheus();
+        assert_eq!(text.matches("# TYPE t_reactor_conns gauge").count(), 1);
+        assert!(text.contains("t_reactor_conns{reactor=\"0\"} 5"));
+        assert!(text.contains("t_reactor_conns{reactor=\"1\"} 7.5"));
+        assert_eq!(
+            text.matches("# TYPE t_reactor_wakes_total counter").count(),
+            1
+        );
+        assert!(text.contains("t_reactor_wakes_total{reactor=\"0\"} 0"));
+        assert!(text.contains("t_reactor_wakes_total{reactor=\"1\"} 3"));
+        // The family is one name for the doc-drift gate.
+        assert_eq!(
+            reg.metric_names(),
+            vec!["t_reactor_conns", "t_reactor_wakes_total"]
         );
     }
 

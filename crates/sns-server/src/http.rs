@@ -291,10 +291,17 @@ impl Response {
         }
     }
 
-    /// Serializes head + body into one buffer for non-blocking writing.
-    pub fn encode(&self, keep_alive: bool) -> Vec<u8> {
-        use std::fmt::Write as _;
-        let mut head = format!(
+    /// Serializes just the head (status line through the blank line) into
+    /// `out`, clearing it first. The reactor keeps one head buffer per
+    /// connection — cleared, never shrunk — so a keep-alive connection
+    /// pays the head allocation once, and the body is written alongside
+    /// it with one vectored write instead of being copied after the head.
+    pub fn encode_head_into(&self, keep_alive: bool, out: &mut Vec<u8>) {
+        use std::io::Write as _;
+        out.clear();
+        // Writes into a Vec<u8> cannot fail.
+        let _ = write!(
+            out,
             "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             self.reason(),
@@ -303,10 +310,18 @@ impl Response {
             if keep_alive { "keep-alive" } else { "close" },
         );
         for (name, value) in &self.extra_headers {
-            let _ = write!(head, "{name}: {value}\r\n");
+            let _ = write!(out, "{name}: {value}\r\n");
         }
-        head.push_str("\r\n");
-        let mut out = head.into_bytes();
+        out.extend_from_slice(b"\r\n");
+    }
+
+    /// Serializes head + body into one buffer (test harnesses and
+    /// synchronous shed paths; the reactor's hot path uses
+    /// [`encode_head_into`](Response::encode_head_into) plus a vectored
+    /// write of the body instead).
+    pub fn encode(&self, keep_alive: bool) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_head_into(keep_alive, &mut out);
         out.extend_from_slice(&self.body);
         out
     }

@@ -1427,18 +1427,10 @@ impl SessionBackend for JournalBackend {
     }
 }
 
-/// Stable shard selection: FNV-1a, *not* `DefaultHasher`, whose keys are
-/// unspecified across std versions — a data directory must read back under
-/// a binary built years later. The replication protocol reuses it, so a
-/// leader and follower agree on every record's shard.
-pub(crate) fn shard_index(id: &str) -> usize {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in id.as_bytes() {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    (h as usize) % SHARDS
-}
+// The FNV-1a shard map lives in `store` (the store's in-memory shards now
+// share it, and the reactor keys core-local routing off it); the journal
+// and replication protocol keep using it through this alias.
+pub(crate) use crate::store::shard_index;
 
 fn shard_file(dir: &Path, idx: usize, gen: u64, ext: &str) -> PathBuf {
     dir.join(format!("shard{idx:02}.g{gen:06}.{ext}"))

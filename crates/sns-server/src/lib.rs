@@ -6,8 +6,10 @@
 //! session-oriented HTTP boundary so many users can live-sync programs at
 //! once:
 //!
-//! * [`reactor`] — an epoll readiness loop owning every socket: accepts,
-//!   non-blocking reads/writes, deadlines, backpressure, graceful drain;
+//! * [`reactor`] — sharded epoll readiness loops (one per core by
+//!   default, `--reactors`): `SO_REUSEPORT` accept sharding, per-loop
+//!   deadlines and worker pools, vectored zero-copy response writes,
+//!   backpressure, graceful drain across every loop;
 //! * [`http`] — hand-rolled minimal HTTP/1.1 with a *resumable* request
 //!   parser (requests arrive in whatever pieces the sockets produce);
 //! * [`json`] — a dependency-free JSON encoder/decoder;
@@ -73,7 +75,6 @@ pub mod threadpool;
 
 use std::net::TcpListener;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -82,7 +83,7 @@ pub use persist::{MemoryBackend, SessionBackend};
 pub use reactor::{install_sigterm_drain, install_sigusr1_promote};
 pub use replicate::ReplControl;
 
-use reactor::{Notifier, Reactor, ReactorOptions};
+use reactor::{Reactor, ReactorOptions, ReactorShared};
 use replicate::ReplHub;
 use routes::ServerState;
 use stats::ServerStats;
@@ -96,8 +97,14 @@ pub struct ServerConfig {
     pub addr: String,
     /// CPU worker count — how many requests execute concurrently
     /// (0 = one per available core). Connections are gated separately by
-    /// [`max_conns`](ServerConfig::max_conns).
+    /// [`max_conns`](ServerConfig::max_conns). Workers are divided
+    /// evenly across the reactors.
     pub threads: usize,
+    /// Event-loop (reactor) count — how many epoll loops share the
+    /// accept load via `SO_REUSEPORT` (0 = one per available core,
+    /// capped at the store's shard count). Each reactor owns its own
+    /// listener, wake pipe, deadline wheel, and worker-pool slice.
+    pub reactors: usize,
     /// Session capacity before LRU eviction kicks in.
     pub max_sessions: usize,
     /// Open-connection gate: connections accepted past this are shed with
@@ -168,6 +175,7 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:7878".to_string(),
             threads: 0,
+            reactors: 0,
             max_sessions: 1024,
             max_conns: 4096,
             queue_depth: 0,
@@ -206,11 +214,27 @@ impl ServerConfig {
         }
         (self.resolved_threads() * 16).max(64)
     }
+
+    /// The reactor count `reactors` resolves to (0 = auto). Capped at the
+    /// store's shard count — more loops than shards could not each own a
+    /// session-id residue class.
+    pub fn resolved_reactors(&self) -> usize {
+        let n = if self.reactors > 0 {
+            self.reactors
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+        };
+        n.clamp(1, store::SHARDS)
+    }
 }
 
 /// A bound, not-yet-running server.
 pub struct Server {
-    reactor: Reactor,
+    reactors: Vec<Reactor>,
+    shared: Arc<ReactorShared>,
+    http_addr: std::net::SocketAddr,
     repl_addr: Option<std::net::SocketAddr>,
 }
 
@@ -249,8 +273,21 @@ impl Server {
             Some(spec) => sns_faults::Faults::from_spec(spec).map_err(std::io::Error::other)?,
             None => sns_faults::Faults::disabled(),
         };
-        let listener = TcpListener::bind(&config.addr)?;
-        let http_addr = listener.local_addr()?;
+        let reactors = config.resolved_reactors();
+        // Accept sharding: one SO_REUSEPORT listener per reactor so the
+        // kernel spreads connections across the loops. If the sharded
+        // bind fails (kernels/filters without SO_REUSEPORT), fall back to
+        // a single listener on reactor 0, which deals accepted sockets
+        // round-robin over the other reactors' wake pipes.
+        let (listeners, fallback_accept) = if reactors == 1 {
+            (vec![TcpListener::bind(&config.addr)?], false)
+        } else {
+            match reactor::bind_sharded(&config.addr, reactors) {
+                Ok(listeners) => (listeners, false),
+                Err(_) => (vec![TcpListener::bind(&config.addr)?], true),
+            }
+        };
+        let http_addr = listeners[0].local_addr()?;
         let mut journal: Option<Arc<JournalBackend>> = None;
         let store = match &config.data_dir {
             Some(dir) => {
@@ -275,7 +312,7 @@ impl Server {
         let repl = Arc::new(ReplControl::new(config.follow.is_some()));
         let state = Arc::new(ServerState {
             store,
-            stats: ServerStats::new(),
+            stats: ServerStats::with_reactors(reactors),
             telemetry: routes::Telemetry::new(
                 config.trace,
                 sns_obs::flight::DEFAULT_CAPACITY,
@@ -305,18 +342,38 @@ impl Server {
         if let Some(leader) = &config.follow {
             replicate::start_follower(Arc::clone(&state), leader.clone());
         }
-        let pool = ThreadPool::new(config.resolved_threads(), config.resolved_queue_depth());
-        let reactor = Reactor::new(
-            listener,
-            state,
-            pool,
-            ReactorOptions {
-                max_conns: config.max_conns.max(1),
-                read_timeout: config.read_timeout,
-                idle_timeout: config.idle_timeout,
-            },
-        )?;
-        Ok(Server { reactor, repl_addr })
+        // Each reactor gets its own worker pool: `--threads` and the
+        // queue depth are whole-server budgets, divided (rounding up)
+        // across the loops so the aggregate stays at least what a single
+        // reactor would have offered.
+        let workers_each = config.resolved_threads().div_ceil(reactors);
+        let queue_each = config.resolved_queue_depth().div_ceil(reactors);
+        let opts = ReactorOptions {
+            max_conns: config.max_conns.max(1),
+            read_timeout: config.read_timeout,
+            idle_timeout: config.idle_timeout,
+        };
+        let (shared, wake_rxs) = Reactor::shared_for(reactors, fallback_accept)?;
+        let mut listeners = listeners.into_iter();
+        let mut loops = Vec::with_capacity(reactors);
+        for (index, wake_rx) in wake_rxs.into_iter().enumerate() {
+            let pool = ThreadPool::new(workers_each, queue_each);
+            loops.push(Reactor::new(
+                index,
+                listeners.next(),
+                Arc::clone(&state),
+                pool,
+                opts.clone(),
+                Arc::clone(&shared),
+                wake_rx,
+            )?);
+        }
+        Ok(Server {
+            reactors: loops,
+            shared,
+            http_addr,
+            repl_addr,
+        })
     }
 
     /// The bound replication-listener address, when `repl_listen` was
@@ -329,43 +386,67 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Propagates the OS error if the socket vanished.
+    /// Never fails; kept fallible for call-site compatibility.
     pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
-        self.reactor.listener().local_addr()
+        Ok(self.http_addr)
+    }
+
+    /// How many reactor event loops this server runs.
+    pub fn reactor_count(&self) -> usize {
+        self.reactors.len()
     }
 
     /// A handle that can drain a running server from another thread.
     pub fn shutdown_handle(&self) -> ShutdownHandle {
         ShutdownHandle {
-            drain: self.reactor.drain_flag(),
-            notifier: self.reactor.notifier(),
+            shared: Arc::clone(&self.shared),
         }
     }
 
-    /// The readiness loop: blocks the calling thread until the server is
-    /// drained (via [`ShutdownHandle::shutdown`] or SIGTERM after
-    /// [`install_sigterm_drain`]).
+    /// The readiness loops: reactor 0 runs on the calling thread, the
+    /// rest on their own threads. Blocks until the server is drained (via
+    /// [`ShutdownHandle::shutdown`] or SIGTERM after
+    /// [`install_sigterm_drain`]) and every loop has exited.
     ///
     /// # Errors
     ///
-    /// Returns the first fatal epoll error.
+    /// Returns the first fatal epoll error any reactor hit.
     pub fn run(self) -> std::io::Result<()> {
-        self.reactor.run()
+        let mut reactors = self.reactors.into_iter();
+        let first = reactors
+            .next()
+            .ok_or_else(|| std::io::Error::other("server has no reactors"))?;
+        let handles: Vec<_> = reactors
+            .enumerate()
+            .map(|(i, r)| {
+                std::thread::Builder::new()
+                    .name(format!("sns-reactor-{}", i + 1))
+                    .spawn(move || r.run())
+            })
+            .collect::<std::io::Result<_>>()?;
+        let mut result = first.run();
+        for handle in handles {
+            let joined = handle
+                .join()
+                .unwrap_or_else(|_| Err(std::io::Error::other("reactor thread panicked")));
+            if result.is_ok() {
+                result = joined;
+            }
+        }
+        result
     }
 }
 
-/// Drains a running server: stops accepting, finishes in-flight
-/// requests, then lets [`Server::run`] return. Idempotent.
+/// Drains a running server: stops accepting on every reactor, finishes
+/// in-flight requests, then lets [`Server::run`] return. Idempotent.
 #[derive(Debug, Clone)]
 pub struct ShutdownHandle {
-    drain: Arc<AtomicBool>,
-    notifier: Arc<Notifier>,
+    shared: Arc<ReactorShared>,
 }
 
 impl ShutdownHandle {
-    /// Requests a drain and wakes the reactor so it notices promptly.
+    /// Requests a drain and wakes every reactor so they notice promptly.
     pub fn shutdown(&self) {
-        self.drain.store(true, Ordering::SeqCst);
-        self.notifier.wake();
+        self.shared.request_drain();
     }
 }

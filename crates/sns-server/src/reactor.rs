@@ -1,19 +1,40 @@
-//! The event-driven transport: an epoll readiness loop that decouples
-//! *connections* from *CPU*.
+//! The event-driven transport: per-core epoll readiness loops that
+//! decouple *connections* from *CPU*.
 //!
-//! One reactor thread owns every socket. Non-blocking reads feed each
-//! connection's resumable [`ConnParser`]; the moment a complete request
-//! materializes, it is handed to the bounded worker pool and the reactor
-//! goes back to servicing other sockets. Workers push finished responses
-//! onto a completion queue and wake the reactor through a pipe; the
-//! reactor drains responses with non-blocking writes. An idle keep-alive
-//! connection therefore costs one file descriptor and ~one `Conn` struct —
-//! never a thread — so a 4-worker pool can serve thousands of mostly-idle
-//! editor sessions (the paper's many-users live-sync setting).
+//! The reactor is *sharded*: `--reactors N` (default: one per core,
+//! capped at the store's shard count) spawns N independent loops, each
+//! with its own epoll fd, its own listener (`SO_REUSEPORT`, so the kernel
+//! spreads incoming connections across them), its own bounded worker
+//! pool, its own completion queue + wake pipe, and its own deadline
+//! sweep. A connection accepted by reactor R lives its whole life on R:
+//! no socket, parser buffer, or response buffer ever crosses a core.
+//! Session ids minted on R are chosen so their store/journal shard is
+//! ≡ R mod N (see [`crate::store::shard_index`]), making the drag fast
+//! path core-local end-to-end. Where `SO_REUSEPORT` is unavailable,
+//! reactor 0 owns the single listener and deals accepted sockets
+//! round-robin over the other reactors' wake pipes.
 //!
-//! The epoll surface is declared directly (`extern "C"`): the crate stays
-//! std-only, at the price of being Linux-only — which it de facto already
-//! was, and which CI exercises.
+//! Within one reactor, the loop is unchanged: non-blocking reads feed
+//! each connection's resumable [`ConnParser`]; the moment a complete
+//! request materializes, it is handed to the reactor's worker pool and
+//! the loop goes back to servicing other sockets. Workers push finished
+//! responses onto the reactor's completion queue and wake it through a
+//! pipe; responses drain with vectored non-blocking writes (header +
+//! body in one `writev`, the head serialized into a per-connection
+//! buffer that is cleared — never shrunk — between keep-alive
+//! responses). An idle keep-alive connection therefore costs one file
+//! descriptor and ~one `Conn` struct — never a thread — so a small pool
+//! can serve thousands of mostly-idle editor sessions (the paper's
+//! many-users live-sync setting).
+//!
+//! What stays global across reactors: the `--max-conns` accept gate (a
+//! shared atomic), per-IP quotas (the shared store), the drain flag, and
+//! every `/stats`-visible total (per-reactor gauges are published
+//! alongside, labeled `reactor="i"`).
+//!
+//! The epoll + socket surface is declared directly (`extern "C"`): the
+//! crate stays std-only, at the price of being Linux-only — which it de
+//! facto already was, and which CI exercises.
 //!
 //! Connection state machine (deadlines in parentheses):
 //!
@@ -31,11 +52,11 @@
 //! connection slot, never a worker.
 
 use std::collections::HashMap;
-use std::io::{Read, Write};
-use std::net::{IpAddr, TcpListener, TcpStream};
+use std::io::{IoSlice, Read, Write};
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::io::AsRawFd;
 use std::os::unix::net::UnixStream;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -43,15 +64,17 @@ use sns_obs::trace::{self, Stage, Trace};
 
 use crate::http::{ConnParser, Parsed, Request, Response};
 use crate::json::Json;
-use crate::routes::{self, ServerState};
+use crate::routes::{self, ReactorId, ServerState};
 use crate::stats::ConnGauges;
 use crate::threadpool::ThreadPool;
 
-/// Raw epoll + signal declarations. The only unsafe in the crate lives
-/// here, wrapped so the reactor proper stays in safe code.
+/// Raw epoll + signal + socket declarations. The only unsafe in the
+/// crate lives here, wrapped so the reactor proper stays in safe code.
 #[allow(unsafe_code)]
 mod ffi {
+    use std::net::{SocketAddr, TcpListener};
     use std::os::raw::c_int;
+    use std::os::unix::io::FromRawFd;
     use std::sync::atomic::{AtomicBool, Ordering};
 
     pub const EPOLLIN: u32 = 0x001;
@@ -76,6 +99,35 @@ mod ffi {
         pub data: u64,
     }
 
+    const AF_INET: c_int = 2;
+    const AF_INET6: c_int = 10;
+    const SOCK_STREAM: c_int = 1;
+    const SOCK_CLOEXEC: c_int = 0o2000000;
+    const SOL_SOCKET: c_int = 1;
+    const SO_REUSEADDR: c_int = 2;
+    const SO_REUSEPORT: c_int = 15;
+    const LISTEN_BACKLOG: c_int = 1024;
+
+    /// `struct sockaddr_in` (fields in network byte order where the ABI
+    /// says so).
+    #[repr(C)]
+    struct SockAddrIn {
+        family: u16,
+        port_be: u16,
+        addr: [u8; 4],
+        zero: [u8; 8],
+    }
+
+    /// `struct sockaddr_in6`.
+    #[repr(C)]
+    struct SockAddrIn6 {
+        family: u16,
+        port_be: u16,
+        flowinfo: u32,
+        addr: [u8; 16],
+        scope_id: u32,
+    }
+
     extern "C" {
         fn epoll_create1(flags: c_int) -> c_int;
         fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
@@ -87,6 +139,94 @@ mod ffi {
         ) -> c_int;
         fn close(fd: c_int) -> c_int;
         fn signal(signum: c_int, handler: usize) -> usize;
+        fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+        fn setsockopt(
+            fd: c_int,
+            level: c_int,
+            optname: c_int,
+            optval: *const c_int,
+            optlen: u32,
+        ) -> c_int;
+        fn bind(fd: c_int, addr: *const u8, len: u32) -> c_int;
+        fn listen(fd: c_int, backlog: c_int) -> c_int;
+    }
+
+    /// Builds a listener with `SO_REUSEPORT` set *before* bind, so several
+    /// reactors can each own a socket on the same address and the kernel
+    /// spreads incoming connections across them. `std::net::TcpListener`
+    /// offers no pre-bind socket options, hence the raw path; the fd is
+    /// wrapped in a `TcpListener` immediately so every error path closes
+    /// it.
+    pub fn reuseport_listener(addr: SocketAddr) -> std::io::Result<TcpListener> {
+        let domain = if addr.is_ipv4() { AF_INET } else { AF_INET6 };
+        // SAFETY: plain syscall; no pointers involved.
+        let fd = unsafe { socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0) };
+        if fd < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        // SAFETY: `fd` is a fresh socket we exclusively own.
+        let wrapped = unsafe { TcpListener::from_raw_fd(fd) };
+        let one: c_int = 1;
+        for opt in [SO_REUSEADDR, SO_REUSEPORT] {
+            // SAFETY: optval points at a live c_int of the advertised size.
+            let rc = unsafe {
+                setsockopt(
+                    fd,
+                    SOL_SOCKET,
+                    opt,
+                    &one,
+                    std::mem::size_of::<c_int>() as u32,
+                )
+            };
+            if rc < 0 {
+                return Err(std::io::Error::last_os_error());
+            }
+        }
+        let rc = match addr {
+            SocketAddr::V4(v4) => {
+                let sa = SockAddrIn {
+                    family: AF_INET as u16,
+                    port_be: v4.port().to_be(),
+                    addr: v4.ip().octets(),
+                    zero: [0; 8],
+                };
+                // SAFETY: `sa` is a properly laid-out sockaddr_in whose
+                // length is passed alongside; the kernel copies it out.
+                unsafe {
+                    bind(
+                        fd,
+                        (&sa as *const SockAddrIn).cast(),
+                        std::mem::size_of::<SockAddrIn>() as u32,
+                    )
+                }
+            }
+            SocketAddr::V6(v6) => {
+                let sa = SockAddrIn6 {
+                    family: AF_INET6 as u16,
+                    port_be: v6.port().to_be(),
+                    flowinfo: v6.flowinfo(),
+                    addr: v6.ip().octets(),
+                    scope_id: v6.scope_id(),
+                };
+                // SAFETY: as above, for sockaddr_in6.
+                unsafe {
+                    bind(
+                        fd,
+                        (&sa as *const SockAddrIn6).cast(),
+                        std::mem::size_of::<SockAddrIn6>() as u32,
+                    )
+                }
+            }
+        };
+        if rc < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        // SAFETY: plain syscall on our fd.
+        let rc = unsafe { listen(fd, LISTEN_BACKLOG) };
+        if rc < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(wrapped)
     }
 
     pub fn create() -> std::io::Result<c_int> {
@@ -227,16 +367,45 @@ struct Completion {
 }
 
 /// Worker → reactor channel: completed responses plus the wake pipe that
-/// pulls the reactor out of `epoll_wait`.
+/// pulls the reactor out of `epoll_wait`. In fallback accept mode (no
+/// `SO_REUSEPORT`) it doubles as the fd-handoff channel: reactor 0 pushes
+/// accepted sockets here and the owning reactor adopts them on wake.
 #[derive(Debug)]
 pub(crate) struct Notifier {
     done: Mutex<Vec<Completion>>,
+    /// Connections accepted on another reactor's listener, waiting to be
+    /// adopted by this one (fallback accept sharding only).
+    incoming: Mutex<Vec<(TcpStream, SocketAddr)>>,
     wake_tx: UnixStream,
 }
 
 impl Notifier {
+    /// Creates the channel; the returned `UnixStream` is the read end the
+    /// owning reactor registers with its epoll.
+    fn new() -> std::io::Result<(Arc<Notifier>, UnixStream)> {
+        let (wake_rx, wake_tx) = UnixStream::pair()?;
+        wake_rx.set_nonblocking(true)?;
+        wake_tx.set_nonblocking(true)?;
+        Ok((
+            Arc::new(Notifier {
+                done: Mutex::new(Vec::new()),
+                incoming: Mutex::new(Vec::new()),
+                wake_tx,
+            }),
+            wake_rx,
+        ))
+    }
+
     fn push(&self, completion: Completion) {
         self.done.lock().expect("completion lock").push(completion);
+        self.wake();
+    }
+
+    fn push_incoming(&self, stream: TcpStream, peer: SocketAddr) {
+        self.incoming
+            .lock()
+            .expect("incoming lock")
+            .push((stream, peer));
         self.wake();
     }
 
@@ -244,6 +413,29 @@ impl Notifier {
     /// full pipe means a wake is already pending, so errors are ignored.
     pub(crate) fn wake(&self) {
         let _ = (&self.wake_tx).write(&[1]);
+    }
+}
+
+/// State shared by every reactor of one server: the drain flag, the
+/// global open-connection count behind the `--max-conns` gate, and every
+/// reactor's notifier (so a drain request can wake all loops, and the
+/// fallback acceptor can hand sockets across).
+#[derive(Debug)]
+pub(crate) struct ReactorShared {
+    drain: AtomicBool,
+    conns_open: AtomicUsize,
+    notifiers: Vec<Arc<Notifier>>,
+    /// True when `SO_REUSEPORT` was unavailable and reactor 0 owns the
+    /// only listener, dealing accepted sockets round-robin.
+    fallback_accept: bool,
+}
+
+impl ReactorShared {
+    pub(crate) fn request_drain(&self) {
+        self.drain.store(true, Ordering::SeqCst);
+        for n in &self.notifiers {
+            n.wake();
+        }
     }
 }
 
@@ -266,7 +458,14 @@ struct Conn {
     peer: IpAddr,
     parser: ConnParser,
     phase: Phase,
-    write_buf: Vec<u8>,
+    /// Serialized response head, reused across keep-alive responses:
+    /// cleared (capacity kept) each time, so it grows once to the largest
+    /// head this connection ever produced and never reallocates again.
+    head_buf: Vec<u8>,
+    /// Response body, *moved* out of the worker's `Response` (never
+    /// copied); written alongside the head with one vectored write.
+    body: Vec<u8>,
+    /// Bytes of head + body already on the wire.
     written: usize,
     keep_alive_after_write: bool,
     /// When this connection gets reaped, per current phase; `None` while
@@ -295,10 +494,29 @@ enum WriteProgress {
 }
 
 /// Reactor tuning knobs, resolved from [`crate::ServerConfig`].
+#[derive(Clone)]
 pub(crate) struct ReactorOptions {
+    /// Global open-connection gate (checked against the *shared* count).
     pub max_conns: usize,
     pub read_timeout: Duration,
     pub idle_timeout: Duration,
+}
+
+/// Binds `count` `SO_REUSEPORT` listeners on `addr`. Port 0 is resolved
+/// by the first bind — the remaining listeners bind the concrete port it
+/// got, since N ephemeral binds would land on N different ports.
+pub(crate) fn bind_sharded(addr: &str, count: usize) -> std::io::Result<Vec<TcpListener>> {
+    let sock_addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::other(format!("{addr}: no usable address")))?;
+    let first = ffi::reuseport_listener(sock_addr)?;
+    let resolved = first.local_addr()?;
+    let mut listeners = vec![first];
+    for _ in 1..count {
+        listeners.push(ffi::reuseport_listener(resolved)?);
+    }
+    Ok(listeners)
 }
 
 /// Why the reactor is closing a connection (stats attribution).
@@ -327,67 +545,100 @@ impl Drop for Epoll {
 
 pub(crate) struct Reactor {
     epoll: Epoll,
-    listener: TcpListener,
+    /// This reactor's accept socket. Every reactor has one under
+    /// `SO_REUSEPORT`; in fallback mode only reactor 0 does, and it deals
+    /// sockets to the others.
+    listener: Option<TcpListener>,
+    /// This reactor's index (also the residue class of the store shards
+    /// whose sessions it mints).
+    index: usize,
     conns: HashMap<u64, Conn>,
     next_token: u64,
     state: Arc<ServerState>,
     pool: ThreadPool,
     notifier: Arc<Notifier>,
     wake_rx: UnixStream,
-    drain: Arc<AtomicBool>,
+    shared: Arc<ReactorShared>,
     draining: bool,
     in_flight: u64,
     opts: ReactorOptions,
     next_sweep: Instant,
     next_gauge_push: Instant,
+    /// Round-robin cursor for the fallback acceptor.
+    next_handoff: usize,
 }
 
 impl Reactor {
+    /// Builds the shared state for `count` reactors (notifiers are
+    /// created here so the shutdown handle and the fallback acceptor can
+    /// reach every loop). Returns the shared handle plus each reactor's
+    /// wake-pipe read end, index-aligned.
+    pub(crate) fn shared_for(
+        count: usize,
+        fallback_accept: bool,
+    ) -> std::io::Result<(Arc<ReactorShared>, Vec<UnixStream>)> {
+        let mut notifiers = Vec::with_capacity(count);
+        let mut wake_rxs = Vec::with_capacity(count);
+        for _ in 0..count {
+            let (notifier, wake_rx) = Notifier::new()?;
+            notifiers.push(notifier);
+            wake_rxs.push(wake_rx);
+        }
+        Ok((
+            Arc::new(ReactorShared {
+                drain: AtomicBool::new(false),
+                conns_open: AtomicUsize::new(0),
+                notifiers,
+                fallback_accept,
+            }),
+            wake_rxs,
+        ))
+    }
+
     pub(crate) fn new(
-        listener: TcpListener,
+        index: usize,
+        listener: Option<TcpListener>,
         state: Arc<ServerState>,
         pool: ThreadPool,
         opts: ReactorOptions,
+        shared: Arc<ReactorShared>,
+        wake_rx: UnixStream,
     ) -> std::io::Result<Reactor> {
-        listener.set_nonblocking(true)?;
         let epoll = Epoll { fd: ffi::create()? };
-        ffi::add(epoll.fd, listener.as_raw_fd(), ffi::EPOLLIN, TOKEN_LISTENER)?;
-        let (wake_rx, wake_tx) = UnixStream::pair()?;
-        wake_rx.set_nonblocking(true)?;
-        wake_tx.set_nonblocking(true)?;
+        if let Some(listener) = &listener {
+            listener.set_nonblocking(true)?;
+            ffi::add(epoll.fd, listener.as_raw_fd(), ffi::EPOLLIN, TOKEN_LISTENER)?;
+        }
         ffi::add(epoll.fd, wake_rx.as_raw_fd(), ffi::EPOLLIN, TOKEN_WAKE)?;
+        let notifier = Arc::clone(&shared.notifiers[index]);
         let now = Instant::now();
         Ok(Reactor {
             epoll,
             listener,
+            index,
             conns: HashMap::new(),
             next_token: TOKEN_FIRST_CONN,
             state,
             pool,
-            notifier: Arc::new(Notifier {
-                done: Mutex::new(Vec::new()),
-                wake_tx,
-            }),
+            notifier,
             wake_rx,
-            drain: Arc::new(AtomicBool::new(false)),
+            shared,
             draining: false,
             in_flight: 0,
             opts,
             next_sweep: now,
             next_gauge_push: now,
+            next_handoff: 0,
         })
     }
 
-    pub(crate) fn listener(&self) -> &TcpListener {
-        &self.listener
-    }
-
-    pub(crate) fn drain_flag(&self) -> Arc<AtomicBool> {
-        Arc::clone(&self.drain)
-    }
-
-    pub(crate) fn notifier(&self) -> Arc<Notifier> {
-        Arc::clone(&self.notifier)
+    /// Which reactor this is, for routing (`index` picks the session-id
+    /// residue, `count` the modulus).
+    fn reactor_id(&self) -> ReactorId {
+        ReactorId {
+            index: self.index,
+            count: self.shared.notifiers.len(),
+        }
     }
 
     /// The readiness loop. Returns `Ok(())` once a drain request (the
@@ -407,7 +658,10 @@ impl Reactor {
                 }
             }
             self.apply_completions();
-            if !self.draining && (self.drain.load(Ordering::SeqCst) || sigterm_pending()) {
+            if !self.draining && (self.shared.drain.load(Ordering::SeqCst) || sigterm_pending()) {
+                // Propagate (idempotently) so sibling reactors that have
+                // not polled the signal flag yet drain promptly too.
+                self.shared.request_drain();
                 self.enter_drain();
             }
             self.sweep_deadlines();
@@ -444,7 +698,11 @@ impl Reactor {
 
     fn accept_ready(&mut self) {
         loop {
-            let (stream, peer) = match self.listener.accept() {
+            let accepted = match &self.listener {
+                Some(listener) => listener.accept(),
+                None => return,
+            };
+            let (stream, peer) = match accepted {
                 Ok(pair) => pair,
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
@@ -453,54 +711,84 @@ impl Reactor {
             if self.draining {
                 continue; // Listener is being torn down; drop the socket.
             }
-            if self.conns.len() >= self.opts.max_conns {
-                // The accept gate: past `max_conns`, shed the connection
-                // with a best-effort 503 instead of letting it camp in
-                // the backlog until a deadline it cannot see.
-                self.state.stats.record_accept_drop();
-                let _ = stream.set_nonblocking(true);
-                let resp = Response::json(
-                    503,
-                    Json::obj([("error", Json::str("connection limit reached"))]).to_string(),
-                )
-                .with_header("Retry-After", "1");
-                let _ = (&stream).write(&resp.encode(false));
-                continue;
+            // Fallback accept sharding: this is the only listener, so
+            // deal sockets round-robin across all reactors (keeping every
+            // Nth for ourselves).
+            let total = self.shared.notifiers.len();
+            if self.shared.fallback_accept && total > 1 {
+                let target = self.next_handoff % total;
+                self.next_handoff += 1;
+                if target != self.index {
+                    self.shared.notifiers[target].push_incoming(stream, peer);
+                    continue;
+                }
             }
-            if stream.set_nonblocking(true).is_err() {
-                continue;
-            }
-            // Interactive request/response traffic: never wait on Nagle.
-            let _ = stream.set_nodelay(true);
-            let token = self.next_token;
-            self.next_token += 1;
-            if ffi::add(self.epoll.fd, stream.as_raw_fd(), ffi::EPOLLIN, token).is_err() {
-                continue;
-            }
-            let deadline = Instant::now() + self.opts.idle_timeout;
-            self.conns.insert(
-                token,
-                Conn {
-                    stream,
-                    peer: peer.ip(),
-                    parser: ConnParser::new(),
-                    phase: Phase::Idle,
-                    write_buf: Vec::new(),
-                    written: 0,
-                    keep_alive_after_write: true,
-                    deadline: Some(deadline),
-                    interest: ffi::EPOLLIN,
-                    peer_closed: false,
-                    trace: None,
-                },
-            );
-            self.schedule_sweep(deadline);
+            self.admit(stream, peer);
         }
     }
 
+    /// Registers one accepted connection with this reactor (from its own
+    /// listener or handed over by the fallback acceptor), enforcing the
+    /// *global* `--max-conns` gate.
+    fn admit(&mut self, stream: TcpStream, peer: SocketAddr) {
+        if self.draining {
+            return;
+        }
+        if self.shared.conns_open.load(Ordering::Relaxed) >= self.opts.max_conns {
+            // The accept gate: past `max_conns`, shed the connection
+            // with a best-effort 503 instead of letting it camp in
+            // the backlog until a deadline it cannot see.
+            self.state.stats.record_accept_drop();
+            let _ = stream.set_nonblocking(true);
+            let resp = Response::json(
+                503,
+                Json::obj([("error", Json::str("connection limit reached"))]).to_string(),
+            )
+            .with_header("Retry-After", "1");
+            let _ = (&stream).write(&resp.encode(false));
+            return;
+        }
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        // Interactive request/response traffic: never wait on Nagle.
+        let _ = stream.set_nodelay(true);
+        let token = self.next_token;
+        self.next_token += 1;
+        if ffi::add(self.epoll.fd, stream.as_raw_fd(), ffi::EPOLLIN, token).is_err() {
+            return;
+        }
+        self.shared.conns_open.fetch_add(1, Ordering::Relaxed);
+        let deadline = Instant::now() + self.opts.idle_timeout;
+        self.conns.insert(
+            token,
+            Conn {
+                stream,
+                peer: peer.ip(),
+                parser: ConnParser::new(),
+                phase: Phase::Idle,
+                head_buf: Vec::new(),
+                body: Vec::new(),
+                written: 0,
+                keep_alive_after_write: true,
+                deadline: Some(deadline),
+                interest: ffi::EPOLLIN,
+                peer_closed: false,
+                trace: None,
+            },
+        );
+        self.schedule_sweep(deadline);
+    }
+
     fn drain_wake_pipe(&mut self) {
+        self.state.stats.record_reactor_wake(self.index);
         let mut sink = [0u8; 64];
         while matches!((&self.wake_rx).read(&mut sink), Ok(n) if n > 0) {}
+        // Adopt connections the fallback acceptor handed over.
+        let incoming = std::mem::take(&mut *self.notifier.incoming.lock().expect("incoming lock"));
+        for (stream, peer) in incoming {
+            self.admit(stream, peer);
+        }
     }
 
     fn conn_event(&mut self, token: u64, bits: u32) {
@@ -643,7 +931,7 @@ impl Reactor {
                 Parsed::Malformed(msg) => {
                     let resp =
                         Response::json(400, Json::obj([("error", Json::str(msg))]).to_string());
-                    self.queue_response(token, &resp, false);
+                    self.queue_response(token, resp, false);
                     return;
                 }
             }
@@ -673,12 +961,13 @@ impl Reactor {
         // queue must not 503 the probes that would diagnose it. These
         // routes are read-only and allocation-light, so the reactor
         // answers them inline.
+        let reactor_id = self.reactor_id();
         if routes::is_inline(&request) {
             let start = Instant::now();
             if let Some(t) = &request_trace {
                 t.stamp(Stage::Dispatched);
             }
-            let response = routes::dispatch(&self.state, &request, peer);
+            let response = routes::dispatch(&self.state, &request, peer, reactor_id);
             self.state
                 .stats
                 .record(start.elapsed(), response.status >= 400);
@@ -689,7 +978,7 @@ impl Reactor {
             if let Some(conn) = self.conns.get_mut(&token) {
                 conn.trace = request_trace;
             }
-            return Some(self.queue_response(token, &response, keep_alive));
+            return Some(self.queue_response(token, response, keep_alive));
         }
         let state = Arc::clone(&self.state);
         let notifier = Arc::clone(&self.notifier);
@@ -720,7 +1009,7 @@ impl Reactor {
             // it, `in_flight` never reaches zero again, the connection
             // wedges in Dispatched, and graceful drain can never finish.
             let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                routes::dispatch(&state, &request, peer)
+                routes::dispatch(&state, &request, peer, reactor_id)
             }))
             .unwrap_or_else(|_| {
                 Response::json(
@@ -767,16 +1056,19 @@ impl Reactor {
                 if let Some(conn) = self.conns.get_mut(&token) {
                     conn.trace = request_trace;
                 }
-                Some(self.queue_response(token, &resp, keep_alive))
+                Some(self.queue_response(token, resp, keep_alive))
             }
         }
     }
 
     /// Serializes a response onto the connection and starts writing it.
+    /// Takes the response by value: the body is *moved* into the
+    /// connection (zero copies), and the head is serialized into the
+    /// connection's reusable head buffer.
     fn queue_response(
         &mut self,
         token: u64,
-        response: &Response,
+        response: Response,
         keep_alive: bool,
     ) -> WriteProgress {
         let keep_alive = keep_alive && !self.draining;
@@ -785,7 +1077,8 @@ impl Reactor {
             let Some(conn) = self.conns.get_mut(&token) else {
                 return WriteProgress::Closed;
             };
-            conn.write_buf = response.encode(keep_alive);
+            response.encode_head_into(keep_alive, &mut conn.head_buf);
+            conn.body = response.body;
             conn.written = 0;
             conn.keep_alive_after_write = keep_alive;
             conn.phase = Phase::Writing;
@@ -797,9 +1090,11 @@ impl Reactor {
         self.try_write(token)
     }
 
-    /// Pushes buffered response bytes; most responses complete here in
-    /// one non-blocking write and never touch EPOLLOUT. Never re-enters
-    /// the parser — callers react to [`WriteProgress::Idle`] instead, so
+    /// Pushes buffered response bytes — head and body together through
+    /// one vectored write (`writev`) while the head is unfinished, then
+    /// plain writes for the body remainder. Most responses complete here
+    /// in one syscall and never touch EPOLLOUT. Never re-enters the
+    /// parser — callers react to [`WriteProgress::Idle`] instead, so
     /// pipelined bursts cannot recurse.
     fn try_write(&mut self, token: u64) -> WriteProgress {
         enum Outcome {
@@ -812,10 +1107,20 @@ impl Reactor {
                 return WriteProgress::Closed;
             };
             loop {
-                if conn.written == conn.write_buf.len() {
+                let head_len = conn.head_buf.len();
+                if conn.written == head_len + conn.body.len() {
                     break Outcome::Done(conn.keep_alive_after_write);
                 }
-                match conn.stream.write(&conn.write_buf[conn.written..]) {
+                let result = if conn.written < head_len {
+                    let bufs = [
+                        IoSlice::new(&conn.head_buf[conn.written..]),
+                        IoSlice::new(&conn.body),
+                    ];
+                    (&conn.stream).write_vectored(&bufs)
+                } else {
+                    (&conn.stream).write(&conn.body[conn.written - head_len..])
+                };
+                match result {
                     Ok(0) => break Outcome::Dead,
                     Ok(n) => conn.written += n,
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break Outcome::Blocked,
@@ -841,7 +1146,10 @@ impl Reactor {
             Outcome::Done(true) if !self.draining => {
                 let deadline = Instant::now() + self.opts.idle_timeout;
                 if let Some(conn) = self.conns.get_mut(&token) {
-                    conn.write_buf = Vec::new();
+                    // Keep `head_buf`'s capacity for the next response on
+                    // this connection; only the (moved-in) body is dropped.
+                    conn.head_buf.clear();
+                    conn.body = Vec::new();
                     conn.written = 0;
                     conn.phase = Phase::Idle;
                     conn.deadline = Some(deadline);
@@ -878,7 +1186,7 @@ impl Reactor {
                 }
                 let progress = self.queue_response(
                     completion.token,
-                    &completion.response,
+                    completion.response,
                     completion.keep_alive,
                 );
                 if progress == WriteProgress::Idle {
@@ -934,6 +1242,7 @@ impl Reactor {
         let Some(conn) = self.conns.remove(&token) else {
             return;
         };
+        self.shared.conns_open.fetch_sub(1, Ordering::Relaxed);
         match why {
             CloseWhy::TimedOut => self.state.stats.record_read_timeout(),
             CloseWhy::IdleReaped => self.state.stats.record_idle_reaped(),
@@ -949,7 +1258,9 @@ impl Reactor {
     /// connections, and let dispatched/writing requests finish.
     fn enter_drain(&mut self) {
         self.draining = true;
-        let _ = ffi::del(self.epoll.fd, self.listener.as_raw_fd());
+        if let Some(listener) = &self.listener {
+            let _ = ffi::del(self.epoll.fd, listener.as_raw_fd());
+        }
         let doomed: Vec<u64> = self
             .conns
             .iter()
@@ -982,10 +1293,14 @@ impl Reactor {
             .values()
             .filter(|c| c.phase == Phase::Idle)
             .count() as u64;
-        self.state.stats.set_conn_gauges(ConnGauges {
-            open: self.conns.len() as u64,
-            idle,
-            in_flight: self.in_flight,
-        });
+        self.state.stats.set_reactor_gauges(
+            self.index,
+            ConnGauges {
+                open: self.conns.len() as u64,
+                idle,
+                in_flight: self.in_flight,
+            },
+            self.pool.queued() as u64,
+        );
     }
 }

@@ -17,6 +17,25 @@ use crate::session::Session;
 use crate::stats::{MirrorSnapshot, ServerStats};
 use crate::store::{InsertError, SessionStore};
 
+/// Identity of the reactor a request arrived on, threaded through
+/// dispatch so session creation can mint ids whose store shard is
+/// aligned with that reactor (`shard_index(id) % count == index`).
+/// Alignment is a locality optimization, never a correctness
+/// requirement: the store is shared, so any reactor serves any id.
+#[derive(Clone, Copy, Debug)]
+pub struct ReactorId {
+    /// This reactor's position in `0..count`.
+    pub index: usize,
+    /// Total number of reactors the server is running.
+    pub count: usize,
+}
+
+impl Default for ReactorId {
+    fn default() -> Self {
+        ReactorId { index: 0, count: 1 }
+    }
+}
+
 /// Per-request tracing state shared between the reactor (which allocates
 /// and finishes traces) and the routes (which dump them).
 pub struct Telemetry {
@@ -196,8 +215,14 @@ fn promote(state: &Arc<ServerState>) -> Response {
 }
 
 /// Dispatches one parsed request against the state. `peer` is the client
-/// address the reactor accepted the connection from (quota accounting).
-pub fn dispatch(state: &Arc<ServerState>, request: &Request, peer: IpAddr) -> Response {
+/// address the reactor accepted the connection from (quota accounting);
+/// `reactor` identifies the loop it arrived on (shard-aligned id minting).
+pub fn dispatch(
+    state: &Arc<ServerState>,
+    request: &Request,
+    peer: IpAddr,
+    reactor: ReactorId,
+) -> Response {
     let path = request.path.trim_end_matches('/');
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     if let Some(token) = &state.auth_token {
@@ -247,7 +272,7 @@ pub fn dispatch(state: &Arc<ServerState>, request: &Request, peer: IpAddr) -> Re
         ("GET", ["stats"]) => stats(state),
         ("GET", ["metrics"]) => metrics(state),
         ("GET", ["debug", "traces"]) => debug_traces(state),
-        ("POST", ["sessions"]) => create_session(state, &request.body, peer),
+        ("POST", ["sessions"]) => create_session(state, &request.body, peer, reactor),
         ("GET", ["sessions", id, "canvas"]) => with_session(state, id, |s| Ok(s.canvas_json())),
         ("GET", ["sessions", id, "code"]) => with_session(state, id, |s| {
             Ok(Json::obj([("code", Json::str(s.code()))]))
@@ -386,6 +411,18 @@ fn stats(state: &Arc<ServerState>) -> Response {
             ("conns_open", Json::Num(gauges.open as f64)),
             ("conns_idle", Json::Num(gauges.idle as f64)),
             ("conns_in_flight", Json::Num(gauges.in_flight as f64)),
+            ("reactors", Json::Num(state.stats.reactors() as f64)),
+            (
+                "reactor_conns",
+                Json::Arr(
+                    state
+                        .stats
+                        .reactor_conn_counts()
+                        .into_iter()
+                        .map(|n| Json::Num(n as f64))
+                        .collect(),
+                ),
+            ),
             ("accept_drops", Json::Num(state.stats.accept_drops() as f64)),
             (
                 "read_timeouts",
@@ -459,7 +496,12 @@ fn durable_quota_response(state: &Arc<ServerState>) -> Response {
     )
 }
 
-fn create_session(state: &Arc<ServerState>, body: &[u8], peer: IpAddr) -> Response {
+fn create_session(
+    state: &Arc<ServerState>,
+    body: &[u8],
+    peer: IpAddr,
+    reactor: ReactorId,
+) -> Response {
     let quota = state.max_sessions_per_ip;
     let durable_quota = state.max_durable_per_ip;
     // Cheap pre-checks: a client at quota is refused before its program
@@ -487,7 +529,9 @@ fn create_session(state: &Arc<ServerState>, body: &[u8], peer: IpAddr) -> Respon
     } else {
         return error_response(400, "body must carry `source` or `example`");
     };
-    let id = state.store.fresh_id();
+    let id = state
+        .store
+        .fresh_id_for(reactor.index, reactor.count.max(1));
     match Session::create(id.clone(), &source) {
         Ok(mut session) => {
             sns_obs::trace::stamp_current(sns_obs::trace::Stage::PrepareDone);

@@ -9,7 +9,7 @@
 //! lag) are *mirrored*: [`ServerStats::refresh`] republishes them at
 //! scrape time.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use sns_obs::metrics::{Counter, Gauge, Histogram, Registry};
@@ -98,6 +98,13 @@ pub struct ServerStats {
     conns_open: Arc<Gauge>,
     conns_idle: Arc<Gauge>,
     conns_in_flight: Arc<Gauge>,
+    // Per-reactor gauges under one labeled family each; the slots vec
+    // holds the last value every reactor published so any single
+    // reactor's update can recompute the aggregate totals above.
+    reactor_slots: Mutex<Vec<ConnGauges>>,
+    reactor_conns: Vec<Arc<Gauge>>,
+    reactor_queue_depth: Vec<Arc<Gauge>>,
+    reactor_wakes: Vec<Arc<Counter>>,
     accept_drops: Arc<Counter>,
     read_timeouts: Arc<Counter>,
     idle_reaped: Arc<Counter>,
@@ -135,10 +142,38 @@ impl Default for ServerStats {
 }
 
 impl ServerStats {
-    /// Creates zeroed stats with every metric registered.
+    /// Creates zeroed stats with every metric registered, sized for a
+    /// single reactor.
     pub fn new() -> ServerStats {
+        ServerStats::with_reactors(1)
+    }
+
+    /// Creates zeroed stats with per-reactor gauge/counter families sized
+    /// for `reactors` event loops (clamped to at least one).
+    pub fn with_reactors(reactors: usize) -> ServerStats {
+        let n = reactors.max(1);
+        let labels: Vec<String> = (0..n).map(|i| i.to_string()).collect();
         let r = Registry::new();
         ServerStats {
+            reactor_slots: Mutex::new(vec![ConnGauges::default(); n]),
+            reactor_conns: r.gauge_vec(
+                "sns_reactor_conns",
+                "Connections currently open on each reactor.",
+                "reactor",
+                labels.clone(),
+            ),
+            reactor_queue_depth: r.gauge_vec(
+                "sns_reactor_queue_depth",
+                "Jobs waiting in each reactor's worker-pool queue.",
+                "reactor",
+                labels.clone(),
+            ),
+            reactor_wakes: r.counter_vec(
+                "sns_reactor_wakes_total",
+                "Wake-pipe wakeups delivered to each reactor.",
+                "reactor",
+                labels,
+            ),
             requests: r.counter("sns_requests_total", "Requests served."),
             errors: r.counter("sns_errors_total", "Requests answered with a non-2xx status."),
             request_us: r.histogram(
@@ -338,11 +373,56 @@ impl ServerStats {
         }
     }
 
-    /// Publishes the reactor's connection gauges (absolute values).
+    /// Publishes aggregate connection gauges (absolute values). Sharded
+    /// servers publish per-loop via
+    /// [`set_reactor_gauges`](ServerStats::set_reactor_gauges), which
+    /// recomputes these totals itself.
     pub fn set_conn_gauges(&self, gauges: ConnGauges) {
         self.conns_open.set(gauges.open as f64);
         self.conns_idle.set(gauges.idle as f64);
         self.conns_in_flight.set(gauges.in_flight as f64);
+    }
+
+    /// Publishes one reactor's connection gauges and worker-queue depth,
+    /// then folds every reactor's last report into the aggregate totals
+    /// so `/stats` and the unlabeled `sns_conns_*` gauges keep their
+    /// whole-server meaning.
+    pub fn set_reactor_gauges(&self, reactor: usize, gauges: ConnGauges, queue_depth: u64) {
+        let totals = {
+            let mut slots = self.reactor_slots.lock().unwrap_or_else(|e| e.into_inner());
+            let Some(slot) = slots.get_mut(reactor) else {
+                return;
+            };
+            *slot = gauges;
+            slots
+                .iter()
+                .fold(ConnGauges::default(), |acc, s| ConnGauges {
+                    open: acc.open + s.open,
+                    idle: acc.idle + s.idle,
+                    in_flight: acc.in_flight + s.in_flight,
+                })
+        };
+        self.reactor_conns[reactor].set(gauges.open as f64);
+        self.reactor_queue_depth[reactor].set(queue_depth as f64);
+        self.set_conn_gauges(totals);
+    }
+
+    /// Counts one wake-pipe wakeup delivered to `reactor`.
+    pub fn record_reactor_wake(&self, reactor: usize) {
+        if let Some(c) = self.reactor_wakes.get(reactor) {
+            c.inc();
+        }
+    }
+
+    /// Number of reactors these stats were sized for.
+    pub fn reactors(&self) -> usize {
+        self.reactor_conns.len()
+    }
+
+    /// Last-published open-connection count per reactor, indexed by
+    /// reactor (the `/stats` `reactor_conns` array).
+    pub fn reactor_conn_counts(&self) -> Vec<u64> {
+        self.reactor_conns.iter().map(|g| g.get() as u64).collect()
     }
 
     /// The most recently published connection gauges.
@@ -535,6 +615,59 @@ mod tests {
                 stats.quota_rejections()
             ),
             (1, 1, 1, 1, 1)
+        );
+    }
+
+    #[test]
+    fn per_reactor_gauges_aggregate_into_totals() {
+        let stats = ServerStats::with_reactors(3);
+        assert_eq!(stats.reactors(), 3);
+        stats.set_reactor_gauges(
+            0,
+            ConnGauges {
+                open: 5,
+                idle: 4,
+                in_flight: 1,
+            },
+            2,
+        );
+        stats.set_reactor_gauges(
+            2,
+            ConnGauges {
+                open: 7,
+                idle: 6,
+                in_flight: 0,
+            },
+            0,
+        );
+        assert_eq!(
+            stats.conn_gauges(),
+            ConnGauges {
+                open: 12,
+                idle: 10,
+                in_flight: 1,
+            }
+        );
+        assert_eq!(stats.reactor_conn_counts(), vec![5, 0, 7]);
+        stats.record_reactor_wake(1);
+        stats.record_reactor_wake(1);
+        stats.record_reactor_wake(99); // out of range: ignored, no panic
+        let text = stats.render_prometheus();
+        assert!(
+            text.contains("sns_reactor_conns{reactor=\"0\"} 5"),
+            "{text}"
+        );
+        assert!(
+            text.contains("sns_reactor_conns{reactor=\"2\"} 7"),
+            "{text}"
+        );
+        assert!(
+            text.contains("sns_reactor_queue_depth{reactor=\"0\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("sns_reactor_wakes_total{reactor=\"1\"} 2"),
+            "{text}"
         );
     }
 

@@ -15,9 +15,9 @@
 //! the store journals creates and deletes before applying them, and wires
 //! each resident session to the backend so commits do the same.
 
-use std::collections::hash_map::{DefaultHasher, RandomState};
+use std::collections::hash_map::RandomState;
 use std::collections::HashMap;
-use std::hash::{BuildHasher, Hash, Hasher};
+use std::hash::{BuildHasher, Hasher};
 use std::net::IpAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -43,6 +43,22 @@ pub enum InsertError {
 
 /// Number of shards; a power of two keeps the modulo cheap.
 pub const SHARDS: usize = 16;
+
+/// Stable shard selection: FNV-1a, *not* `DefaultHasher`, whose keys are
+/// unspecified across std versions — a data directory must read back under
+/// a binary built years later. One map serves three layers: the store's
+/// in-memory shards, the journal's per-shard WALs, and the replication
+/// protocol (a leader and follower agree on every record's shard). The
+/// reactor leans on it too: session ids minted on reactor R are chosen so
+/// `shard_index(id) % reactors == R`, making the drag fast path core-local.
+pub fn shard_index(id: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in id.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h as usize) % SHARDS
+}
 
 struct Entry {
     session: Arc<Mutex<Session>>,
@@ -105,9 +121,7 @@ impl SessionStore {
     }
 
     fn shard_of(&self, id: &str) -> &Mutex<HashMap<String, Entry>> {
-        let mut h = DefaultHasher::new();
-        id.hash(&mut h);
-        &self.shards[(h.finish() as usize) % SHARDS]
+        &self.shards[shard_index(id)]
     }
 
     fn tick(&self) -> u64 {
@@ -122,6 +136,30 @@ impl SessionStore {
         let mut h = self.id_key.build_hasher();
         h.write_u64(n);
         format!("s{n:04}-{:016x}", h.finish())
+    }
+
+    /// Allocates a fresh id whose shard is owned by reactor `reactor` out
+    /// of `reactors` — i.e. `shard_index(id) % reactors == reactor` — so
+    /// every later request for the session that arrives on its home
+    /// reactor touches only locks that reactor's sessions hash to.
+    /// Rejection sampling: each draw hits the right residue with
+    /// probability ~1/reactors, so the expected cost is `reactors` cheap
+    /// SipHash evaluations (bounded only probabilistically, but a miss
+    /// streak of even 64 is astronomically unlikely).
+    ///
+    /// `reactors` must not exceed [`SHARDS`] or some residues would be
+    /// unreachable; the server caps its reactor count accordingly.
+    pub fn fresh_id_for(&self, reactor: usize, reactors: usize) -> String {
+        debug_assert!(reactors <= SHARDS, "more reactors than shards");
+        if reactors <= 1 {
+            return self.fresh_id();
+        }
+        loop {
+            let id = self.fresh_id();
+            if shard_index(&id) % reactors == reactor % reactors {
+                return id;
+            }
+        }
     }
 
     /// Inserts a session, evicting (or demoting) the LRU session if the
@@ -550,5 +588,20 @@ mod tests {
         let a = store.fresh_id();
         let b = store.fresh_id();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn reactor_aligned_ids_land_on_their_reactor() {
+        let store = SessionStore::new(4);
+        for reactors in [1usize, 2, 3, 4, SHARDS] {
+            for reactor in 0..reactors {
+                let id = store.fresh_id_for(reactor, reactors);
+                assert_eq!(
+                    shard_index(&id) % reactors,
+                    reactor,
+                    "id {id} minted for reactor {reactor}/{reactors}"
+                );
+            }
+        }
     }
 }

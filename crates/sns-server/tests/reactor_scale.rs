@@ -24,8 +24,18 @@ fn config(threads: usize) -> ServerConfig {
     ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         threads,
+        reactors: test_reactors(),
         ..ServerConfig::default()
     }
+}
+
+/// Reactor count for the suite: `SNS_TEST_REACTORS` pins it (CI runs the
+/// whole suite at 1 and again at 4); unset means one per core.
+fn test_reactors() -> usize {
+    std::env::var("SNS_TEST_REACTORS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
 }
 
 /// A tiny blocking HTTP client speaking just enough HTTP/1.1, with
@@ -312,6 +322,9 @@ fn idle_keepalive_connections_are_reaped() {
 fn saturated_pool_sheds_load_with_503() {
     let (addr, handle) = boot(ServerConfig {
         queue_depth: 1,
+        // One reactor: with N reactors the burst would spread over N
+        // single-slot queues and nothing would be shed.
+        reactors: 1,
         ..config(1)
     });
     // Burst 8 creates from 8 connections at once. The reactor dispatches
@@ -498,4 +511,173 @@ fn drain_finishes_in_flight_requests_then_exits() {
         TcpStream::connect(&addr).is_err(),
         "drained server still accepting"
     );
+}
+
+/// Sharded serving is sticky only as an optimization: a session created
+/// on whatever reactor accepted the POST keeps working across keep-alive
+/// *re*connects, each of which the kernel may land on a different
+/// reactor. /stats reports the shard layout.
+#[test]
+fn session_survives_reconnects_across_reactors() {
+    let (addr, handle) = boot(ServerConfig {
+        reactors: 4,
+        ..config(2)
+    });
+    let mut c = Client::connect(&addr);
+    let id = create_session(
+        &mut c,
+        Json::obj([("source", Json::str("(svg [(rect 'plum' 10 20 30 40)])"))]),
+    );
+    drop(c);
+    // Each reconnect is a fresh SO_REUSEPORT pick (or round-robin deal in
+    // fallback mode): over 8 tries a 4-reactor server virtually always
+    // serves this session from several different loops.
+    for round in 1..=8 {
+        let mut c = Client::connect(&addr);
+        let (status, v) = c.post(&format!("/sessions/{id}/drag"), drag_body(1.0, 0.0));
+        assert_eq!(status, 200, "reconnect {round}: {v}");
+    }
+    let mut c = Client::connect(&addr);
+    let (status, stats) = c.get("/stats");
+    assert_eq!(status, 200);
+    assert_eq!(
+        stats.get("reactors").unwrap().as_f64(),
+        Some(4.0),
+        "{stats}"
+    );
+    let per_reactor = stats.get("reactor_conns").unwrap().as_arr().unwrap();
+    assert_eq!(per_reactor.len(), 4, "{stats}");
+    handle.shutdown();
+}
+
+/// Every reactor runs its own deadline wheel: slow-loris connections
+/// spread across the shards are all reaped, not just the ones that
+/// happened to land on reactor 0.
+#[test]
+fn slow_loris_is_reaped_on_every_reactor() {
+    const LORISES: usize = 8;
+    let (addr, handle) = boot(ServerConfig {
+        reactors: 2,
+        read_timeout: Duration::from_millis(300),
+        ..config(2)
+    });
+    // One header byte arms each connection's read deadline; with 8
+    // connections over 2 reactors both wheels hold victims.
+    let mut lorises: Vec<TcpStream> = (0..LORISES)
+        .map(|_| {
+            let mut s = TcpStream::connect(&addr).expect("connect");
+            s.set_read_timeout(Some(Duration::from_secs(10)))
+                .expect("read timeout");
+            s.write_all(b"G").expect("first byte");
+            s
+        })
+        .collect();
+    for (i, loris) in lorises.iter_mut().enumerate() {
+        let mut sink = [0u8; 16];
+        let cut = !matches!(loris.read(&mut sink), Ok(n) if n > 0);
+        assert!(cut, "loris {i} was never cut off");
+    }
+    let mut c = Client::connect(&addr);
+    let (status, stats) = c.get("/stats");
+    assert_eq!(status, 200);
+    assert!(
+        stats.get("read_timeouts").unwrap().as_f64().unwrap() >= LORISES as f64,
+        "{stats}"
+    );
+    handle.shutdown();
+}
+
+/// A drain request reaches every reactor: all idle connections (wherever
+/// they were accepted) are dropped, every loop exits, and the port
+/// closes.
+#[test]
+fn drain_covers_every_reactor() {
+    let server = Server::bind(&ServerConfig {
+        reactors: 4,
+        ..config(2)
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = server.shutdown_handle();
+    let runner = std::thread::spawn(move || server.run());
+    // Park idle keep-alive connections across the shards.
+    let mut parked: Vec<Client> = (0..12)
+        .map(|_| {
+            let mut c = Client::connect(&addr);
+            let (status, _) = c.get("/healthz");
+            assert_eq!(status, 200);
+            c
+        })
+        .collect();
+    handle.shutdown();
+    let result = runner.join().expect("reactor threads");
+    assert!(result.is_ok(), "{result:?}");
+    // Every parked connection was dropped by its owning reactor.
+    for (i, c) in parked.iter_mut().enumerate() {
+        let mut sink = [0u8; 16];
+        let gone = !matches!(c.stream.get_mut().read(&mut sink), Ok(n) if n > 0);
+        assert!(gone, "parked connection {i} survived the drain");
+    }
+    assert!(
+        TcpStream::connect(&addr).is_err(),
+        "drained server still accepting"
+    );
+}
+
+/// `--max-conns` is a whole-server gate, not per reactor: once the
+/// *global* count is at the limit, whichever reactor accepts the next
+/// connection sheds it with a 503.
+#[test]
+fn conn_gate_is_global_across_reactors() {
+    const LIMIT: usize = 8;
+    let (addr, handle) = boot(ServerConfig {
+        reactors: 4,
+        max_conns: LIMIT,
+        ..config(2)
+    });
+    // Fill the global gate with admitted, healthy connections (the
+    // round-trip proves each was admitted, not parked in a backlog).
+    let mut admitted: Vec<Client> = (0..LIMIT)
+        .map(|_| {
+            let mut c = Client::connect(&addr);
+            let (status, _) = c.get("/healthz");
+            assert_eq!(status, 200);
+            c
+        })
+        .collect();
+    // The next connection lands on *some* reactor; the shared count says
+    // the server is full, so it gets the 503 regardless of which one.
+    let mut extra = TcpStream::connect(&addr).expect("connect");
+    extra
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    let mut raw = String::new();
+    let _ = extra.read_to_string(&mut raw);
+    assert!(raw.starts_with("HTTP/1.1 503"), "{raw:?}");
+    assert!(raw.contains("connection limit reached"), "{raw:?}");
+    // Freeing one slot re-opens the gate for a newcomer. The write may
+    // race the server still counting the closed connection down, so
+    // retry; `Connection: close` makes the success read self-delimiting.
+    drop(admitted.pop());
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let mut s = TcpStream::connect(&addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("read timeout");
+        let _ = s.write_all(
+            b"GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\nContent-Length: 0\r\n\r\n",
+        );
+        let mut raw = String::new();
+        let _ = s.read_to_string(&mut raw);
+        if raw.starts_with("HTTP/1.1 200") {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "gate never re-opened after a close: {raw:?}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    drop(admitted);
+    handle.shutdown();
 }
