@@ -1,21 +1,35 @@
 //! Benchmarks commit re-preparation: the full re-evaluate + re-prepare
 //! path against the incremental path (dependence-indexed zone refresh +
-//! trace-patched canvas), per corpus example.
+//! trace-patched canvas), per corpus example — plus the partial-fallback
+//! workloads: escaped drags served by guard replay, and `set_code` edits
+//! served by AST-diff classification.
 //!
 //! ```sh
 //! cargo run --release -p bench --bin prepare_incremental [SLUG…]
 //! ```
 //!
-//! With no arguments the whole 55-example corpus is measured; with slugs,
-//! only those examples (the CI smoke step passes three large ones).
-//! Writes `BENCH_prepare.json` and exits non-zero when the median
-//! incremental commit is not faster than the median full commit across
-//! the largest examples measured — the regression gate.
+//! With no arguments the whole 55-example corpus is measured at full
+//! depth; with slugs, only those examples get the deep per-example table,
+//! while `median_speedup_all` still sweeps the entire corpus at reduced
+//! depth (it is a corpus-wide statistic, not a statistic of the
+//! selection). Writes `BENCH_prepare.json` and exits non-zero when any
+//! gate fails.
 
-use bench::{ms, summarize, time_commit_paths, CommitTiming};
+use bench::{
+    ms, set_code_workload_sources, summarize, time_commit_paths, time_escaped_drag, time_set_code,
+    CommitTiming, SetCodeTiming, ESCAPED_DRAG_SRC,
+};
+use sns_sync::SetCodeClass;
 
-/// Commits timed per example per path.
+/// Commits timed per selected example per path.
 const COMMITS: usize = 30;
+
+/// Commits for the corpus-wide sweep behind `median_speedup_all` when a
+/// slug selection narrows the deep table.
+const QUICK_COMMITS: usize = 6;
+
+/// `set_code` edits timed per workload per path.
+const EDITS: usize = 20;
 
 /// The "largest examples" window the gate and headline median use.
 const LARGEST: usize = 10;
@@ -29,7 +43,7 @@ fn main() {
 }
 
 fn run(slugs: &[String]) -> bool {
-    let examples: Vec<_> = if slugs.is_empty() {
+    let selected: Vec<_> = if slugs.is_empty() {
         sns_examples::ALL.iter().collect()
     } else {
         slugs
@@ -44,8 +58,8 @@ fn run(slugs: &[String]) -> bool {
         "{:<24} {:>6} {:>6} {:>12} {:>12} {:>9}  path",
         "Example", "shapes", "zones", "full/commit", "incr/commit", "speedup"
     );
-    let mut rows: Vec<CommitTiming> = Vec::with_capacity(examples.len());
-    for ex in examples {
+    let mut rows: Vec<CommitTiming> = Vec::with_capacity(selected.len());
+    for ex in &selected {
         let t = time_commit_paths(ex, COMMITS);
         println!(
             "{:<24} {:>6} {:>6} {:>12} {:>12} {:>8.1}x  {}",
@@ -64,28 +78,75 @@ fn run(slugs: &[String]) -> bool {
         rows.push(t);
     }
 
-    // The headline number: median speedup across the largest examples
-    // (by zone count — the unit full prepare scales with).
-    let mut by_size = rows.clone();
+    // `median_speedup_all` is a whole-corpus statistic: when a slug
+    // selection narrowed the deep table, sweep the remaining examples at
+    // reduced depth rather than silently aliasing the selection median.
+    let mut corpus: Vec<CommitTiming> = rows.clone();
+    if !slugs.is_empty() {
+        for ex in sns_examples::ALL.iter() {
+            if rows.iter().any(|r| r.slug == ex.slug) {
+                continue;
+            }
+            corpus.push(time_commit_paths(ex, QUICK_COMMITS));
+        }
+    }
+
+    // The headline number: median speedup across the largest corpus
+    // examples (by zone count — the unit full prepare scales with).
+    let mut by_size = corpus.clone();
     by_size.sort_by_key(|t| std::cmp::Reverse(t.zones));
     let largest: Vec<&CommitTiming> = by_size.iter().take(LARGEST).collect();
     let largest_speedups: Vec<f64> = largest.iter().map(|t| t.speedup()).collect();
-    let all_speedups: Vec<f64> = rows.iter().map(|t| t.speedup()).collect();
+    let all_speedups: Vec<f64> = corpus.iter().map(|t| t.speedup()).collect();
     let largest_median = summarize(&largest_speedups).med;
     let overall_median = summarize(&all_speedups).med;
-    let fast = rows.iter().filter(|t| t.fast_path).count();
+    let fast = corpus.iter().filter(|t| t.fast_path).count();
+
+    // Partial-fallback workloads.
+    let escaped = time_escaped_drag(COMMITS);
+    let (base, subtree_src, structural_src) = set_code_workload_sources();
+    let literal_src = ESCAPED_DRAG_SRC.replace("(def x0 40)", "(def x0 41)");
+    let set_codes = [
+        time_set_code("literal", ESCAPED_DRAG_SRC, &literal_src, EDITS),
+        time_set_code("subtree", &base, &subtree_src, EDITS),
+        time_set_code("structural", &base, &structural_src, EDITS),
+    ];
 
     println!();
     println!(
         "fast-path examples          {fast}/{} ({} fallback)",
-        rows.len(),
-        rows.len() - fast
+        corpus.len(),
+        corpus.len() - fast
     );
     println!(
         "median speedup (largest {})  {largest_median:.1}x",
         largest.len()
     );
-    println!("median speedup (all)        {overall_median:.1}x");
+    println!(
+        "median speedup (all {})     {overall_median:.1}x",
+        corpus.len()
+    );
+    println!(
+        "escaped drag (guard replay) {} full / {} partial = {:.1}x ({})",
+        ms(escaped.full),
+        ms(escaped.incremental),
+        escaped.speedup(),
+        if escaped.fast_path {
+            "partial"
+        } else {
+            "fallback"
+        },
+    );
+    for t in &set_codes {
+        println!(
+            "set_code {:<11}        {} full / {} diffed = {:.1}x ({:?})",
+            t.label,
+            ms(t.full),
+            ms(t.diffed),
+            t.speedup(),
+            t.class,
+        );
+    }
 
     let mut json = String::from("{\n  \"bench\": \"prepare_incremental\",\n");
     json.push_str(&format!("  \"commits_per_example\": {COMMITS},\n"));
@@ -94,8 +155,31 @@ fn run(slugs: &[String]) -> bool {
         largest.len()
     ));
     json.push_str(&format!(
-        "  \"median_speedup_all\": {overall_median:.2},\n  \"examples\": [\n"
+        "  \"median_speedup_all\": {overall_median:.2},\n  \"corpus_examples\": {},\n",
+        corpus.len()
     ));
+    json.push_str(&format!(
+        "  \"escaped_workload\": {{\"full_ms\": {:.4}, \"partial_ms\": {:.4}, \
+         \"speedup\": {:.2}, \"partial_path\": {}}},\n",
+        escaped.full * 1000.0,
+        escaped.incremental * 1000.0,
+        escaped.speedup(),
+        escaped.fast_path,
+    ));
+    json.push_str("  \"set_code_workload\": {\n");
+    for (i, t) in set_codes.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {{\"full_ms\": {:.4}, \"diffed_ms\": {:.4}, \"speedup\": {:.2}, \
+             \"class\": \"{:?}\"}}{}\n",
+            t.label,
+            t.full * 1000.0,
+            t.diffed * 1000.0,
+            t.speedup(),
+            t.class,
+            if i + 1 == set_codes.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  },\n  \"examples\": [\n");
     for (i, t) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"slug\": \"{}\", \"shapes\": {}, \"zones\": {}, \"full_ms\": {:.4}, \
@@ -114,10 +198,22 @@ fn run(slugs: &[String]) -> bool {
     std::fs::write("BENCH_prepare.json", &json).expect("write BENCH_prepare.json");
     eprintln!("wrote BENCH_prepare.json");
 
-    // Regression gate: incremental must beat full on the largest examples,
-    // and must actually *be* incremental there — a fallback measures the
-    // full path twice, making the speedup ~1 by construction, so timing
-    // alone would miss a silently disabled fast path.
+    gates(&largest, largest_median, &escaped, &set_codes)
+}
+
+/// Regression gates. Each failure is reported; any failure exits non-zero.
+fn gates(
+    largest: &[&CommitTiming],
+    largest_median: f64,
+    escaped: &CommitTiming,
+    set_codes: &[SetCodeTiming],
+) -> bool {
+    let mut ok = true;
+
+    // Incremental must beat full on the largest examples, and must
+    // actually *be* incremental there — a fallback measures the full path
+    // twice, making the speedup ~1 by construction, so timing alone would
+    // miss a silently disabled fast path.
     let fallbacks: Vec<&str> = largest
         .iter()
         .filter(|t| !t.fast_path)
@@ -125,11 +221,51 @@ fn run(slugs: &[String]) -> bool {
         .collect();
     if !fallbacks.is_empty() {
         eprintln!("FAIL: fast path disabled on large examples: {fallbacks:?}");
-        return false;
+        ok = false;
     }
     if largest_median < 1.0 {
         eprintln!("FAIL: incremental commit is slower than full prepare ({largest_median:.2}x)");
-        return false;
+        ok = false;
     }
-    true
+
+    // The escaped workload must take the partial tier and clearly beat the
+    // pre-split-ρ behaviour (which was the full path by construction).
+    if !escaped.fast_path {
+        eprintln!("FAIL: escaped-drag workload fell back to full prepares");
+        ok = false;
+    }
+    if escaped.speedup() < 3.0 {
+        eprintln!(
+            "FAIL: escaped-drag guard replay speedup {:.2}x < 3.0x",
+            escaped.speedup()
+        );
+        ok = false;
+    }
+
+    for t in set_codes {
+        let (want_class, floor) = match t.label {
+            "literal" => (SetCodeClass::Literals, 3.0),
+            "subtree" => (SetCodeClass::Subtree, 0.9),
+            // Structural edits take the full path on both sides; the gate
+            // only guards against classification drift and pathological
+            // diff overhead.
+            _ => (SetCodeClass::Structural, 0.5),
+        };
+        if t.class != want_class {
+            eprintln!(
+                "FAIL: set_code {} workload classified as {:?}, expected {:?}",
+                t.label, t.class, want_class
+            );
+            ok = false;
+        }
+        if t.speedup() < floor {
+            eprintln!(
+                "FAIL: set_code {} speedup {:.2}x < {floor}x",
+                t.label,
+                t.speedup()
+            );
+            ok = false;
+        }
+    }
+    ok
 }

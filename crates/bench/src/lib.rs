@@ -296,6 +296,7 @@ pub fn time_commit_paths(example: &Example, commits: usize) -> CommitTiming {
     let zones = incremental.assignments().zones.len();
     let incr_times = time_commits(&mut incremental, shape, zone, commits);
     let full_times = time_commits(&mut full, shape, zone, commits);
+    let stats = incremental.stats();
     CommitTiming {
         slug: example.slug,
         name: example.name,
@@ -303,8 +304,173 @@ pub fn time_commit_paths(example: &Example, commits: usize) -> CommitTiming {
         zones,
         full: summarize(&full_times).med,
         incremental: summarize(&incr_times).med,
-        fast_path: incremental.stats().incremental_prepares >= commits as u64,
+        fast_path: stats.incremental_prepares + stats.partial_prepares >= commits as u64,
     }
+}
+
+/// Synthetic escaped-drag workload: every box's fill color is guarded by a
+/// comparison over its x coordinate, so `x0` escapes into a COMPARE sink
+/// and every drag of a box dirties ~one guard per shape. Before split-ρ
+/// patching this forced a full re-evaluate + re-prepare per commit; the
+/// partial tier replays the dirtied guards and patches instead.
+pub const ESCAPED_DRAG_SRC: &str = r#"
+    (def n 64!)
+    (def x0 40)
+    (def boxi (λ i
+      (let x (+ x0 (* i 14))
+      (let c (if (< x 2600!) 'lightblue' 'salmon')
+        (rect c x 50 10 80)))))
+    (svg (map boxi (zeroTo n)))
+"#;
+
+/// Measures the escaped-drag workload's commit latency on the partial
+/// (guard-replay) path against the always-full reference.
+///
+/// # Panics
+///
+/// Panics if the workload stops exercising the partial tier (that would
+/// make the measurement meaningless).
+pub fn time_escaped_drag(commits: usize) -> CommitTiming {
+    use sns_sync::{LiveConfig, LiveSync, PrepareEligibility};
+
+    let program = Program::parse(ESCAPED_DRAG_SRC).expect("workload parses");
+    let mut partial =
+        LiveSync::new(program.clone(), LiveConfig::default()).expect("workload prepares");
+    let mut full = LiveSync::new(
+        program,
+        LiveConfig {
+            full_prepare_only: true,
+            ..LiveConfig::default()
+        },
+    )
+    .expect("workload prepares");
+
+    // A zone whose trigger touches escaped-but-replayable locations: drags
+    // there are exactly the cliff the partial tier removes.
+    let (shape, zone) = partial
+        .assignments()
+        .zones
+        .iter()
+        .filter(|z| z.is_active())
+        .map(|z| (z.shape, z.zone))
+        .find(|&(s, z)| {
+            partial.zone_eligibility(s, z) == PrepareEligibility::Partial
+                && partial
+                    .drag(s, z, 2.0, 1.0)
+                    .map(|r| !r.subst.is_empty() && !partial.control_flow_safe(&r.subst))
+                    .unwrap_or(false)
+        })
+        .expect("an escaped-but-replayable zone");
+
+    let shapes = partial.canvas().shapes().len();
+    let zones = partial.assignments().zones.len();
+    let partial_times = time_commits(&mut partial, shape, zone, commits);
+    let full_times = time_commits(&mut full, shape, zone, commits);
+    CommitTiming {
+        slug: "escaped_drag",
+        name: "Escaped drag (guard replay)",
+        shapes,
+        zones,
+        full: summarize(&full_times).med,
+        incremental: summarize(&partial_times).med,
+        fast_path: partial.stats().partial_prepares >= commits as u64,
+    }
+}
+
+/// Timings for one `set_code` edit class: the diff-classified path against
+/// the unconditional full re-prepare. Both sides include the parse.
+#[derive(Debug, Clone, Copy)]
+pub struct SetCodeTiming {
+    /// Workload label (JSON key).
+    pub label: &'static str,
+    /// How the diff classified the edit (sanity-checked by the gate).
+    pub class: sns_sync::SetCodeClass,
+    /// Median seconds per edit via [`sns_sync::LiveSync::set_program_diffed`].
+    pub diffed: f64,
+    /// Median seconds per edit via [`sns_sync::LiveSync::replace_program`].
+    pub full: f64,
+}
+
+impl SetCodeTiming {
+    /// Full-path time over diffed-path time.
+    pub fn speedup(&self) -> f64 {
+        if self.diffed > 0.0 {
+            self.full / self.diffed
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Times `edits` alternating `src_a`→`src_b`→`src_a`→… code replacements
+/// on two sessions: one through the AST-diff path, one through the full
+/// path. Each timed edit includes the parse (that is the user-visible
+/// `set_code` latency).
+///
+/// # Panics
+///
+/// Panics if either source fails to run, or if the diff classification is
+/// unstable across edits.
+pub fn time_set_code(label: &'static str, src_a: &str, src_b: &str, edits: usize) -> SetCodeTiming {
+    use sns_sync::{LiveConfig, LiveSync};
+
+    let mut diffed =
+        LiveSync::new(Program::parse(src_a).expect("parse"), LiveConfig::default()).expect("run");
+    let mut full = LiveSync::new(
+        Program::parse(src_a).expect("parse"),
+        LiveConfig {
+            full_prepare_only: true,
+            ..LiveConfig::default()
+        },
+    )
+    .expect("run");
+
+    let mut class = None;
+    let mut diffed_times = Vec::with_capacity(edits);
+    let mut full_times = Vec::with_capacity(edits);
+    for i in 0..edits {
+        let target = if i % 2 == 0 { src_b } else { src_a };
+
+        let t0 = Instant::now();
+        let program = Program::parse(target).expect("parse");
+        let c = diffed.set_program_diffed(program).expect("set_code");
+        diffed_times.push(t0.elapsed().as_secs_f64());
+        assert_eq!(
+            *class.get_or_insert(c),
+            c,
+            "{label}: unstable classification"
+        );
+
+        let t0 = Instant::now();
+        let program = Program::parse(target).expect("parse");
+        full.replace_program(program).expect("set_code");
+        full_times.push(t0.elapsed().as_secs_f64());
+    }
+    SetCodeTiming {
+        label,
+        class: class.expect("at least one edit"),
+        diffed: summarize(&diffed_times).med,
+        full: summarize(&full_times).med,
+    }
+}
+
+/// Sources for the subtree/structural `set_code` workloads: `base` is a
+/// canvas of independent rects whose first x is `(* 2 15)`; `subtree`
+/// swaps that operator (same literals, one region); `structural` appends a
+/// shape.
+pub fn set_code_workload_sources() -> (String, String, String) {
+    let mut shapes = String::from("(rect 'c0' (* 2 15) 10 20 20) ");
+    for j in 1..40 {
+        shapes.push_str(&format!(
+            "(rect 'c{j}' {} {} 18 18) ",
+            40 + j * 22,
+            60 + (j % 7) * 30
+        ));
+    }
+    let base = format!("(svg [{shapes}])");
+    let subtree = base.replace("(* 2 15)", "(+ 2 15)");
+    let structural = format!("(svg [{shapes}(rect 'extra' 900 200 12 12)])");
+    (base, subtree, structural)
 }
 
 /// Times `steps` consecutive drag previews (one simulated mouse-move

@@ -361,7 +361,7 @@ impl Editor {
     pub fn set_code(&mut self, source: &str) -> Result<(), EditorError> {
         let program = Program::parse(source)?;
         self.push_undo();
-        if let Err(e) = self.live.replace_program(program) {
+        if let Err(e) = self.live.set_program_diffed(program) {
             // Roll back the undo point for a program that never ran.
             let prev = self.undo_stack.pop().expect("just pushed");
             let _ = self.live.replace_program(prev);
@@ -382,7 +382,7 @@ impl Editor {
             .ok_or_else(|| EditorError::action("nothing to undo"))?;
         let cur = self.live.program().clone();
         self.redo_stack.push(cur);
-        self.live.replace_program(prev)?;
+        self.live.set_program_diffed(prev)?;
         Ok(())
     }
 
@@ -398,7 +398,7 @@ impl Editor {
             .ok_or_else(|| EditorError::action("nothing to redo"))?;
         let cur = self.live.program().clone();
         self.undo_stack.push(cur);
-        self.live.replace_program(next)?;
+        self.live.set_program_diffed(next)?;
         Ok(())
     }
 

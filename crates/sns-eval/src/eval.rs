@@ -14,14 +14,14 @@
 //! unchanged. The incremental re-evaluation fast path
 //! ([`crate::patch::TracePatcher`]) is sound precisely on such substitutions.
 
-use std::collections::BTreeSet;
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
 
-use sns_lang::{Expr, LocId, Op, Pat};
+use sns_lang::{Expr, Op, Pat};
 
 use crate::env::Env;
+use crate::escape::{Escapes, SinkKinds};
 use crate::trace::Trace;
 use crate::value::{Closure, Value};
 
@@ -72,7 +72,7 @@ pub struct Evaluator {
     steps_left: u64,
     depth: u32,
     max_depth: u32,
-    escaped: BTreeSet<LocId>,
+    escaped: Escapes,
 }
 
 impl Default for Evaluator {
@@ -88,20 +88,22 @@ impl Evaluator {
             steps_left: limits.max_steps,
             depth: 0,
             max_depth: limits.max_depth,
-            escaped: BTreeSet::new(),
+            escaped: Escapes::new(),
         }
     }
 
     /// The locations whose values escaped the trace system during
     /// evaluation so far (see the module docs): flowing into a comparison,
     /// `=`, `toString`, or a numeric literal pattern. A substitution
-    /// touching none of these cannot change control flow.
-    pub fn escaped_locs(&self) -> &BTreeSet<LocId> {
+    /// touching none of these cannot change control flow; one that does may
+    /// still be proven harmless by replaying the recorded
+    /// [`Guard`](crate::escape::Guard)s.
+    pub fn escaped_locs(&self) -> &Escapes {
         &self.escaped
     }
 
-    /// Consumes the evaluator, returning the escaped-location set.
-    pub fn take_escaped(self) -> BTreeSet<LocId> {
+    /// Consumes the evaluator, returning the escape record.
+    pub fn take_escaped(self) -> Escapes {
         self.escaped
     }
 
@@ -176,12 +178,9 @@ impl Evaluator {
                 for a in args {
                     vals.push(self.eval(env, a)?);
                 }
-                if trace_escaping_op(*op) {
-                    for v in &vals {
-                        v.collect_locs(&mut self.escaped);
-                    }
-                }
-                eval_prim(*op, &vals)
+                let result = eval_prim(*op, &vals)?;
+                self.record_escapes(*op, &vals, &result);
+                Ok(result)
             }
             Expr::Let {
                 recursive,
@@ -242,6 +241,33 @@ impl Evaluator {
         }
     }
 
+    /// Records trace escapes for one primitive application, *after* it
+    /// succeeded. Comparisons are replayable guards (traced operands, a
+    /// boolean outcome); `=` and `toString` observe whole values through a
+    /// sink that cannot be replayed from numeric traces.
+    fn record_escapes(&mut self, op: Op, args: &[Value], result: &Value) {
+        match op {
+            Op::Lt | Op::Gt | Op::Le | Op::Ge => {
+                if let (Some((_, lhs)), Some((_, rhs)), Some(outcome)) =
+                    (args[0].as_num(), args[1].as_num(), result.as_bool())
+                {
+                    self.escaped.record_compare(op, lhs, rhs, outcome);
+                }
+            }
+            Op::Eq => {
+                for v in args {
+                    self.escaped.record_opaque_value(v, SinkKinds::EQUALITY);
+                }
+            }
+            Op::ToString => {
+                for v in args {
+                    self.escaped.record_opaque_value(v, SinkKinds::TO_STRING);
+                }
+            }
+            _ => {}
+        }
+    }
+
     /// Applies a closure to arguments, currying: missing arguments yield a
     /// partial closure, extra arguments are applied to the result.
     pub fn apply(&mut self, f: Value, args: Vec<Value>) -> Result<Value, EvalError> {
@@ -288,25 +314,27 @@ impl Evaluator {
 /// `None` if the value does not match. Does not record trace escapes; use
 /// [`Evaluator::match_pat_in`] during evaluation.
 pub fn match_pat(pat: &Pat, value: &Value, env: &Env) -> Option<Env> {
-    let mut scratch = BTreeSet::new();
+    let mut scratch = Escapes::new();
     match_pat_escaping(pat, value, env, &mut scratch)
 }
 
 /// Pattern matching that additionally records locations observed by numeric
 /// literal patterns into `escaped` (a numeric pattern branches on the
-/// matched number's value, so its trace locations escape).
+/// matched number's value, so its trace locations escape), together with a
+/// replayable guard per observation.
 pub fn match_pat_escaping(
     pat: &Pat,
     value: &Value,
     env: &Env,
-    escaped: &mut BTreeSet<LocId>,
+    escaped: &mut Escapes,
 ) -> Option<Env> {
     match pat {
         Pat::Var(x) => Some(env.bind(x.clone(), value.clone())),
         Pat::Num(n) => match value {
             Value::Num(m, t) => {
-                t.collect_locs_into(escaped);
-                if m == n {
+                let outcome = m == n;
+                escaped.record_num_pattern(t, *n, outcome);
+                if outcome {
                     Some(env.clone())
                 } else {
                     None
@@ -345,15 +373,21 @@ pub fn match_pat_escaping(
     }
 }
 
-/// Whether an operation's numeric inputs escape the trace system: its
-/// result (a boolean or string) carries no trace, so downstream control
-/// flow can depend on the inputs without the dependence being visible in
-/// any output trace.
-fn trace_escaping_op(op: Op) -> bool {
-    matches!(
-        op,
-        Op::Lt | Op::Gt | Op::Le | Op::Ge | Op::Eq | Op::ToString
-    )
+/// Applies a numeric comparison to already-unwrapped arguments; `None`
+/// when `op` is not a comparison.
+///
+/// Like [`apply_num_op`], this is the single source of truth for its
+/// fragment of the semantics: [`eval_prim`] and
+/// [`Guard::replay`](crate::escape::Guard::replay) both call it, so a
+/// replayed comparison decides exactly as the original evaluation did.
+pub fn apply_cmp_op(op: Op, a: f64, b: f64) -> Option<bool> {
+    Some(match op {
+        Op::Lt => a < b,
+        Op::Gt => a > b,
+        Op::Le => a <= b,
+        Op::Ge => a >= b,
+        _ => return None,
+    })
 }
 
 /// Applies a purely numeric primitive to already-unwrapped arguments;
@@ -439,13 +473,7 @@ pub fn eval_prim(op: Op, args: &[Value]) -> Result<Value, EvalError> {
         Lt | Gt | Le | Ge => {
             let (a, _) = num(0)?;
             let (b, _) = num(1)?;
-            Ok(Value::Bool(match op {
-                Lt => a < b,
-                Gt => a > b,
-                Le => a <= b,
-                Ge => a >= b,
-                _ => unreachable!(),
-            }))
+            Ok(Value::Bool(apply_cmp_op(op, a, b).expect("comparison op")))
         }
         Eq => Ok(Value::Bool(args[0].structurally_eq(&args[1]))),
         Not => match &args[0] {

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod env;
+pub mod escape;
 pub mod eval;
 pub mod patch;
 pub mod program;
@@ -34,8 +35,10 @@ pub mod trace;
 pub mod value;
 
 pub use env::Env;
+pub use escape::{Escapes, Guard, SinkKinds, GUARD_CAP};
 pub use eval::{
-    apply_num_op, eval_prim, match_pat, match_pat_escaping, EvalError, Evaluator, Limits,
+    apply_cmp_op, apply_num_op, eval_prim, match_pat, match_pat_escaping, EvalError, Evaluator,
+    Limits,
 };
 pub use patch::TracePatcher;
 pub use program::{EvalOutcome, FreezeMode, LocInfo, Program, PRELUDE_SRC};

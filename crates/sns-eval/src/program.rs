@@ -298,14 +298,15 @@ impl Program {
     }
 }
 
-/// A program's evaluation result together with its escaped-location set.
+/// A program's evaluation result together with its escape record.
 #[derive(Debug, Clone)]
 pub struct EvalOutcome {
     /// The program's output value.
     pub value: Value,
-    /// Locations whose values escaped the trace system during evaluation
-    /// (see [`Evaluator::escaped_locs`]).
-    pub escaped: std::collections::BTreeSet<LocId>,
+    /// Locations whose values escaped the trace system during evaluation,
+    /// with per-location sink kinds and replayable guards (see
+    /// [`Evaluator::escaped_locs`]).
+    pub escaped: crate::escape::Escapes,
 }
 
 /// Evaluates a chain of `def`/`defrec` bindings into an environment,

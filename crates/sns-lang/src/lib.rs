@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod diff;
 pub mod error;
 pub mod names;
 pub mod parser;
@@ -49,6 +50,7 @@ pub mod unparse;
 
 pub use ast::LocId;
 pub use ast::{fmt_num, Expr, FreezeAnnotation, LetStyle, NumLit, Op, Pat};
+pub use diff::{diff_exprs, AstDiff, MAX_DIFF_REGIONS};
 pub use error::{ParseError, Pos};
 pub use names::{display_loc, loc_names};
 pub use parser::{parse, parse_with_locs, Parsed};

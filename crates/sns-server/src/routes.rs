@@ -465,6 +465,19 @@ fn stats(state: &Arc<ServerState>) -> Response {
                 "prepare_incremental",
                 Json::Num(live.incremental_prepares as f64),
             ),
+            ("prepare_partial", Json::Num(live.partial_prepares as f64)),
+            (
+                "prepare_fallback_escaped",
+                Json::Num(live.fallback_escaped as f64),
+            ),
+            (
+                "prepare_fallback_structural",
+                Json::Num(live.fallback_structural as f64),
+            ),
+            (
+                "prepare_fallback_reconcile",
+                Json::Num(live.fallback_reconcile as f64),
+            ),
             ("eval_fast", Json::Num(live.fast_evals as f64)),
             ("eval_full", Json::Num(live.full_evals as f64)),
             ("uptime_secs", Json::Num(m.uptime_secs)),

@@ -231,8 +231,20 @@ impl Session {
             incremental_prepares: now
                 .incremental_prepares
                 .saturating_sub(self.reported.incremental_prepares),
+            partial_prepares: now
+                .partial_prepares
+                .saturating_sub(self.reported.partial_prepares),
             fast_evals: now.fast_evals.saturating_sub(self.reported.fast_evals),
             full_evals: now.full_evals.saturating_sub(self.reported.full_evals),
+            fallback_escaped: now
+                .fallback_escaped
+                .saturating_sub(self.reported.fallback_escaped),
+            fallback_structural: now
+                .fallback_structural
+                .saturating_sub(self.reported.fallback_structural),
+            fallback_reconcile: now
+                .fallback_reconcile
+                .saturating_sub(self.reported.fallback_reconcile),
         };
         self.reported = now;
         delta

@@ -78,6 +78,12 @@ pub struct MirrorSnapshot {
     pub uptime_secs: f64,
 }
 
+/// Indices into the `sns_prepare_fallback_total{reason=...}` counter
+/// family (label order matches registration order).
+const FALLBACK_ESCAPED: usize = 0;
+const FALLBACK_STRUCTURAL: usize = 1;
+const FALLBACK_RECONCILE: usize = 2;
+
 /// Request statistics shared across workers, backed by a metrics
 /// registry renderable as Prometheus text.
 pub struct ServerStats {
@@ -93,6 +99,8 @@ pub struct ServerStats {
     stage_write_us: Arc<Histogram>,
     prepare_full: Arc<Counter>,
     prepare_incremental: Arc<Counter>,
+    prepare_partial: Arc<Counter>,
+    prepare_fallback: Vec<Arc<Counter>>,
     eval_fast: Arc<Counter>,
     eval_full: Arc<Counter>,
     conns_open: Arc<Gauge>,
@@ -208,6 +216,19 @@ impl ServerStats {
             prepare_incremental: r.counter(
                 "sns_prepare_incremental_total",
                 "Incremental (cached) prepares.",
+            ),
+            prepare_partial: r.counter(
+                "sns_prepare_partial_total",
+                "Partial prepares: guard-replay commits over escaped locations and \
+                 stitched re-prepares after subtree code edits.",
+            ),
+            prepare_fallback: r.counter_vec(
+                "sns_prepare_fallback_total",
+                "Full-prepare fallbacks by reason: an escaped location could not be \
+                 proven harmless, a code edit was structural, or a cheaper tier's \
+                 verification failed.",
+                "reason",
+                ["escaped", "structural", "reconcile"].map(String::from),
             ),
             eval_fast: r.counter("sns_eval_fast_total", "Fast-path (substitution-only) evals."),
             eval_full: r.counter("sns_eval_full_total", "Full re-evaluations."),
@@ -359,6 +380,10 @@ impl ServerStats {
     pub fn record_live(&self, delta: sns_sync::LiveStats) {
         self.prepare_full.add(delta.full_prepares);
         self.prepare_incremental.add(delta.incremental_prepares);
+        self.prepare_partial.add(delta.partial_prepares);
+        self.prepare_fallback[FALLBACK_ESCAPED].add(delta.fallback_escaped);
+        self.prepare_fallback[FALLBACK_STRUCTURAL].add(delta.fallback_structural);
+        self.prepare_fallback[FALLBACK_RECONCILE].add(delta.fallback_reconcile);
         self.eval_fast.add(delta.fast_evals);
         self.eval_full.add(delta.full_evals);
     }
@@ -368,8 +393,12 @@ impl ServerStats {
         sns_sync::LiveStats {
             full_prepares: self.prepare_full.get(),
             incremental_prepares: self.prepare_incremental.get(),
+            partial_prepares: self.prepare_partial.get(),
             fast_evals: self.eval_fast.get(),
             full_evals: self.eval_full.get(),
+            fallback_escaped: self.prepare_fallback[FALLBACK_ESCAPED].get(),
+            fallback_structural: self.prepare_fallback[FALLBACK_STRUCTURAL].get(),
+            fallback_reconcile: self.prepare_fallback[FALLBACK_RECONCILE].get(),
         }
     }
 

@@ -178,53 +178,89 @@ pub fn analyze_canvas(
     is_frozen: &dyn Fn(LocId) -> bool,
     heuristic: Heuristic,
 ) -> Assignments {
-    // Global occurrence counts Count(ℓ) for the biased heuristic.
-    let mut counts: HashMap<LocId, usize> = HashMap::new();
-    for shape in canvas.shapes() {
-        for num in shape.node.attr_nums() {
-            num.t.count_locs_into(&mut counts);
-        }
-    }
-
-    let mut usage: HashMap<BTreeSet<LocId>, usize> = HashMap::new();
+    let counts = heuristic_counts(canvas, heuristic);
     let mut zones = Vec::new();
     for shape in canvas.shapes() {
-        for spec in shape.zones() {
-            let mut slots = Vec::new();
-            for (attr, offset) in &spec.effects {
-                let Some(num) = resolve_attr(&shape.node, attr) else {
-                    continue;
-                };
-                let locs: Vec<LocId> = num
-                    .t
-                    .locs()
-                    .into_iter()
-                    .filter(|l| !is_frozen(*l))
-                    .collect();
-                slots.push(AttrSlot {
-                    attr: attr.clone(),
-                    offset: *offset,
-                    base: num.n,
-                    trace: Arc::clone(&num.t),
-                    locs,
-                });
+        zones.extend(analyze_shape_zones(shape, is_frozen));
+    }
+    choose_all(&mut zones, heuristic, &counts);
+    Assignments { heuristic, zones }
+}
+
+/// Global occurrence counts Count(ℓ) for the biased heuristic. The fair
+/// heuristic never reads counts (its score term is constant), so the map is
+/// left empty to skip the canvas walk.
+pub(crate) fn heuristic_counts(canvas: &Canvas, heuristic: Heuristic) -> HashMap<LocId, usize> {
+    let mut counts: HashMap<LocId, usize> = HashMap::new();
+    if heuristic == Heuristic::Biased {
+        for shape in canvas.shapes() {
+            for num in shape.node.attr_nums() {
+                num.t.count_locs_into(&mut counts);
             }
-            let (candidates, overflow) = enumerate_candidates(&slots);
-            let chosen = choose(&candidates, heuristic, &usage, &counts);
-            if let Some(i) = chosen {
-                *usage.entry(candidates[i].loc_set.clone()).or_insert(0) += 1;
-            }
-            zones.push(ZoneAnalysis {
-                shape: shape.id,
-                zone: spec.zone,
-                slots,
-                candidates,
-                overflow,
-                chosen,
-            });
         }
     }
-    Assignments { heuristic, zones }
+    counts
+}
+
+/// The per-shape half of [`analyze_canvas`]: slot resolution and candidate
+/// enumeration for every zone of one shape, with `chosen` left `None`. A
+/// shape's analyses depend only on its own node and the frozen set, so a
+/// stitched re-prepare can reuse them for structurally unchanged shapes and
+/// re-run only the sequential [`choose_all`] pass.
+pub(crate) fn analyze_shape_zones(
+    shape: &sns_svg::Shape,
+    is_frozen: &dyn Fn(LocId) -> bool,
+) -> Vec<ZoneAnalysis> {
+    let mut zones = Vec::new();
+    for spec in shape.zones() {
+        let mut slots = Vec::new();
+        for (attr, offset) in &spec.effects {
+            let Some(num) = resolve_attr(&shape.node, attr) else {
+                continue;
+            };
+            let locs: Vec<LocId> = num
+                .t
+                .locs()
+                .into_iter()
+                .filter(|l| !is_frozen(*l))
+                .collect();
+            slots.push(AttrSlot {
+                attr: attr.clone(),
+                offset: *offset,
+                base: num.n,
+                trace: Arc::clone(&num.t),
+                locs,
+            });
+        }
+        let (candidates, overflow) = enumerate_candidates(&slots);
+        zones.push(ZoneAnalysis {
+            shape: shape.id,
+            zone: spec.zone,
+            slots,
+            candidates,
+            overflow,
+            chosen: None,
+        });
+    }
+    zones
+}
+
+/// The sequential disambiguation pass of [`analyze_canvas`]: walks the
+/// zones in canvas order, choosing a candidate per zone and rotating the
+/// usage counts exactly as the one-pass analysis did.
+pub(crate) fn choose_all(
+    zones: &mut [ZoneAnalysis],
+    heuristic: Heuristic,
+    counts: &HashMap<LocId, usize>,
+) {
+    let mut usage: HashMap<BTreeSet<LocId>, usize> = HashMap::new();
+    for zone in zones {
+        let chosen = choose(&zone.candidates, heuristic, &usage, counts);
+        if let Some(i) = chosen {
+            *usage.entry(zone.candidates[i].loc_set.clone()).or_insert(0) += 1;
+        }
+        zone.chosen = chosen;
+    }
 }
 
 /// A group of attribute slots that must share one location choice.

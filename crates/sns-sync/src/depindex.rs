@@ -9,23 +9,82 @@
 //! attributes' base values move. This index, built once per full prepare,
 //! answers "which zones can a changed location reach" in O(edit) instead
 //! of rescanning the canvas.
+//!
+//! Two further edges support the partial-fallback engine:
+//!
+//! * **loc → guard** ([`DepIndex::dirty_guards`]): which recorded control
+//!   flow guards mention a changed location, so the partial commit tier
+//!   replays only those instead of the whole guard log. Built under a
+//!   bounded work budget; when the traces are too large the index degrades
+//!   to `None`, meaning "replay every guard".
+//! * **zone ↔ zone** ([`DepIndex::affected_closure`]): connected
+//!   components of the "shares a location" relation between zones. A
+//!   stitched re-prepare must re-analyze every zone in a component touched
+//!   by an edited region, because the heuristic's usage rotation couples
+//!   zones that compete for the same locations.
 
 use std::collections::{BTreeSet, HashMap};
 
+use sns_eval::{Escapes, Trace};
 use sns_lang::LocId;
 
 use crate::assign::Assignments;
 
+/// Total trace-node visits allowed while building the loc→guard index.
+/// Past this, [`DepIndex::dirty_guards`] returns `None` (replay all).
+const GUARD_INDEX_BUDGET: usize = 1 << 22;
+
 /// Maps every location to the zones (indices into
-/// [`Assignments::zones`]) whose attribute traces mention it.
+/// [`Assignments::zones`]) whose attribute traces mention it, plus
+/// loc→guard and zone→zone dependence edges.
 #[derive(Debug, Default)]
 pub struct DepIndex {
     by_loc: HashMap<LocId, Vec<usize>>,
+    /// Guard indices (into [`Escapes::guards`]) per location, or `None`
+    /// when the indexing budget was exhausted.
+    sink_by_loc: Option<HashMap<LocId, Vec<u32>>>,
+    /// Zone index → connected-component id.
+    component_of: Vec<usize>,
+    /// Component id → member zone indices, ascending.
+    component_zones: Vec<Vec<usize>>,
+}
+
+fn find(parent: &mut [usize], mut i: usize) -> usize {
+    while parent[i] != i {
+        parent[i] = parent[parent[i]];
+        i = parent[i];
+    }
+    i
+}
+
+fn union(parent: &mut [usize], a: usize, b: usize) {
+    let (ra, rb) = (find(parent, a), find(parent, b));
+    if ra != rb {
+        parent[ra] = rb;
+    }
+}
+
+/// Collects the locations of `t` into `out`, spending one unit of `budget`
+/// per node visited. Returns `false` once the budget runs dry.
+fn collect_budgeted(t: &Trace, out: &mut BTreeSet<LocId>, budget: &mut usize) -> bool {
+    if *budget == 0 {
+        return false;
+    }
+    *budget -= 1;
+    match t {
+        Trace::Loc(l) => {
+            out.insert(*l);
+            true
+        }
+        Trace::Op(_, args) => args.iter().all(|a| collect_budgeted(a, out, budget)),
+    }
 }
 
 impl DepIndex {
-    /// Builds the index by one pass over every zone's attribute traces.
-    pub fn build(assignments: &Assignments) -> DepIndex {
+    /// Builds the index by one pass over every zone's attribute traces and
+    /// one budgeted pass over the evaluation's recorded guards.
+    pub fn build(assignments: &Assignments, escapes: &Escapes) -> DepIndex {
+        let zone_count = assignments.zones.len();
         let mut by_loc: HashMap<LocId, Vec<usize>> = HashMap::new();
         let mut locs = BTreeSet::new();
         for (i, zone) in assignments.zones.iter().enumerate() {
@@ -37,7 +96,63 @@ impl DepIndex {
                 by_loc.entry(l).or_default().push(i);
             }
         }
-        DepIndex { by_loc }
+
+        // Zones sharing any location are coupled through the choice pass.
+        let mut parent: Vec<usize> = (0..zone_count).collect();
+        for zones in by_loc.values() {
+            for &z in &zones[1..] {
+                union(&mut parent, zones[0], z);
+            }
+        }
+        let mut component_of = vec![0usize; zone_count];
+        let mut roots: HashMap<usize, usize> = HashMap::new();
+        let mut component_zones: Vec<Vec<usize>> = Vec::new();
+        for (i, slot) in component_of.iter_mut().enumerate() {
+            let root = find(&mut parent, i);
+            let id = *roots.entry(root).or_insert_with(|| {
+                component_zones.push(Vec::new());
+                component_zones.len() - 1
+            });
+            *slot = id;
+            component_zones[id].push(i);
+        }
+
+        // loc → guard edges, under a budget so pathological traces cannot
+        // make prepare itself slow. Overflowed guard logs carry no index:
+        // the partial tier already refuses them.
+        let mut sink_by_loc = if escapes.guards_overflowed() {
+            None
+        } else {
+            Some(HashMap::new())
+        };
+        if let Some(index) = sink_by_loc.as_mut() {
+            let mut budget = GUARD_INDEX_BUDGET;
+            let mut scratch = BTreeSet::new();
+            let mut ok = true;
+            for (i, guard) in escapes.guards().iter().enumerate() {
+                scratch.clear();
+                if !guard
+                    .traces()
+                    .all(|t| collect_budgeted(t, &mut scratch, &mut budget))
+                {
+                    ok = false;
+                    break;
+                }
+                for &l in &scratch {
+                    index.entry(l).or_insert_with(Vec::new).push(i as u32);
+                }
+            }
+            if !ok {
+                sink_by_loc = None;
+            }
+        }
+
+        DepIndex {
+            by_loc,
+            sink_by_loc,
+            component_of,
+            component_zones,
+        }
     }
 
     /// The zones that depend on a single location, ascending.
@@ -50,6 +165,45 @@ impl DepIndex {
         let mut out = BTreeSet::new();
         for loc in changed {
             out.extend(self.zones_for(loc).iter().copied());
+        }
+        out
+    }
+
+    /// The guards whose traces mention any changed location, or `None` if
+    /// the guard index is unavailable and every guard must be replayed.
+    pub fn dirty_guards(&self, changed: impl IntoIterator<Item = LocId>) -> Option<BTreeSet<u32>> {
+        let index = self.sink_by_loc.as_ref()?;
+        let mut out = BTreeSet::new();
+        for loc in changed {
+            if let Some(guards) = index.get(&loc) {
+                out.extend(guards.iter().copied());
+            }
+        }
+        Some(out)
+    }
+
+    /// The guards a single location feeds, if the guard index was built.
+    pub fn sinks_for(&self, loc: LocId) -> Option<&[u32]> {
+        self.sink_by_loc
+            .as_ref()
+            .map(|m| m.get(&loc).map_or(&[] as &[u32], Vec::as_slice))
+    }
+
+    /// All zones in any usage-coupled component touched by a changed
+    /// location — the set a stitched re-prepare must re-analyze. A
+    /// conservative over-approximation: zones sharing no location with the
+    /// edit are provably unaffected by both the base-value motion and the
+    /// heuristic's usage rotation.
+    pub fn affected_closure(&self, changed: &BTreeSet<LocId>) -> BTreeSet<usize> {
+        let mut components = BTreeSet::new();
+        for &loc in changed {
+            for &z in self.zones_for(loc) {
+                components.insert(self.component_of[z]);
+            }
+        }
+        let mut out = BTreeSet::new();
+        for c in components {
+            out.extend(self.component_zones[c].iter().copied());
         }
         out
     }
@@ -72,17 +226,23 @@ mod tests {
     use sns_eval::{FreezeMode, Program};
     use sns_svg::Canvas;
 
+    fn build_for(src: &str) -> (Program, Assignments, DepIndex) {
+        let program = Program::parse(src).unwrap();
+        let outcome = program.eval_traced().unwrap();
+        let canvas = Canvas::from_value(&outcome.value).unwrap();
+        let mode = FreezeMode::default();
+        let frozen = |l: LocId| program.is_frozen(l, mode);
+        let assignments = analyze_canvas(&canvas, &frozen, Heuristic::Fair);
+        let index = DepIndex::build(&assignments, &outcome.escaped);
+        (program, assignments, index)
+    }
+
     #[test]
     fn index_routes_locations_to_dependent_zones_only() {
         // Two rects with independent coordinates: each rect's zones depend
         // only on its own four literals.
         let src = "(svg [(rect 'a' 10 20 30 40) (rect 'b' 50 60 70 80)])";
-        let program = Program::parse(src).unwrap();
-        let canvas = Canvas::from_value(&program.eval().unwrap()).unwrap();
-        let mode = FreezeMode::default();
-        let frozen = |l: LocId| program.is_frozen(l, mode);
-        let assignments = analyze_canvas(&canvas, &frozen, Heuristic::Fair);
-        let index = DepIndex::build(&assignments);
+        let (program, assignments, index) = build_for(src);
 
         // 8 user literals; each appears in some zone of exactly one shape.
         assert_eq!(index.len(), 8);
@@ -95,21 +255,45 @@ mod tests {
         // A dirty set over one rect's x never touches the other rect.
         let dirty = index.dirty_zones([first_x]);
         assert_eq!(dirty, zones_of_first);
+
+        // Independent rects form disjoint zone components: the closure of
+        // one rect's x stays within shape 0.
+        let closure = index.affected_closure(&[first_x].into_iter().collect());
+        for &i in &closure {
+            assert_eq!(assignments.zones[i].shape, sns_svg::ShapeId(0));
+        }
     }
 
     #[test]
     fn shared_locations_fan_out_to_all_dependents() {
         let src = "(def s 10) (svg [(rect 'a' s 0 5 5) (rect 'b' s 20 5 5)])";
-        let program = Program::parse(src).unwrap();
-        let canvas = Canvas::from_value(&program.eval().unwrap()).unwrap();
-        let mode = FreezeMode::default();
-        let frozen = |l: LocId| program.is_frozen(l, mode);
-        let assignments = analyze_canvas(&canvas, &frozen, Heuristic::Fair);
-        let index = DepIndex::build(&assignments);
+        let (program, assignments, index) = build_for(src);
         let s = LocId(program.next_loc() - 7);
         let dirty = index.dirty_zones([s]);
         let shapes: BTreeSet<sns_svg::ShapeId> =
             dirty.iter().map(|&i| assignments.zones[i].shape).collect();
         assert_eq!(shapes.len(), 2, "both rects depend on s");
+
+        // The shared location couples both shapes into one component, so
+        // the affected closure spans zones of both.
+        let closure = index.affected_closure(&[s].into_iter().collect());
+        let closure_shapes: BTreeSet<sns_svg::ShapeId> = closure
+            .iter()
+            .map(|&i| assignments.zones[i].shape)
+            .collect();
+        assert_eq!(closure_shapes.len(), 2);
+    }
+
+    #[test]
+    fn guard_index_routes_changed_locations_to_their_guards() {
+        // One comparison guard over `n`; x-literals feed no guard.
+        let src = "(def n 12) (svg [(rect (if (< n 10) 'red' 'blue') 30 40 50 60)])";
+        let (program, _assignments, index) = build_for(src);
+        let n = LocId(program.next_loc() - 5);
+        let x = LocId(program.next_loc() - 4);
+        let dirty = index.dirty_guards([n]).expect("guard index built");
+        assert!(!dirty.is_empty(), "n feeds the (< n 10) guard");
+        let clean = index.dirty_guards([x]).expect("guard index built");
+        assert!(clean.is_empty(), "x feeds no guard");
     }
 }

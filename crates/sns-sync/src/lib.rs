@@ -51,7 +51,10 @@ pub use assign::{
 };
 pub use depindex::DepIndex;
 pub use framework::{judge, numeric_leaves, similar, Judgment, UserUpdate};
-pub use live::{prepare, DragResult, LiveConfig, LiveError, LiveStats, LiveSync};
+pub use live::{
+    prepare, DragResult, LiveConfig, LiveError, LiveStats, LiveSync, PrepareEligibility,
+    PrepareForce, SetCodeClass,
+};
 pub use reconcile::{reconcile, OutputEdit, RankedUpdate, ReconcileJudgment};
 pub use stats::{
     location_stats, pre_equations, solvability, unique_pre_equations, LocationStats, PreEquation,

@@ -30,10 +30,31 @@
 //!   a changed location. The [`DepIndex`](crate::depindex::DepIndex) maps
 //!   locations to those zones directly.
 //!
-//! Whenever the proof obligation fails (an escaped location is touched, or
-//! patching trips on anything unexpected), the session falls back to the
-//! original full re-evaluate + re-prepare path, so observable behaviour is
-//! identical — the corpus-wide equivalence suite
+//! # Partial fallbacks: split-ρ patching and stitched re-prepare
+//!
+//! The all-or-nothing escape check creates performance *cliffs*: one
+//! comparison over a dragged location used to force every commit of that
+//! drag onto the full path. Two partial tiers soften those cliffs:
+//!
+//! * **split-ρ / guard replay** — evaluation now records every control-flow
+//!   decision that observed traced numbers as a replayable
+//!   [`sns_eval::Guard`]. A substitution touching escaped locations is
+//!   still control-flow-preserving if every guard it dirties replays — under
+//!   the updated substitution — to the same boolean outcome; such commits
+//!   take the patch + dirty-zone path and count as `partial_prepares`.
+//!   Locations reaching non-replayable sinks (`=`, `toString`) remain hard
+//!   fallbacks.
+//! * **stitched re-prepare** — [`LiveSync::set_program_diffed`] classifies a
+//!   code edit with [`sns_lang::diff_exprs`]. Literal-only edits become
+//!   substitutions through the commit tiers above; single-subtree edits
+//!   re-evaluate but re-analyze only the zones in usage-coupled components
+//!   touched by the edit, reusing every other shape's candidate enumeration
+//!   and re-running just the sequential choice pass.
+//!
+//! Whenever a proof obligation fails (a guard flips, patching trips on
+//! anything unexpected, a stitch comparator finds a structural change), the
+//! session falls back to the original full re-evaluate + re-prepare path,
+//! so observable behaviour is identical — the corpus-wide equivalence suite
 //! (`tests/incremental_equiv.rs`) checks this bit-for-bit.
 
 use std::collections::{BTreeSet, HashMap};
@@ -42,13 +63,82 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use sns_eval::{EvalError, FreezeMode, Program, TracePatcher};
-use sns_lang::{LocId, Subst};
-use sns_svg::{resolve_attr, Canvas, ShapeId, SvgError, Zone};
+use sns_eval::{Escapes, EvalError, EvalOutcome, FreezeMode, Program, Trace, TracePatcher};
+use sns_lang::{diff_exprs, AstDiff, LocId, Subst};
+use sns_svg::node::{PathCmd, TransformCmd};
+use sns_svg::{resolve_attr, AttrValue, Canvas, NumTr, ShapeId, SvgChild, SvgError, SvgNode, Zone};
 
-use crate::assign::{analyze_canvas, Assignments, Heuristic};
+use crate::assign::{
+    analyze_canvas, analyze_shape_zones, choose_all, heuristic_counts, Assignments, Heuristic,
+};
 use crate::depindex::DepIndex;
 use crate::trigger::{SolverChoice, Trigger, TriggerFire};
+
+/// Which prepare paths a session may take, read once per session from the
+/// `SNS_FORCE_PREPARE` environment variable. The equivalence suite runs
+/// under all three values to pin every tier against the reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrepareForce {
+    /// Default: fast path when safe, partial when provable, else full.
+    #[default]
+    Fast,
+    /// `SNS_FORCE_PREPARE=partial`: never take the unconditional fast
+    /// path; safe substitutions go through guard replay like escaped ones.
+    Partial,
+    /// `SNS_FORCE_PREPARE=full`: always re-evaluate and re-prepare.
+    Full,
+}
+
+impl PrepareForce {
+    /// Reads the override from the environment.
+    pub fn from_env() -> PrepareForce {
+        match std::env::var("SNS_FORCE_PREPARE").as_deref() {
+            Ok("partial") => PrepareForce::Partial,
+            Ok("full") => PrepareForce::Full,
+            _ => PrepareForce::Fast,
+        }
+    }
+}
+
+/// How [`LiveSync::set_program_diffed`] classified a code edit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetCodeClass {
+    /// The user expression is unchanged; session state was reused as-is.
+    Identical,
+    /// Only numeric literals changed; the edit became a substitution.
+    Literals,
+    /// A few subtrees changed; the session stitched the re-prepare.
+    Subtree,
+    /// The program shape changed; a full prepare ran.
+    Structural,
+}
+
+/// The best commit tier a zone's drags can hope for, given which sinks its
+/// trigger locations escape into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrepareEligibility {
+    /// No trigger location escapes: commits patch unconditionally.
+    Fast,
+    /// Some trigger locations escape, but only into replayable guards:
+    /// commits patch whenever the dirtied guards replay unchanged.
+    Partial,
+    /// A trigger location reaches a non-replayable sink (or there is no
+    /// trigger): commits fall back to full re-evaluation.
+    Full,
+}
+
+/// The reusable prepare state a successful stitch produces.
+type Stitched = (Assignments, HashMap<(ShapeId, Zone), Trigger>);
+
+/// Which patch-based commit tier applies to a substitution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PatchTier {
+    /// No escaped location touched.
+    Fast,
+    /// Escaped locations touched, but every dirtied guard replays
+    /// unchanged.
+    Partial,
+}
 
 /// Configuration of a live-synchronization session.
 #[derive(Debug, Clone, Copy, Default)]
@@ -73,18 +163,33 @@ pub struct LiveStats {
     pub full_prepares: u64,
     /// Commits served by the incremental path (dirty zones only).
     pub incremental_prepares: u64,
+    /// Commits served by a partial tier: guard-replay commits over escaped
+    /// locations, and stitched re-prepares after subtree code edits.
+    pub partial_prepares: u64,
     /// Drag previews served by canvas patching.
     pub fast_evals: u64,
     /// Drag previews served by full re-evaluation.
     pub full_evals: u64,
+    /// Full-prepare fallbacks because a touched escaped location could not
+    /// be proven harmless (guard flipped, non-replayable sink, overflow).
+    pub fallback_escaped: u64,
+    /// Full-prepare fallbacks because a code edit changed program shape.
+    pub fallback_structural: u64,
+    /// Full-prepare fallbacks because a cheaper tier's own verification
+    /// failed (patch bail, substitution mismatch, stitch mismatch).
+    pub fallback_reconcile: u64,
 }
 
 #[derive(Debug, Default)]
 struct LiveCounters {
     full_prepares: AtomicU64,
     incremental_prepares: AtomicU64,
+    partial_prepares: AtomicU64,
     fast_evals: AtomicU64,
     full_evals: AtomicU64,
+    fallback_escaped: AtomicU64,
+    fallback_structural: AtomicU64,
+    fallback_reconcile: AtomicU64,
 }
 
 impl LiveCounters {
@@ -92,8 +197,12 @@ impl LiveCounters {
         LiveStats {
             full_prepares: self.full_prepares.load(Ordering::Relaxed),
             incremental_prepares: self.incremental_prepares.load(Ordering::Relaxed),
+            partial_prepares: self.partial_prepares.load(Ordering::Relaxed),
             fast_evals: self.fast_evals.load(Ordering::Relaxed),
             full_evals: self.full_evals.load(Ordering::Relaxed),
+            fallback_escaped: self.fallback_escaped.load(Ordering::Relaxed),
+            fallback_structural: self.fallback_structural.load(Ordering::Relaxed),
+            fallback_reconcile: self.fallback_reconcile.load(Ordering::Relaxed),
         }
     }
 
@@ -167,10 +276,12 @@ pub struct LiveSync {
     /// `program.subst()` across commits).
     rho0: Subst,
     /// Locations that escaped the trace system during the last full
-    /// evaluation; substitutions avoiding them cannot change control flow.
-    escaped: BTreeSet<LocId>,
+    /// evaluation, their sink kinds, and the recorded control-flow guards.
+    escaped: Escapes,
     /// Location → dependent-zone index from the last full prepare.
     depindex: DepIndex,
+    /// Environment override pinning the session to one prepare path.
+    force: PrepareForce,
     counters: LiveCounters,
 }
 
@@ -184,7 +295,7 @@ impl LiveSync {
         let outcome = program.eval_traced()?;
         let canvas = Canvas::from_value(&outcome.value)?;
         let (assignments, triggers) = prepare(&program, &canvas, config);
-        let depindex = DepIndex::build(&assignments);
+        let depindex = DepIndex::build(&assignments, &outcome.escaped);
         let rho0 = program.subst();
         let counters = LiveCounters::default();
         LiveCounters::bump(&counters.full_prepares);
@@ -197,6 +308,7 @@ impl LiveSync {
             rho0,
             escaped: outcome.escaped,
             depindex,
+            force: PrepareForce::from_env(),
             counters,
         })
     }
@@ -248,17 +360,82 @@ impl LiveSync {
         })
     }
 
-    /// Whether a substitution provably cannot change control flow, i.e.
-    /// whether patching/incremental re-preparation applies to it.
+    /// Whether a substitution provably cannot change control flow because
+    /// it avoids every escaped location (the unconditional fast path).
     pub fn control_flow_safe(&self, subst: &Subst) -> bool {
         subst.domain().all(|l| !self.escaped.contains(&l))
+    }
+
+    /// Whether the full path is forced for every operation.
+    fn full_forced(&self) -> bool {
+        self.config.full_prepare_only || self.force == PrepareForce::Full
+    }
+
+    /// Whether every control-flow guard dirtied by `subst` replays to the
+    /// outcome recorded during evaluation — the split-ρ proof that an
+    /// escaped-location edit still preserves control flow.
+    fn guards_preserved(&self, subst: &Subst) -> bool {
+        if self.escaped.guards_overflowed() {
+            return false;
+        }
+        if !subst.domain().all(|l| self.escaped.kinds(l).replayable()) {
+            return false;
+        }
+        let mut patcher = TracePatcher::new(&self.rho0, subst);
+        match self.depindex.dirty_guards(subst.domain()) {
+            Some(dirty) => dirty
+                .iter()
+                .all(|&i| self.escaped.guards()[i as usize].replay_unchanged(&mut patcher)),
+            None => self
+                .escaped
+                .guards()
+                .iter()
+                .all(|g| g.replay_unchanged(&mut patcher)),
+        }
+    }
+
+    /// The strongest patch-based tier that provably applies to `subst`, or
+    /// `None` when only the full path is sound.
+    fn patch_tier(&self, subst: &Subst) -> Option<PatchTier> {
+        if self.full_forced() {
+            return None;
+        }
+        if self.force != PrepareForce::Partial && self.control_flow_safe(subst) {
+            return Some(PatchTier::Fast);
+        }
+        if self.guards_preserved(subst) {
+            return Some(PatchTier::Partial);
+        }
+        None
+    }
+
+    /// The best commit tier drags on a zone can hope for, from the sink
+    /// kinds its trigger locations escape into. Benchmarks use this to find
+    /// zones exercising the partial tier.
+    pub fn zone_eligibility(&self, shape: ShapeId, zone: Zone) -> PrepareEligibility {
+        let Some(trigger) = self.triggers.get(&(shape, zone)) else {
+            return PrepareEligibility::Full;
+        };
+        let mut best = PrepareEligibility::Fast;
+        for loc in trigger.loc_set() {
+            let kinds = self.escaped.kinds(loc);
+            if kinds.is_empty() {
+                continue;
+            }
+            if kinds.replayable() && !self.escaped.guards_overflowed() {
+                best = PrepareEligibility::Partial;
+            } else {
+                return PrepareEligibility::Full;
+            }
+        }
+        best
     }
 
     /// The canvas after applying `subst`: patched from the cached canvas
     /// when control flow provably cannot change, rebuilt from a full
     /// re-evaluation otherwise.
     fn preview_canvas(&self, subst: &Subst) -> Result<Canvas, LiveError> {
-        if !self.config.full_prepare_only && self.control_flow_safe(subst) {
+        if self.patch_tier(subst).is_some() {
             let mut patcher = TracePatcher::new(&self.rho0, subst);
             if let Some(canvas) = self.canvas.patched(&mut |n, t| patcher.patch(n, t)) {
                 LiveCounters::bump(&self.counters.fast_evals);
@@ -278,17 +455,45 @@ impl LiveSync {
     ///
     /// Fails when the updated program does not evaluate to a canvas.
     pub fn commit(&mut self, subst: &Subst) -> Result<(), LiveError> {
-        if !self.config.full_prepare_only && self.control_flow_safe(subst) {
+        self.commit_with(subst, None)
+    }
+
+    /// Commits a substitution, optionally installing `replacement` as the
+    /// new program instead of applying `subst` to the current one (the
+    /// literal-edit `set_code` path; the caller has verified that
+    /// `replacement`'s substitution equals `ρ₀ ⊕ subst` bit-for-bit).
+    fn commit_with(
+        &mut self,
+        subst: &Subst,
+        replacement: Option<Program>,
+    ) -> Result<(), LiveError> {
+        let tier = self.patch_tier(subst);
+        if let Some(tier) = tier {
             if let Some(canvas) = self.patched_commit_canvas(subst) {
-                self.program.apply_subst(subst);
+                match replacement {
+                    Some(program) => self.program = program,
+                    None => self.program.apply_subst(subst),
+                }
                 self.canvas = canvas;
                 self.rho0 = self.program.subst();
                 self.refresh_dirty_zones(subst);
-                LiveCounters::bump(&self.counters.incremental_prepares);
+                match tier {
+                    PatchTier::Fast => {
+                        LiveCounters::bump(&self.counters.incremental_prepares);
+                    }
+                    PatchTier::Partial => LiveCounters::bump(&self.counters.partial_prepares),
+                }
                 return Ok(());
             }
+            // The tier was sound but the patcher balked: reconcile fully.
+            LiveCounters::bump(&self.counters.fallback_reconcile);
+        } else if !self.full_forced() {
+            LiveCounters::bump(&self.counters.fallback_escaped);
         }
-        self.program.apply_subst(subst);
+        match replacement {
+            Some(program) => self.program = program,
+            None => self.program.apply_subst(subst),
+        }
         self.reprepare()
     }
 
@@ -331,9 +536,9 @@ impl LiveSync {
         self.counters.snapshot()
     }
 
-    /// The locations that escaped the trace system in the last full
-    /// evaluation (substitutions touching them force the fallback path).
-    pub fn escaped_locs(&self) -> &BTreeSet<LocId> {
+    /// The escape record of the last full evaluation: which locations
+    /// escaped, into what sink kinds, and the replayable guards.
+    pub fn escaped_locs(&self) -> &Escapes {
         &self.escaped
     }
 
@@ -348,17 +553,287 @@ impl LiveSync {
         self.reprepare()
     }
 
+    /// Replaces the program via AST diffing, reusing as much session state
+    /// as the edit's classification allows: identical → nothing to do;
+    /// literal-only → a substitution through the commit tiers; single
+    /// subtrees → stitched re-prepare; anything else → full prepare.
+    /// Every cheaper tier self-verifies and falls back to the full path on
+    /// any mismatch, so the result is always bit-identical to
+    /// [`LiveSync::replace_program`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when the new program does not evaluate to a canvas.
+    pub fn set_program_diffed(&mut self, program: Program) -> Result<SetCodeClass, LiveError> {
+        if self.full_forced() {
+            self.replace_program(program)?;
+            return Ok(SetCodeClass::Structural);
+        }
+        match diff_exprs(self.program.user_expr(), program.user_expr()) {
+            AstDiff::Identical => {
+                // Re-parsing identical source must also reproduce the
+                // current substitution for state reuse to be sound.
+                if self.rho_agrees(&program, &BTreeSet::new(), None) {
+                    return Ok(SetCodeClass::Identical);
+                }
+                LiveCounters::bump(&self.counters.fallback_reconcile);
+                self.replace_program(program)?;
+                Ok(SetCodeClass::Identical)
+            }
+            AstDiff::Literals(pairs) => {
+                let subst = Subst::from_pairs(pairs);
+                if !self.rho_agrees(&program, &BTreeSet::new(), Some(&subst)) {
+                    LiveCounters::bump(&self.counters.fallback_reconcile);
+                    self.replace_program(program)?;
+                    return Ok(SetCodeClass::Literals);
+                }
+                self.commit_with(&subst, Some(program))?;
+                Ok(SetCodeClass::Literals)
+            }
+            AstDiff::Subtree { changed_locs } => {
+                if !self.rho_agrees(&program, &changed_locs, None) {
+                    LiveCounters::bump(&self.counters.fallback_reconcile);
+                    self.replace_program(program)?;
+                    return Ok(SetCodeClass::Subtree);
+                }
+                self.stitched_set_program(program, &changed_locs)?;
+                Ok(SetCodeClass::Subtree)
+            }
+            AstDiff::Structural => {
+                LiveCounters::bump(&self.counters.fallback_structural);
+                self.replace_program(program)?;
+                Ok(SetCodeClass::Structural)
+            }
+        }
+    }
+
+    /// Verifies that `new_program`'s substitution matches the session's ρ₀
+    /// bit-for-bit outside `changed` — with `subst` (if given) overlaying
+    /// ρ₀ first. This is the oracle guarding every diff-based shortcut: it
+    /// catches location-numbering drift, prelude divergence, and diff
+    /// misclassification in one bitwise sweep.
+    fn rho_agrees(
+        &self,
+        new_program: &Program,
+        changed: &BTreeSet<LocId>,
+        subst: Option<&Subst>,
+    ) -> bool {
+        let new_rho = new_program.subst();
+        if new_rho.len() != self.rho0.len() {
+            return false;
+        }
+        let agrees = new_rho.iter().all(|(l, v)| {
+            if changed.contains(&l) {
+                return true;
+            }
+            let expected = subst.and_then(|s| s.get(l)).or_else(|| self.rho0.get(l));
+            expected.map(f64::to_bits) == Some(v.to_bits())
+        });
+        agrees
+    }
+
+    /// Installs a subtree-edited program and re-prepares by *stitching*:
+    /// the program is re-evaluated (control flow may have changed inside
+    /// the edited regions), but zone analyses are recomputed only for the
+    /// usage-coupled components the edit touches; every other shape's
+    /// candidate enumeration is reused after a structural comparator
+    /// verifies its node is bit-identical. The sequential choice pass and
+    /// all triggers are re-run in full — both are cheap and order-coupled.
+    fn stitched_set_program(
+        &mut self,
+        program: Program,
+        changed_locs: &BTreeSet<LocId>,
+    ) -> Result<(), LiveError> {
+        self.program = program;
+        let outcome = self.program.eval_traced()?;
+        let canvas = Canvas::from_value(&outcome.value)?;
+        match self.try_stitch(&canvas, changed_locs) {
+            Some((assignments, triggers)) => {
+                self.canvas = canvas;
+                self.assignments = assignments;
+                self.triggers = triggers;
+                self.depindex = DepIndex::build(&self.assignments, &outcome.escaped);
+                self.escaped = outcome.escaped;
+                self.rho0 = self.program.subst();
+                LiveCounters::bump(&self.counters.partial_prepares);
+                Ok(())
+            }
+            None => {
+                LiveCounters::bump(&self.counters.fallback_reconcile);
+                self.install_full_prepare(outcome, canvas);
+                Ok(())
+            }
+        }
+    }
+
+    /// Builds stitched assignments and triggers for `canvas`, or `None`
+    /// when any reused shape fails the structural comparator and a full
+    /// prepare is required.
+    fn try_stitch(&self, canvas: &Canvas, changed_locs: &BTreeSet<LocId>) -> Option<Stitched> {
+        let old_shapes = self.canvas.shapes();
+        let new_shapes = canvas.shapes();
+        if old_shapes.len() != new_shapes.len() {
+            return None;
+        }
+        let affected_zones = self.depindex.affected_closure(changed_locs);
+        let affected_shapes: BTreeSet<ShapeId> = affected_zones
+            .iter()
+            .map(|&i| self.assignments.zones[i].shape)
+            .collect();
+        let mut eq = TraceEq::default();
+        for (old, new) in old_shapes.iter().zip(new_shapes) {
+            if old.id != new.id {
+                return None;
+            }
+            if !affected_shapes.contains(&old.id) && !eq.node_eq(&old.node, &new.node) {
+                return None;
+            }
+        }
+
+        let frozen = |l: LocId| self.program.is_frozen(l, self.config.freeze_mode);
+        let counts = heuristic_counts(canvas, self.config.heuristic);
+        let mut zones = Vec::new();
+        for (old_shape, new_shape) in old_shapes.iter().zip(new_shapes) {
+            if affected_shapes.contains(&old_shape.id) {
+                zones.extend(analyze_shape_zones(new_shape, &frozen));
+            } else {
+                // Reused analyses keep the old canvas's (structurally
+                // identical) traces; only `chosen` is recomputed below.
+                for z in self
+                    .assignments
+                    .zones
+                    .iter()
+                    .filter(|z| z.shape == old_shape.id)
+                {
+                    let mut z = z.clone();
+                    z.chosen = None;
+                    zones.push(z);
+                }
+            }
+        }
+        choose_all(&mut zones, self.config.heuristic, &counts);
+        let mut triggers = HashMap::new();
+        for analysis in &zones {
+            if let Some(trigger) = Trigger::compute(analysis) {
+                triggers.insert((analysis.shape, analysis.zone), trigger);
+            }
+        }
+        Some((
+            Assignments {
+                heuristic: self.config.heuristic,
+                zones,
+            },
+            triggers,
+        ))
+    }
+
     fn reprepare(&mut self) -> Result<(), LiveError> {
         let outcome = self.program.eval_traced()?;
-        self.canvas = Canvas::from_value(&outcome.value)?;
+        let canvas = Canvas::from_value(&outcome.value)?;
+        self.install_full_prepare(outcome, canvas);
+        Ok(())
+    }
+
+    /// Finishes a full prepare from an already-computed evaluation.
+    fn install_full_prepare(&mut self, outcome: EvalOutcome, canvas: Canvas) {
+        self.canvas = canvas;
         let (assignments, triggers) = prepare(&self.program, &self.canvas, self.config);
         self.assignments = assignments;
         self.triggers = triggers;
-        self.depindex = DepIndex::build(&self.assignments);
+        self.depindex = DepIndex::build(&self.assignments, &outcome.escaped);
         self.escaped = outcome.escaped;
         self.rho0 = self.program.subst();
         LiveCounters::bump(&self.counters.full_prepares);
-        Ok(())
+    }
+}
+
+/// Structural equality over SVG nodes with traced numbers compared by bit
+/// pattern and memoized (by pointer pair) structural trace equality —
+/// traces are shared DAGs, so derived recursion would blow up on deep
+/// sharing. Used by the stitch path to verify that a shape outside the
+/// edited regions is exactly what the cached analyses describe.
+#[derive(Default)]
+struct TraceEq {
+    memo: HashMap<(usize, usize), bool>,
+}
+
+impl TraceEq {
+    fn trace_eq(&mut self, a: &Arc<Trace>, b: &Arc<Trace>) -> bool {
+        let key = (Arc::as_ptr(a) as usize, Arc::as_ptr(b) as usize);
+        if key.0 == key.1 {
+            return true;
+        }
+        if let Some(&hit) = self.memo.get(&key) {
+            return hit;
+        }
+        let eq = match (a.as_ref(), b.as_ref()) {
+            (Trace::Loc(la), Trace::Loc(lb)) => la == lb,
+            (Trace::Op(oa, xs), Trace::Op(ob, ys)) => {
+                oa == ob
+                    && xs.len() == ys.len()
+                    && xs.iter().zip(ys).all(|(x, y)| self.trace_eq(x, y))
+            }
+            _ => false,
+        };
+        self.memo.insert(key, eq);
+        eq
+    }
+
+    fn num_eq(&mut self, a: &NumTr, b: &NumTr) -> bool {
+        a.n.to_bits() == b.n.to_bits() && self.trace_eq(&a.t, &b.t)
+    }
+
+    fn nums_eq(&mut self, xs: &[NumTr], ys: &[NumTr]) -> bool {
+        xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| self.num_eq(x, y))
+    }
+
+    fn path_eq(&mut self, a: &PathCmd, b: &PathCmd) -> bool {
+        a.cmd == b.cmd && self.nums_eq(&a.args, &b.args)
+    }
+
+    fn transform_eq(&mut self, a: &TransformCmd, b: &TransformCmd) -> bool {
+        a.cmd == b.cmd && self.nums_eq(&a.args, &b.args)
+    }
+
+    fn attr_eq(&mut self, a: &AttrValue, b: &AttrValue) -> bool {
+        match (a, b) {
+            (AttrValue::Num(x), AttrValue::Num(y)) => self.num_eq(x, y),
+            (AttrValue::Str(x), AttrValue::Str(y)) => x == y,
+            (AttrValue::Points(xs), AttrValue::Points(ys)) => {
+                xs.len() == ys.len()
+                    && xs
+                        .iter()
+                        .zip(ys)
+                        .all(|((x1, y1), (x2, y2))| self.num_eq(x1, x2) && self.num_eq(y1, y2))
+            }
+            (AttrValue::Rgba(xs), AttrValue::Rgba(ys)) => self.nums_eq(&xs[..], &ys[..]),
+            (AttrValue::ColorNum(x), AttrValue::ColorNum(y)) => self.num_eq(x, y),
+            (AttrValue::Path(xs), AttrValue::Path(ys)) => {
+                xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| self.path_eq(x, y))
+            }
+            (AttrValue::Transform(xs), AttrValue::Transform(ys)) => {
+                xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| self.transform_eq(x, y))
+            }
+            _ => false,
+        }
+    }
+
+    fn node_eq(&mut self, a: &SvgNode, b: &SvgNode) -> bool {
+        a.kind == b.kind
+            && a.attrs.len() == b.attrs.len()
+            && a.attrs
+                .iter()
+                .zip(&b.attrs)
+                .all(|((ka, va), (kb, vb))| ka == kb && self.attr_eq(va, vb))
+            && a.children.len() == b.children.len()
+            && a.children
+                .iter()
+                .zip(&b.children)
+                .all(|(x, y)| match (x, y) {
+                    (SvgChild::Node(na), SvgChild::Node(nb)) => self.node_eq(na, nb),
+                    (SvgChild::Text(ta), SvgChild::Text(tb)) => ta == tb,
+                    _ => false,
+                })
     }
 }
 
@@ -557,5 +1032,151 @@ mod tests {
             .unwrap();
         assert_eq!(live.canvas().shapes().len(), 1);
         assert!(live.trigger(ShapeId(0), Zone::RightEdge).is_some());
+    }
+
+    /// A rect whose color is guarded by a comparison over its own x: the x
+    /// location escapes, but only into a replayable COMPARE sink.
+    const GUARDED_COLOR: &str = r#"
+        (def x 100)
+        (def color (if (< x 500!) 'blue' 'red'))
+        (svg [(rect color x 50 40 30)])
+    "#;
+
+    #[test]
+    fn guard_preserving_commits_take_the_partial_tier() {
+        let mut live = session(GUARDED_COLOR);
+        let result = live.drag(ShapeId(0), Zone::Interior, 45.0, 0.0).unwrap();
+        assert!(
+            !live.control_flow_safe(&result.subst),
+            "x escapes via the comparison"
+        );
+        assert_eq!(
+            live.zone_eligibility(ShapeId(0), Zone::Interior),
+            PrepareEligibility::Partial
+        );
+        live.commit(&result.subst).unwrap();
+        let stats = live.stats();
+        assert_eq!(
+            stats.partial_prepares, 1,
+            "guard replay proves the drag safe"
+        );
+        assert_eq!(stats.full_prepares, 1, "no fallback expected");
+        assert_eq!(stats.fast_evals, 1, "the preview is patched too");
+        assert!(
+            live.program().code().contains("145"),
+            "{}",
+            live.program().code()
+        );
+    }
+
+    #[test]
+    fn guard_flips_force_the_full_fallback() {
+        let mut live = session(GUARDED_COLOR);
+        // Drag x past the 500 threshold: the guard outcome flips, so the
+        // cached canvas (still blue) would be wrong.
+        let result = live.drag(ShapeId(0), Zone::Interior, 450.0, 0.0).unwrap();
+        live.commit(&result.subst).unwrap();
+        let stats = live.stats();
+        assert_eq!(stats.partial_prepares, 0);
+        assert_eq!(stats.fallback_escaped, 1);
+        assert_eq!(stats.full_prepares, 2);
+        assert!(matches!(
+            live.canvas().shapes()[0].node.attr("fill"),
+            Some(AttrValue::Str(s)) if s == "red"
+        ));
+    }
+
+    #[test]
+    fn partial_commits_match_the_reference_bitwise() {
+        let mut partial = session(GUARDED_COLOR);
+        let mut full = LiveSync::new(
+            Program::parse(GUARDED_COLOR).unwrap(),
+            LiveConfig {
+                full_prepare_only: true,
+                ..LiveConfig::default()
+            },
+        )
+        .unwrap();
+        for dx in [45.0, -30.0, 12.5] {
+            let a = partial.drag(ShapeId(0), Zone::Interior, dx, 3.0).unwrap();
+            let b = full.drag(ShapeId(0), Zone::Interior, dx, 3.0).unwrap();
+            assert_eq!(a.subst, b.subst);
+            partial.commit(&a.subst).unwrap();
+            full.commit(&b.subst).unwrap();
+            assert_eq!(partial.program().code(), full.program().code());
+            assert_eq!(
+                format!("{:?}", partial.assignments()),
+                format!("{:?}", full.assignments())
+            );
+        }
+        assert_eq!(partial.stats().partial_prepares, 3);
+    }
+
+    #[test]
+    fn set_code_literal_edit_becomes_a_substitution() {
+        let mut live = session(SINE_WAVE);
+        let edited = SINE_WAVE.replace("[50 120 20 90 30 60]", "[61 120 20 90 30 60]");
+        let class = live
+            .set_program_diffed(Program::parse(&edited).unwrap())
+            .unwrap();
+        assert_eq!(class, SetCodeClass::Literals);
+        let stats = live.stats();
+        assert_eq!(stats.incremental_prepares, 1);
+        assert_eq!(stats.full_prepares, 1);
+        // The committed state matches a reference that re-prepared fully.
+        let reference = session(&edited);
+        assert_eq!(live.program().code(), reference.program().code());
+        assert_eq!(
+            format!("{:?}", live.assignments()),
+            format!("{:?}", reference.assignments())
+        );
+    }
+
+    #[test]
+    fn set_code_identical_source_reuses_everything() {
+        let mut live = session(SINE_WAVE);
+        let class = live
+            .set_program_diffed(Program::parse(SINE_WAVE).unwrap())
+            .unwrap();
+        assert_eq!(class, SetCodeClass::Identical);
+        assert_eq!(live.stats().full_prepares, 1);
+    }
+
+    #[test]
+    fn set_code_subtree_edit_stitches_the_prepare() {
+        // Two independent rects; editing the first's x expression must not
+        // re-analyze the second.
+        let src = "(svg [(rect 'a' (* 2 50) 10 20 30) (rect 'b' 200 10 20 30)])";
+        let edited = "(svg [(rect 'a' (+ 2 50) 10 20 30) (rect 'b' 200 10 20 30)])";
+        let mut live = session(src);
+        let class = live
+            .set_program_diffed(Program::parse(edited).unwrap())
+            .unwrap();
+        assert_eq!(class, SetCodeClass::Subtree);
+        let stats = live.stats();
+        assert_eq!(stats.partial_prepares, 1, "stitch succeeded");
+        assert_eq!(stats.full_prepares, 1);
+        let reference = session(edited);
+        assert_eq!(live.program().code(), reference.program().code());
+        assert_eq!(
+            format!("{:?}", live.assignments()),
+            format!("{:?}", reference.assignments())
+        );
+        // And the stitched session is still fully functional.
+        let drag = live.drag(ShapeId(1), Zone::Interior, 5.0, 5.0).unwrap();
+        live.commit(&drag.subst).unwrap();
+    }
+
+    #[test]
+    fn set_code_structural_edit_falls_back_fully() {
+        let mut live = session(SINE_WAVE);
+        let class = live
+            .set_program_diffed(Program::parse("(svg [(circle 'red' 50 50 20)])").unwrap())
+            .unwrap();
+        assert_eq!(class, SetCodeClass::Structural);
+        let stats = live.stats();
+        assert_eq!(stats.fallback_structural, 1);
+        assert_eq!(stats.full_prepares, 2);
+        assert_eq!(live.canvas().shapes().len(), 1);
     }
 }

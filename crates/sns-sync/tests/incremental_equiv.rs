@@ -14,7 +14,7 @@ use std::fmt::Write as _;
 
 use sns_eval::Program;
 use sns_svg::RenderOptions;
-use sns_sync::{LiveConfig, LiveSync};
+use sns_sync::{LiveConfig, LiveSync, SetCodeClass};
 
 /// Deterministic SplitMix64 (same generator as `sns-stats`' harness).
 struct Rng(u64);
@@ -167,12 +167,35 @@ fn incremental_prepare_matches_full_prepare_across_the_corpus() {
             if incremental_commits == 0 {
                 fallback_only.push(example.slug);
             }
-            assert_eq!(
-                incremental.stats().incremental_prepares,
-                incremental_commits,
-                "{}: control-flow-safe commits must take the incremental path",
-                example.slug
-            );
+            // Tier-aware counter check: which path served the safe commits
+            // depends on the SNS_FORCE_PREPARE override the suite runs
+            // under (the CI matrix pins all three).
+            let stats = incremental.stats();
+            match std::env::var("SNS_FORCE_PREPARE").as_deref() {
+                Ok("full") => assert_eq!(
+                    stats.incremental_prepares + stats.partial_prepares,
+                    0,
+                    "{}: forced-full session took a cached path",
+                    example.slug
+                ),
+                Ok("partial") => {
+                    assert_eq!(
+                        stats.incremental_prepares, 0,
+                        "{}: forced-partial session took the unconditional fast path",
+                        example.slug
+                    );
+                    assert!(
+                        stats.partial_prepares >= incremental_commits,
+                        "{}: safe commits must replay guards under forced-partial",
+                        example.slug
+                    );
+                }
+                _ => assert_eq!(
+                    stats.incremental_prepares, incremental_commits,
+                    "{}: control-flow-safe commits must take the incremental path",
+                    example.slug
+                ),
+            }
         }
         // The fast path must actually fire broadly, not just on toys: at
         // least three quarters of the corpus commits incrementally under
@@ -210,6 +233,186 @@ fn escaped_locations_never_intersect_fast_committed_substs() {
                     }
                 }
             }
+        }
+    });
+}
+
+/// A program whose drags touch an escaped location: every box's fill is
+/// guarded by a comparison over its x coordinate, so `x0` escapes into a
+/// COMPARE sink and small drags exercise the split-ρ guard-replay tier.
+const GUARDED_BOXES: &str = r#"
+    (def n 8!)
+    (def x0 40)
+    (def boxi (λ i
+      (let x (+ x0 (* i 30))
+      (let c (if (< x 600!) 'lightblue' 'salmon')
+        (rect c x 50 10 80)))))
+    (svg (map boxi (zeroTo n)))
+"#;
+
+#[test]
+fn escaped_drags_match_full_prepare_bitwise() {
+    sns_eval::with_big_stack(|| {
+        let program = Program::parse(GUARDED_BOXES).expect("parses");
+        let mut partial = LiveSync::new(program.clone(), LiveConfig::default()).expect("prepares");
+        let mut full = LiveSync::new(
+            program,
+            LiveConfig {
+                full_prepare_only: true,
+                ..LiveConfig::default()
+            },
+        )
+        .expect("prepares");
+        assert_eq!(fingerprint(&partial), fingerprint(&full));
+
+        let active: Vec<_> = partial
+            .assignments()
+            .zones
+            .iter()
+            .filter(|z| z.is_active())
+            .map(|z| (z.shape, z.zone))
+            .collect();
+        let mut rng = Rng(0xE5CA9ED);
+        let mut escaped_drags = 0u64;
+        for _ in 0..12 {
+            let (shape, zone) = active[rng.below(active.len())];
+            // Small offsets: the guards must keep their outcomes for the
+            // partial tier to fire (a flip is exercised separately below).
+            let (dx, dy) = (rng.offset() * 0.25, rng.offset() * 0.25);
+            let (a, b) = match (
+                partial.drag(shape, zone, dx, dy),
+                full.drag(shape, zone, dx, dy),
+            ) {
+                (Ok(a), Ok(b)) => (a, b),
+                (Err(_), Err(_)) => continue,
+                (a, b) => panic!("drag outcomes diverged: {a:?} vs {b:?}"),
+            };
+            assert_eq!(a.subst, b.subst);
+            if !partial.control_flow_safe(&a.subst) {
+                escaped_drags += 1;
+            }
+            partial.commit(&a.subst).unwrap();
+            full.commit(&b.subst).unwrap();
+            assert_eq!(
+                fingerprint(&partial),
+                fingerprint(&full),
+                "state diverged after commit on {shape} {zone}"
+            );
+        }
+        assert!(escaped_drags > 0, "workload must exercise escaped drags");
+        if std::env::var("SNS_FORCE_PREPARE").is_err() {
+            assert!(
+                partial.stats().partial_prepares > 0,
+                "escaped drags should be served by guard replay"
+            );
+        }
+
+        // Now force a guard flip: drag far past the color threshold. Both
+        // sessions must agree (the partial session via its fallback).
+        let (shape, zone) = active[0];
+        if let (Ok(a), Ok(b)) = (
+            partial.drag(shape, zone, 900.0, 0.0),
+            full.drag(shape, zone, 900.0, 0.0),
+        ) {
+            assert_eq!(a.subst, b.subst);
+            partial.commit(&a.subst).unwrap();
+            full.commit(&b.subst).unwrap();
+            assert_eq!(
+                fingerprint(&partial),
+                fingerprint(&full),
+                "state diverged after a guard-flipping commit"
+            );
+        }
+    });
+}
+
+/// Seeded `set_code` edits in all three diff classes must leave a
+/// diff-classified session bit-identical to one that always replaces the
+/// program wholesale.
+#[test]
+fn set_code_edits_match_full_replace_bitwise() {
+    sns_eval::with_big_stack(|| {
+        let mut shapes = String::from("(rect 'c0' (* 2 15) 10 20 20) ");
+        for j in 1..12 {
+            shapes.push_str(&format!(
+                "(rect 'c{j}' {} {} 18 18) ",
+                40 + j * 22,
+                60 + (j % 7) * 30
+            ));
+        }
+        let base = format!("(svg [{shapes}])");
+        // `None` means "re-submit the session's current text" (the drags
+        // between edits rewrite literals, so only the live code is
+        // guaranteed Identical).
+        let edits: Vec<(Option<String>, SetCodeClass)> = vec![
+            // Literal-only: one coordinate nudged.
+            (
+                Some(base.replace("10 20 20", "11 20 20")),
+                SetCodeClass::Literals,
+            ),
+            // Subtree: operator swap, same literal multiset.
+            (
+                Some(base.replace("(* 2 15)", "(+ 2 15)")),
+                SetCodeClass::Subtree,
+            ),
+            // Identical re-submit of the current text.
+            (None, SetCodeClass::Identical),
+            // Structural: a shape appears.
+            (
+                Some(
+                    base.replace("(* 2 15)", "(+ 2 15)")
+                        .replace("])", "(circle 'red' 300 300 9)])"),
+                ),
+                SetCodeClass::Structural,
+            ),
+            // Structural again: the shape disappears.
+            (Some(base.clone()), SetCodeClass::Structural),
+        ];
+
+        let mut diffed = LiveSync::new(
+            Program::parse(&base).expect("parses"),
+            LiveConfig::default(),
+        )
+        .expect("prepares");
+        let mut full = LiveSync::new(
+            Program::parse(&base).expect("parses"),
+            LiveConfig {
+                full_prepare_only: true,
+                ..LiveConfig::default()
+            },
+        )
+        .expect("prepares");
+
+        for (i, (src, want)) in edits.iter().enumerate() {
+            let src = src.clone().unwrap_or_else(|| diffed.program().code());
+            let class = diffed
+                .set_program_diffed(Program::parse(&src).expect("parses"))
+                .unwrap();
+            full.replace_program(Program::parse(&src).expect("parses"))
+                .unwrap();
+            if std::env::var("SNS_FORCE_PREPARE").as_deref() != Ok("full") {
+                assert_eq!(class, *want, "edit {i} misclassified");
+            }
+            assert_eq!(
+                fingerprint(&diffed),
+                fingerprint(&full),
+                "state diverged after edit {i} ({class:?})"
+            );
+            // The edited session must stay fully operational: drag + commit.
+            let (shape, zone) = diffed
+                .assignments()
+                .zones
+                .iter()
+                .filter(|z| z.is_active())
+                .map(|z| (z.shape, z.zone))
+                .next()
+                .expect("an active zone");
+            let a = diffed.drag(shape, zone, 3.0, -2.0).unwrap();
+            let b = full.drag(shape, zone, 3.0, -2.0).unwrap();
+            assert_eq!(a.subst, b.subst);
+            diffed.commit(&a.subst).unwrap();
+            full.commit(&b.subst).unwrap();
+            assert_eq!(fingerprint(&diffed), fingerprint(&full));
         }
     });
 }
