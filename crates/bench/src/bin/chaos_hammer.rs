@@ -789,10 +789,40 @@ fn run_seed(sns: &Path, seed: u64, short: bool) -> SeedReport {
         }
     }
 
+    // A violated seed dumps each surviving node's flight recorder and
+    // metrics before teardown: `CHAOS_DEBUG/` rides up as a CI artifact,
+    // so the post-mortem starts with traces instead of a rerun.
+    if !report.violations.is_empty() {
+        dump_debug_artifacts(&fleet, seed);
+    }
+
     drop(fleet);
     let _ = std::fs::remove_dir_all(&dir_l);
     let _ = std::fs::remove_dir_all(&dir_f);
     report
+}
+
+/// Best-effort: fetches `/debug/traces` and `/metrics` from whichever
+/// fleet nodes still answer and writes them under `CHAOS_DEBUG/`.
+/// Failures to fetch or write are ignored — diagnostics must never turn
+/// a red oracle into a harness crash.
+fn dump_debug_artifacts(fleet: &Fleet, seed: u64) {
+    let dir = Path::new("CHAOS_DEBUG");
+    let _ = std::fs::create_dir_all(dir);
+    let nodes = [
+        ("leader", &fleet.leader_http),
+        ("follower", &fleet.follower_http),
+    ];
+    for (role, addr) in nodes {
+        for (path, file) in [
+            ("/debug/traces", "traces.jsonl"),
+            ("/metrics", "metrics.txt"),
+        ] {
+            if let Some((200, _, body)) = try_http(addr, "GET", path, "") {
+                let _ = std::fs::write(dir.join(format!("seed{seed}-{role}-{file}")), body);
+            }
+        }
+    }
 }
 
 fn create_session(
@@ -947,6 +977,16 @@ fn main() {
     );
     std::fs::write("BENCH_chaos.json", &json).expect("write BENCH_chaos.json");
     eprintln!("wrote BENCH_chaos.json");
+
+    bench::ledger::append(
+        "chaos_hammer",
+        &[
+            ("ops_total", sum(|r| r.ops) as f64),
+            ("commits_acked", sum(|r| r.commits_acked) as f64),
+            ("violations", violations as f64),
+            ("wall_ms", wall_ms),
+        ],
+    );
 
     if violations > 0 {
         std::process::exit(1);

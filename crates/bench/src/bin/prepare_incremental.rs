@@ -198,6 +198,16 @@ fn run(slugs: &[String]) -> bool {
     std::fs::write("BENCH_prepare.json", &json).expect("write BENCH_prepare.json");
     eprintln!("wrote BENCH_prepare.json");
 
+    bench::ledger::append(
+        "prepare_incremental",
+        &[
+            ("speedup_largest_median", largest_median),
+            ("speedup_all_median", overall_median),
+            ("escaped_speedup", escaped.speedup()),
+            ("set_code_subtree_speedup", set_codes[1].speedup()),
+        ],
+    );
+
     gates(&largest, largest_median, &escaped, &set_codes)
 }
 

@@ -37,9 +37,34 @@
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use sns_server::{Server, ServerConfig};
+
+/// The last pass's `/metrics` and `/debug/traces` bodies, captured just
+/// before the server shuts down. A failing gate writes them under
+/// `BENCH_DEBUG/` so CI uploads the evidence, not just the exit code.
+static LAST_DEBUG: Mutex<Option<(String, String, String)>> = Mutex::new(None);
+
+/// Writes the captured debug surfaces of the most recent pass to
+/// `BENCH_DEBUG/`. Best-effort: a dump failure must not mask the gate.
+fn dump_debug_artifacts() {
+    let Some((tag, metrics, traces)) = LAST_DEBUG.lock().expect("debug capture lock").take() else {
+        return;
+    };
+    let dir = std::path::Path::new("BENCH_DEBUG");
+    let _ = std::fs::create_dir_all(dir);
+    let _ = std::fs::write(
+        dir.join(format!("serve_throughput-{tag}-metrics.txt")),
+        metrics,
+    );
+    let _ = std::fs::write(
+        dir.join(format!("serve_throughput-{tag}-traces.jsonl")),
+        traces,
+    );
+    eprintln!("wrote BENCH_DEBUG/serve_throughput-{tag}-{{metrics.txt,traces.jsonl}}");
+}
 
 const DEFAULT_SESSIONS: usize = 64;
 const DEFAULT_DRAGS: usize = 50;
@@ -277,6 +302,12 @@ fn run_pass(args: &BenchArgs, trace: bool, pass_tag: &str) -> Pass {
         journal_records: field("journal_records"),
         stages,
     };
+    // Capture the debug surfaces while the server is still up; a gate
+    // failure later dumps them for the CI artifact.
+    let (_, metrics_dump) = http(&addr, "GET", "/metrics", None);
+    let (_, traces_dump) = http(&addr, "GET", "/debug/traces", None);
+    *LAST_DEBUG.lock().expect("debug capture lock") =
+        Some((pass_tag.to_string(), metrics_dump, traces_dump));
     handle.shutdown();
     if let Some(dir) = &data_dir {
         let _ = std::fs::remove_dir_all(dir);
@@ -408,6 +439,7 @@ fn main() {
                 overhead * 100.0,
                 MAX_TRACE_OVERHEAD * 100.0
             );
+            dump_debug_artifacts();
             std::process::exit(1);
         }
         eprintln!(
@@ -481,12 +513,31 @@ fn main() {
     std::fs::write(&out_file, &json).expect("write bench json");
     eprintln!("wrote {out_file}");
 
+    // Trajectory ledger: one row per run, keyed by variant (fsync and
+    // idle runs measure different things and must not share a baseline).
+    let ledger_bench = match (&args.fsync, idle > 0) {
+        (Some(mode), _) => format!("serve_throughput_fsync_{mode}"),
+        (None, true) => "serve_throughput_idle".to_string(),
+        (None, false) => "serve_throughput".to_string(),
+    };
+    let mut metrics = vec![
+        ("requests_per_sec", pass.rps),
+        ("p50_ms", pass.p50),
+        ("p99_ms", pass.p99),
+        ("queue_p99_ms", pass.queue_p99),
+    ];
+    if let Some(off) = &baseline {
+        metrics.push(("trace_overhead_pct", (1.0 - pass.rps / off.rps) * 100.0));
+    }
+    bench::ledger::append(&ledger_bench, &metrics);
+
     if let Some(floor) = args.min_rps {
         if pass.rps < floor {
             eprintln!(
                 "FAIL: {:.0} req/s is below the {floor:.0} req/s floor",
                 pass.rps
             );
+            dump_debug_artifacts();
             std::process::exit(1);
         }
         eprintln!("gate ok: {:.0} req/s >= {floor:.0} req/s floor", pass.rps);

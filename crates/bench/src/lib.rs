@@ -15,6 +15,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ledger;
+
 use std::sync::Arc;
 use std::time::Instant;
 

@@ -80,7 +80,7 @@ COMMANDS:\n\
         [--read-timeout-ms N] [--idle-timeout-ms N]\n\
         [--data-dir DIR] [--fsync always|batch|never] [--auth-token T]\n\
         [--repl-listen A] [--replicate-to N] [--follow A]\n\
-        [--no-trace] [--slow-ms N] [--log-level L] [--log-format json|text]\n\
+        [--no-trace] [--slow-ms N] [--stall-ms N] [--log-level L] [--log-format json|text]\n\
         [--fault-plan SPEC]\n\
                                         run the live-sync HTTP service\n\
                                         (--threads = CPU workers; --reactors =\n\
@@ -98,7 +98,10 @@ COMMANDS:\n\
                                         to leader on POST /promote or SIGUSR1;\n\
                                         per-request tracing is on by default —\n\
                                         --no-trace disables it, --slow-ms sets\n\
-                                        the slow-request log threshold (50);\n\
+                                        the slow-request log threshold (50),\n\
+                                        --stall-ms the stall-watchdog threshold\n\
+                                        snapshotting wedged in-flight requests\n\
+                                        (1000; 0 disables);\n\
                                         --log-level error|warn|info|debug and\n\
                                         --log-format text|json shape stderr\n\
                                         logs; scrape GET /metrics, inspect\n\
@@ -365,6 +368,9 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
     config.trace = !args.has_flag("no-trace");
     if let Some(v) = args.options.get("slow-ms") {
         config.slow_ms = v.parse().map_err(|e| format!("--slow-ms: {e}"))?;
+    }
+    if let Some(v) = args.options.get("stall-ms") {
+        config.stall_ms = v.parse().map_err(|e| format!("--stall-ms: {e}"))?;
     }
     let log_level = match args.options.get("log-level") {
         Some(v) => v.parse().map_err(|e| format!("--log-level: {e}"))?,

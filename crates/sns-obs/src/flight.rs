@@ -137,9 +137,12 @@ mod tests {
             id,
             method: "GET".to_string(),
             path: format!("/t/{id}"),
+            ctx: None,
             status: 200,
             total_us,
             stamps_us: vec![(Stage::ParseDone, total_us)],
+            follower_acks: Vec::new(),
+            extra: String::new(),
         }
     }
 

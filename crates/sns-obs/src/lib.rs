@@ -30,5 +30,5 @@ pub mod trace;
 
 pub use flight::FlightRecorder;
 pub use log::{Format, Level};
-pub use metrics::{Counter, Gauge, Histogram, Registry};
-pub use trace::{CompletedTrace, Stage, Trace};
+pub use metrics::{Counter, DynGaugeVec, Gauge, Histogram, Registry};
+pub use trace::{CompletedTrace, Stage, Trace, TraceCtx};

@@ -176,6 +176,65 @@ enum Metric {
         label: &'static str,
         slots: Vec<(String, Arc<Counter>)>,
     },
+    /// A gauge family whose label values are created on demand (follower
+    /// peers connect and disconnect at runtime; reactors are fixed).
+    DynGaugeVec(Arc<DynGaugeVec>),
+    /// A constant info gauge: fixed labels, value always 1 (the
+    /// `sns_build_info{version,git_sha}` idiom).
+    Info(Vec<(&'static str, String)>),
+}
+
+/// A labeled gauge family with *dynamic* label values: series appear the
+/// first time a label value is set and can be dropped when the thing
+/// they describe (a replication peer) goes away. One `# TYPE` block, one
+/// sample per live series, rendered in insertion order.
+#[derive(Debug)]
+pub struct DynGaugeVec {
+    label: &'static str,
+    series: Mutex<Vec<(String, Arc<Gauge>)>>,
+}
+
+impl DynGaugeVec {
+    fn new(label: &'static str) -> DynGaugeVec {
+        DynGaugeVec {
+            label,
+            series: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The gauge for `value`, created on first use.
+    pub fn with_label(&self, value: &str) -> Arc<Gauge> {
+        let mut series = self.series.lock().expect("dyn gauge vec lock");
+        if let Some((_, g)) = series.iter().find(|(v, _)| v == value) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(Gauge::new());
+        series.push((value.to_string(), Arc::clone(&g)));
+        g
+    }
+
+    /// Sets the gauge for `value` in one call.
+    pub fn set(&self, value: &str, v: f64) {
+        self.with_label(value).set(v);
+    }
+
+    /// Drops the series for `value` (the peer disconnected for good).
+    pub fn remove(&self, value: &str) {
+        self.series
+            .lock()
+            .expect("dyn gauge vec lock")
+            .retain(|(v, _)| v != value);
+    }
+
+    /// Current `(label value, gauge value)` snapshot, insertion-ordered.
+    pub fn snapshot(&self) -> Vec<(String, f64)> {
+        self.series
+            .lock()
+            .expect("dyn gauge vec lock")
+            .iter()
+            .map(|(v, g)| (v.clone(), g.get()))
+            .collect()
+    }
 }
 
 struct Entry {
@@ -268,6 +327,32 @@ impl Registry {
         handles
     }
 
+    /// Registers a gauge family whose label values appear on demand (see
+    /// [`DynGaugeVec`]); the family counts as one name for
+    /// [`metric_names`](Registry::metric_names).
+    pub fn dyn_gauge_vec(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        label: &'static str,
+    ) -> Arc<DynGaugeVec> {
+        let v = Arc::new(DynGaugeVec::new(label));
+        self.push(name, help, Metric::DynGaugeVec(Arc::clone(&v)));
+        v
+    }
+
+    /// Registers a constant *info* gauge: a single sample with the given
+    /// label set and a fixed value of 1, identifying the binary under
+    /// test (`sns_build_info{version="0.1.0",git_sha="abc1234"} 1`).
+    pub fn info(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: impl IntoIterator<Item = (&'static str, String)>,
+    ) {
+        self.push(name, help, Metric::Info(labels.into_iter().collect()));
+    }
+
     /// Every registered metric name (the doc-drift gate reads this via
     /// `/metrics` — names also lead each exposition block).
     pub fn metric_names(&self) -> Vec<&'static str> {
@@ -317,6 +402,27 @@ impl Registry {
                     for (value, c) in slots {
                         let _ = writeln!(out, "{}{{{}=\"{}\"}} {}", e.name, label, value, c.get());
                     }
+                }
+                Metric::DynGaugeVec(v) => {
+                    let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
+                    let _ = writeln!(out, "# TYPE {} gauge", e.name);
+                    for (value, g) in v.snapshot() {
+                        let _ = writeln!(
+                            out,
+                            "{}{{{}=\"{}\"}} {}",
+                            e.name,
+                            v.label,
+                            value,
+                            format_f64(g)
+                        );
+                    }
+                }
+                Metric::Info(labels) => {
+                    let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
+                    let _ = writeln!(out, "# TYPE {} gauge", e.name);
+                    let rendered: Vec<String> =
+                        labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+                    let _ = writeln!(out, "{}{{{}}} 1", e.name, rendered.join(","));
                 }
                 Metric::Histogram(h) => {
                     let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
@@ -466,6 +572,47 @@ mod tests {
             reg.metric_names(),
             vec!["t_reactor_conns", "t_reactor_wakes_total"]
         );
+    }
+
+    #[test]
+    fn dynamic_gauge_families_create_and_drop_series() {
+        let reg = Registry::new();
+        let lag = reg.dyn_gauge_vec("t_follower_lag", "Lag per peer.", "peer");
+        lag.set("10.0.0.2:9090", 12.0);
+        lag.set("10.0.0.3:9090", 0.0);
+        lag.set("10.0.0.2:9090", 7.0); // Same series, updated in place.
+        let text = reg.render_prometheus();
+        assert_eq!(text.matches("# TYPE t_follower_lag gauge").count(), 1);
+        assert!(text.contains("t_follower_lag{peer=\"10.0.0.2:9090\"} 7"));
+        assert!(text.contains("t_follower_lag{peer=\"10.0.0.3:9090\"} 0"));
+        lag.remove("10.0.0.2:9090");
+        let text = reg.render_prometheus();
+        assert!(!text.contains("10.0.0.2"), "{text}");
+        assert!(text.contains("t_follower_lag{peer=\"10.0.0.3:9090\"} 0"));
+        // An empty family still declares its type (scrapers and the
+        // doc-drift gate see the name before any peer connects).
+        lag.remove("10.0.0.3:9090");
+        assert!(reg
+            .render_prometheus()
+            .contains("# TYPE t_follower_lag gauge"));
+        assert_eq!(reg.metric_names(), vec!["t_follower_lag"]);
+    }
+
+    #[test]
+    fn info_gauge_renders_fixed_labels_and_one() {
+        let reg = Registry::new();
+        reg.info(
+            "t_build_info",
+            "Build identity.",
+            [
+                ("version", "0.1.0".to_string()),
+                ("git_sha", "abc1234".to_string()),
+            ],
+        );
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE t_build_info gauge"));
+        assert!(text.contains("t_build_info{version=\"0.1.0\",git_sha=\"abc1234\"} 1"));
+        assert_eq!(reg.metric_names(), vec!["t_build_info"]);
     }
 
     #[test]

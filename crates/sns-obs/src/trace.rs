@@ -15,8 +15,8 @@
 //! restores the previous value even on panic.
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// A stage boundary a request crosses, in execution order.
@@ -35,6 +35,10 @@ pub enum Stage {
     Dequeued,
     /// Route dispatch began on the worker.
     Dispatched,
+    /// Terminal stamp: the request was refused with a 503 because the
+    /// journal is degraded to read-only. A rejected write never reaches
+    /// the journal stages, but it must not vanish from the recorder.
+    RejectedDegraded,
     /// Journal record written to the shard WAL.
     JournalAppended,
     /// Journal record durable (direct or group-commit fsync).
@@ -50,7 +54,7 @@ pub enum Stage {
 }
 
 /// Number of stages.
-pub const STAGES: usize = 10;
+pub const STAGES: usize = 11;
 
 impl Stage {
     /// Every stage, in execution order.
@@ -59,6 +63,7 @@ impl Stage {
         Stage::Queued,
         Stage::Dequeued,
         Stage::Dispatched,
+        Stage::RejectedDegraded,
         Stage::JournalAppended,
         Stage::Fsynced,
         Stage::ReplAcked,
@@ -74,6 +79,7 @@ impl Stage {
             Stage::Queued => "queued",
             Stage::Dequeued => "dequeued",
             Stage::Dispatched => "dispatched",
+            Stage::RejectedDegraded => "rejected_degraded",
             Stage::JournalAppended => "journal_appended",
             Stage::Fsynced => "fsynced",
             Stage::ReplAcked => "repl_acked",
@@ -82,6 +88,17 @@ impl Stage {
             Stage::ResponseWritten => "response_written",
         }
     }
+}
+
+/// Cross-node trace context: the originating trace id and node that a
+/// child span (a follower's replicated apply) descends from. Carried in
+/// replication frames so one logical commit correlates across the fleet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// The originating trace's id on its own node.
+    pub origin_trace: u64,
+    /// The originating node's identity (listen address or operator name).
+    pub origin_node: String,
 }
 
 /// A live per-request trace: monotonic stage stamps over a shared handle.
@@ -93,23 +110,44 @@ pub struct Trace {
     pub method: String,
     /// Request path.
     pub path: String,
+    /// Cross-node parent context (`None` for locally originated spans).
+    pub ctx: Option<TraceCtx>,
     start: Instant,
     /// Elapsed nanoseconds at each stage; 0 = not reached (a stamp that
     /// truly lands at 0 ns is clamped to 1).
     stamps: [AtomicU64; STAGES],
     status: AtomicU32,
+    /// Per-follower `(peer, ack latency µs)` the leader stitched into
+    /// this trace while its sync-replication gate waited.
+    follower_acks: Mutex<Vec<(String, u64)>>,
+    /// Set once by the stall watchdog so each wedged request is
+    /// snapshotted into the recorder exactly once.
+    stalled: AtomicBool,
 }
 
 impl Trace {
     /// Starts a trace; the clock starts now.
     pub fn new(id: u64, method: impl Into<String>, path: impl Into<String>) -> Trace {
+        Trace::with_ctx(id, method, path, None)
+    }
+
+    /// Starts a child trace carrying a cross-node parent context.
+    pub fn with_ctx(
+        id: u64,
+        method: impl Into<String>,
+        path: impl Into<String>,
+        ctx: Option<TraceCtx>,
+    ) -> Trace {
         Trace {
             id,
             method: method.into(),
             path: path.into(),
+            ctx,
             start: Instant::now(),
             stamps: Default::default(),
             status: AtomicU32::new(0),
+            follower_acks: Mutex::new(Vec::new()),
+            stalled: AtomicBool::new(false),
         }
     }
 
@@ -133,6 +171,25 @@ impl Trace {
         }
     }
 
+    /// Elapsed time since the trace's clock started.
+    pub fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Records one follower's ack latency (leader-side stitching).
+    pub fn annotate_follower_ack(&self, peer: &str, us: u64) {
+        self.follower_acks
+            .lock()
+            .expect("follower ack lock")
+            .push((peer.to_string(), us));
+    }
+
+    /// Marks the trace stalled; returns `true` on the first call only,
+    /// so the watchdog snapshots each wedged request exactly once.
+    pub fn mark_stalled(&self) -> bool {
+        !self.stalled.swap(true, Ordering::Relaxed)
+    }
+
     /// Freezes the trace into its completed form.
     pub fn finish(&self) -> CompletedTrace {
         let stamps_us: Vec<(Stage, u64)> = Stage::ALL
@@ -144,9 +201,16 @@ impl Trace {
             id: self.id,
             method: self.method.clone(),
             path: self.path.clone(),
+            ctx: self.ctx.clone(),
             status: self.status.load(Ordering::Relaxed) as u16,
             total_us,
             stamps_us,
+            follower_acks: self
+                .follower_acks
+                .lock()
+                .expect("follower ack lock")
+                .clone(),
+            extra: String::new(),
         }
     }
 }
@@ -160,6 +224,8 @@ pub struct CompletedTrace {
     pub method: String,
     /// Request path.
     pub path: String,
+    /// Cross-node parent context (`None` for locally originated spans).
+    pub ctx: Option<TraceCtx>,
     /// Response status (0 when the request died before a response).
     pub status: u16,
     /// Elapsed microseconds at the last stamped stage.
@@ -167,6 +233,11 @@ pub struct CompletedTrace {
     /// `(stage, elapsed µs since start)` for each stage reached, in
     /// execution order.
     pub stamps_us: Vec<(Stage, u64)>,
+    /// Per-follower `(peer, ack latency µs)` stitched by the leader.
+    pub follower_acks: Vec<(String, u64)>,
+    /// Extra raw-JSON fields spliced into [`Self::to_json`] (must start
+    /// with `,` when non-empty) — the stall watchdog's snapshot context.
+    pub extra: String,
 }
 
 impl CompletedTrace {
@@ -205,7 +276,27 @@ impl CompletedTrace {
             }
             let _ = write!(out, "\"{}\":{}", s.name(), at);
         }
-        out.push_str("}}");
+        out.push('}');
+        if let Some(ctx) = &self.ctx {
+            let _ = write!(
+                out,
+                ",\"origin\":{{\"trace\":{},\"node\":\"{}\"}}",
+                ctx.origin_trace,
+                escape_json(&ctx.origin_node),
+            );
+        }
+        if !self.follower_acks.is_empty() {
+            out.push_str(",\"follower_acks\":{");
+            for (i, (peer, us)) in self.follower_acks.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":{}", escape_json(peer), us);
+            }
+            out.push('}');
+        }
+        out.push_str(&self.extra);
+        out.push('}');
         out
     }
 }
@@ -262,6 +353,13 @@ pub fn stamp_current(stage: Stage) {
             t.stamp(stage);
         }
     });
+}
+
+/// The thread's current trace handle, if any — deep layers that need
+/// more than a stamp (the sync-replication gate stitching follower ack
+/// latencies) borrow the handle instead of threading it through APIs.
+pub fn current() -> Option<Arc<Trace>> {
+    CURRENT.with(|c| c.borrow().clone())
 }
 
 #[cfg(test)]
@@ -346,5 +444,52 @@ mod tests {
 
     fn peek_current() -> Option<u64> {
         CURRENT.with(|c| c.borrow().as_ref().map(|t| t.id))
+    }
+
+    #[test]
+    fn ctx_and_follower_acks_serialize() {
+        let ctx = TraceCtx {
+            origin_trace: 42,
+            origin_node: "10.0.0.1:8080".to_string(),
+        };
+        let t = Trace::with_ctx(9, "REPL", "/repl/apply/s1", Some(ctx));
+        t.stamp(Stage::ParseDone);
+        t.annotate_follower_ack("10.0.0.2:9090", 350);
+        t.set_status(200);
+        let done = t.finish();
+        assert_eq!(done.ctx.as_ref().unwrap().origin_trace, 42);
+        let line = done.to_json();
+        assert!(
+            line.contains("\"origin\":{\"trace\":42,\"node\":\"10.0.0.1:8080\"}"),
+            "{line}"
+        );
+        assert!(
+            line.contains("\"follower_acks\":{\"10.0.0.2:9090\":350}"),
+            "{line}"
+        );
+        assert!(line.ends_with('}') && line.starts_with('{'));
+    }
+
+    #[test]
+    fn extra_fields_splice_into_json() {
+        let t = Trace::new(5, "POST", "/sessions/s1/commit");
+        t.stamp(Stage::ParseDone);
+        let mut snap = t.finish();
+        snap.extra = ",\"stalled\":true,\"reactor\":3".to_string();
+        let line = snap.to_json();
+        assert!(line.contains("\"stalled\":true,\"reactor\":3}"), "{line}");
+    }
+
+    #[test]
+    fn mark_stalled_fires_once() {
+        let t = Trace::new(6, "GET", "/x");
+        assert!(t.mark_stalled());
+        assert!(!t.mark_stalled());
+    }
+
+    #[test]
+    fn rejected_degraded_stage_is_named() {
+        assert_eq!(Stage::RejectedDegraded.name(), "rejected_degraded");
+        assert_eq!(Stage::ALL.len(), STAGES);
     }
 }

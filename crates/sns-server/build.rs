@@ -1,0 +1,22 @@
+//! Stamps the short git sha into the binary as `SNS_GIT_SHA` so
+//! `sns_build_info{version,git_sha}` and `/healthz` identify the exact
+//! build under test. Outside a git checkout (a vendored tarball) the sha
+//! is `unknown` — the metric still renders, it just can't pin a commit.
+
+use std::process::Command;
+
+fn main() {
+    let sha = Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=SNS_GIT_SHA={sha}");
+    // Re-stamp when HEAD moves; harmless no-ops outside a checkout.
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+    println!("cargo:rerun-if-changed=../../.git/refs");
+}

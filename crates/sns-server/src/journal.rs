@@ -360,13 +360,21 @@ impl AppendSignal {
     }
 }
 
+/// One registered follower's gate state: its human-meaningful peer label
+/// (for trace stitching and labeled metrics) and the positions it acked.
+struct FollowerSlot {
+    peer: String,
+    /// Acked `(generation, bytes)` per shard.
+    cursors: Vec<(u64, u64)>,
+}
+
 /// The synchronous-replication gate: follower ack positions, and the wait
 /// an append performs when `--replicate-to N` demands N follower acks
 /// before the client may be answered.
 pub(crate) struct ReplGate {
     min_sync: AtomicUsize,
-    /// Follower id → acked `(generation, bytes)` per shard.
-    acked: Mutex<HashMap<u64, Vec<(u64, u64)>>>,
+    /// Follower id → peer label + acked positions.
+    acked: Mutex<HashMap<u64, FollowerSlot>>,
     cv: Condvar,
 }
 
@@ -384,18 +392,14 @@ impl ReplGate {
         self.cv.notify_all();
     }
 
-    /// Whether appends currently wait for follower acks (`min_sync > 0`).
-    pub(crate) fn armed(&self) -> bool {
-        self.min_sync.load(Ordering::Relaxed) > 0
-    }
-
     /// Registers a connected follower with the positions it claims to
-    /// have already applied.
-    pub(crate) fn register(&self, id: u64, cursors: Vec<(u64, u64)>) {
+    /// have already applied. `peer` labels the follower in stitched
+    /// traces and the per-peer metric families.
+    pub(crate) fn register(&self, id: u64, peer: String, cursors: Vec<(u64, u64)>) {
         self.acked
             .lock()
             .expect("repl gate lock")
-            .insert(id, cursors);
+            .insert(id, FollowerSlot { peer, cursors });
         self.cv.notify_all();
     }
 
@@ -408,8 +412,8 @@ impl ReplGate {
 
     pub(crate) fn record_ack(&self, id: u64, cursors: &[(u64, u64)]) {
         if let Some(slot) = self.acked.lock().expect("repl gate lock").get_mut(&id) {
-            slot.clear();
-            slot.extend_from_slice(cursors);
+            slot.cursors.clear();
+            slot.cursors.extend_from_slice(cursors);
         }
         self.cv.notify_all();
     }
@@ -420,30 +424,44 @@ impl ReplGate {
 
     /// Blocks until `min_sync` followers have acked shard `idx` through
     /// `(gen, bytes)`. A no-op when `min_sync` is zero (async mode).
-    fn wait_replicated(&self, idx: usize, gen: u64, bytes: u64) -> io::Result<()> {
+    /// Returns each covering follower's `(peer, µs until its ack first
+    /// covered the record)` — the leader stitches these into the
+    /// request's trace as per-follower ack spans.
+    fn wait_replicated(&self, idx: usize, gen: u64, bytes: u64) -> io::Result<Vec<(String, u64)>> {
         let need = self.min_sync.load(Ordering::Relaxed);
         if need == 0 {
-            return Ok(());
+            return Ok(Vec::new());
         }
-        let deadline = Instant::now() + REPL_SYNC_TIMEOUT;
+        let began = Instant::now();
+        let deadline = began + REPL_SYNC_TIMEOUT;
+        // Follower id → (peer, first-cover latency). Tracked across
+        // condvar passes so a follower observed covering on an early pass
+        // keeps its early timestamp even if the wait continues for peers.
+        let mut seen: HashMap<u64, (String, u64)> = HashMap::new();
         let mut acked = self.acked.lock().expect("repl gate lock");
         loop {
-            let have = acked
-                .values()
-                .filter(|cursors| {
-                    cursors
+            // A follower that covered earlier but has since disconnected
+            // loses its vote, exactly as the pre-latency gate behaved.
+            seen.retain(|id, _| acked.contains_key(id));
+            let elapsed_us = began.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+            for (id, slot) in acked.iter() {
+                if !seen.contains_key(id)
+                    && slot
+                        .cursors
                         .get(idx)
                         .is_some_and(|c| ReplGate::covered(*c, gen, bytes))
-                })
-                .count();
-            if have >= need {
-                return Ok(());
+                {
+                    seen.insert(*id, (slot.peer.clone(), elapsed_us));
+                }
+            }
+            if seen.len() >= need {
+                return Ok(seen.into_values().collect());
             }
             let left = deadline.saturating_duration_since(Instant::now());
             if left.is_zero() {
                 return Err(io::Error::new(
                     io::ErrorKind::TimedOut,
-                    format!("replication sync: {have}/{need} followers acked"),
+                    format!("replication sync: {}/{need} followers acked", seen.len()),
                 ));
             }
             acked = self.cv.wait_timeout(acked, left).expect("repl gate lock").0;
@@ -1194,7 +1212,19 @@ impl SessionBackend for JournalBackend {
 
     fn append(&self, op: Op<'_>) -> io::Result<()> {
         let inner = &*self.inner;
-        let payload = encode_op(&op).to_string();
+        let payload = {
+            let mut v = encode_op(&op);
+            // Tag the record with the originating trace id so replication
+            // streamers can lift it into the frame-level trace context.
+            // Decoders ignore unknown keys, so replay and old peers are
+            // unaffected; under --no-trace no tag is ever written.
+            if let Some(t) = obs_trace::current() {
+                if let Json::Obj(pairs) = &mut v {
+                    pairs.push(("tr".to_string(), Json::Num(t.id as f64)));
+                }
+            }
+            v.to_string()
+        };
         let idx = shard_index(op.id());
         let mut group_wait: Option<u64> = None;
         let (gen, end) = {
@@ -1281,14 +1311,25 @@ impl SessionBackend for JournalBackend {
             }
             obs_trace::stamp_current(obs_trace::Stage::Fsynced);
         }
-        if let Err(e) = inner.gate.wait_replicated(idx, gen, end) {
-            inner.abort_in_flight(idx);
-            return Err(e);
-        }
-        if inner.gate.armed() {
-            // Only stamp when the gate actually waited for followers; an
-            // async-replication append has no repl-ack stage.
-            obs_trace::stamp_current(obs_trace::Stage::ReplAcked);
+        match inner.gate.wait_replicated(idx, gen, end) {
+            Ok(acks) => {
+                if !acks.is_empty() {
+                    // Only stamp when the gate actually waited for
+                    // followers; an async-replication append has no
+                    // repl-ack stage. Each follower's first-cover latency
+                    // is stitched into the request trace as its ack span.
+                    obs_trace::stamp_current(obs_trace::Stage::ReplAcked);
+                    if let Some(t) = obs_trace::current() {
+                        for (peer, us) in &acks {
+                            t.annotate_follower_ack(peer, *us);
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                inner.abort_in_flight(idx);
+                return Err(e);
+            }
         }
         Ok(())
     }
@@ -2329,17 +2370,19 @@ mod tests {
     #[test]
     fn repl_gate_counts_acks_and_times_out() {
         let gate = ReplGate::new();
-        // Async mode: no wait at all.
-        gate.wait_replicated(0, 0, 100).unwrap();
+        // Async mode: no wait at all, no ack spans.
+        assert!(gate.wait_replicated(0, 0, 100).unwrap().is_empty());
         gate.set_min_sync(1);
-        gate.register(7, vec![(0, 0); SHARDS]);
+        gate.register(7, "f7:9090".to_string(), vec![(0, 0); SHARDS]);
         // Acked through (0, 50): a record ending at 40 is covered, one at
         // 60 is not (and times out — exercised with a tiny custom wait via
         // the public API would stall 5s, so only the covered path runs).
         let mut cursors = vec![(0, 0); SHARDS];
         cursors[3] = (0, 50);
         gate.record_ack(7, &cursors);
-        gate.wait_replicated(3, 0, 40).unwrap();
+        let acks = gate.wait_replicated(3, 0, 40).unwrap();
+        assert_eq!(acks.len(), 1);
+        assert_eq!(acks[0].0, "f7:9090");
         gate.wait_replicated(3, 0, 50).unwrap();
         // A newer generation covers everything earlier.
         cursors[3] = (1, 0);

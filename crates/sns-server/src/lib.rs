@@ -72,6 +72,7 @@ pub mod session;
 pub mod stats;
 pub mod store;
 pub mod threadpool;
+pub mod timeline;
 
 use std::net::TcpListener;
 use std::path::PathBuf;
@@ -162,6 +163,12 @@ pub struct ServerConfig {
     /// Requests slower than this end-to-end land in the flight
     /// recorder's slow ring and emit a `slow_request` log record.
     pub slow_ms: u64,
+    /// Stall-watchdog threshold: an in-flight request older than this is
+    /// snapshotted into the flight recorder — stage stamps so far, queue
+    /// depth, reactor, degraded flag — and logged as `stall_detected`,
+    /// *while* it is still wedged (0 disables; requires
+    /// [`trace`](ServerConfig::trace)).
+    pub stall_ms: u64,
     /// Deterministic fault-injection plan (`--fault-plan` /
     /// `SNS_FAULT_PLAN`), e.g. `journal.write=enospc@3..;seed=7`. Only
     /// honored in debug builds — [`Server::bind`] refuses it in release,
@@ -191,6 +198,7 @@ impl Default for ServerConfig {
             replicate_to: 0,
             trace: true,
             slow_ms: 50,
+            stall_ms: 1000,
             fault_spec: None,
         }
     }
@@ -310,14 +318,20 @@ impl Server {
             None => SessionStore::new(config.max_sessions),
         };
         let repl = Arc::new(ReplControl::new(config.follow.is_some()));
+        let timelines = Arc::new(timeline::Timelines::new());
+        store.set_timelines(Arc::clone(&timelines));
         let state = Arc::new(ServerState {
             store,
             stats: ServerStats::with_reactors(reactors),
-            telemetry: routes::Telemetry::new(
+            telemetry: routes::Telemetry::with_cluster(
                 config.trace,
                 sns_obs::flight::DEFAULT_CAPACITY,
                 config.slow_ms.saturating_mul(1_000),
+                config.stall_ms.saturating_mul(1_000),
+                reactors,
+                http_addr.to_string(),
             ),
+            timelines,
             started: Instant::now(),
             max_sessions_per_ip: config.max_sessions_per_ip,
             max_durable_per_ip: config.max_durable_per_ip,

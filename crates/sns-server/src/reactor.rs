@@ -564,6 +564,8 @@ pub(crate) struct Reactor {
     opts: ReactorOptions,
     next_sweep: Instant,
     next_gauge_push: Instant,
+    /// Next stall-watchdog pass over this reactor's in-flight traces.
+    next_stall_sweep: Instant,
     /// Round-robin cursor for the fallback acceptor.
     next_handoff: usize,
 }
@@ -628,6 +630,7 @@ impl Reactor {
             opts,
             next_sweep: now,
             next_gauge_push: now,
+            next_stall_sweep: now,
             next_handoff: 0,
         })
     }
@@ -665,6 +668,7 @@ impl Reactor {
                 self.enter_drain();
             }
             self.sweep_deadlines();
+            self.sweep_stalls();
             self.push_gauges();
             if self.draining && self.in_flight == 0 && self.conns.is_empty() {
                 self.push_gauges_now();
@@ -1033,6 +1037,13 @@ impl Reactor {
         match self.pool.try_execute(job) {
             Ok(()) => {
                 self.in_flight += 1;
+                // Register with the stall watchdog for as long as the
+                // request is queued or executing; untracked when its
+                // completion reaches this reactor (write-phase stalls are
+                // already bounded by write deadlines).
+                if let Some(t) = &request_trace {
+                    self.state.telemetry.track(self.index, t);
+                }
                 if let Some(conn) = self.conns.get_mut(&token) {
                     conn.phase = Phase::Dispatched;
                     conn.deadline = None;
@@ -1178,6 +1189,9 @@ impl Reactor {
         let done = std::mem::take(&mut *self.notifier.done.lock().expect("completion lock"));
         for completion in done {
             self.in_flight -= 1;
+            if let Some(t) = &completion.trace {
+                self.state.telemetry.untrack(self.index, t.id);
+            }
             // The connection may have died while its request was being
             // processed; the response is then dropped on the floor.
             if self.conns.contains_key(&completion.token) {
@@ -1235,6 +1249,29 @@ impl Reactor {
                 CloseWhy::TimedOut
             };
             self.close(token, why);
+        }
+    }
+
+    /// The stall watchdog: snapshots any in-flight trace older than the
+    /// configured threshold into the flight recorder (with queue depth
+    /// and the degraded flag) so a wedged request is inspectable *while*
+    /// it is wedged, not only after it completes. Paced at a quarter of
+    /// the threshold — the [`MAX_POLL`] wake floor guarantees the
+    /// cadence even on an otherwise idle reactor.
+    fn sweep_stalls(&mut self) {
+        let stall_us = self.state.telemetry.stall_us();
+        if stall_us == 0 || Instant::now() < self.next_stall_sweep {
+            return;
+        }
+        let period = Duration::from_micros((stall_us / 4).max(50_000));
+        self.next_stall_sweep = Instant::now() + period;
+        let stalled = self.state.telemetry.sweep_stalls(
+            self.index,
+            self.pool.queued() as u64,
+            self.state.store.backend().degraded(),
+        );
+        if stalled > 0 {
+            self.state.stats.record_stalls(stalled);
         }
     }
 

@@ -13,13 +13,26 @@
 //! the journal's own framing — whose payload is a JSON object tagged `t`:
 //!
 //! ```text
-//! follower → leader   {"t":"hello","cursors":[[gen,bytes] × 16]}
+//! follower → leader   {"t":"hello","v":2,"node":"<follower http addr>",
+//!                      "cursors":[[gen,bytes] × 16]}
 //! leader  → follower  {"t":"welcome","http":"<leader http addr>","shards":16}
 //! leader  → follower  {"t":"snap","shard":i,"gen":g,"bytes":b,
 //!                      "sessions":[{"id":..,"code":..,"owner":..?},..]}
-//! leader  → follower  {"t":"rec","shard":i,"gen":g,"end":e,"op":{..}}
-//! follower → leader   {"t":"ack","cursors":[[gen,bytes] × 16],"applied":n}
+//! leader  → follower  {"t":"rec","shard":i,"gen":g,"end":e,
+//!                      "trace":{"id":n,"node":"<leader>"}?,"op":{..}}
+//! follower → leader   {"t":"ack","cursors":[[gen,bytes] × 16],"applied":n,
+//!                      "trace":{"apply_us":u}?}
 //! ```
+//!
+//! The `v`, `node`, and `trace` fields are protocol-v2 additions, all
+//! optional: a v1 peer simply never sends or reads them, so mixed-version
+//! pairs interoperate. `node` names the follower for the leader's
+//! per-peer gauges (`sns_repl_follower_lag_records{peer}`); absent, the
+//! socket's peer address stands in. `trace` on a `rec` carries the
+//! originating request's trace id so the follower can open a *child span*
+//! for the apply (visible on its `/debug/traces`); `trace` on an `ack`
+//! reports the last apply's duration, which feeds
+//! `sns_repl_apply_us{peer}` on the leader.
 //!
 //! Per shard, the leader either *tails* — streams journal records from
 //! the follower's cursor, each a verbatim journal record (`op`) with the
@@ -77,6 +90,7 @@ use std::time::{Duration, Instant, SystemTime};
 
 use sns_faults::{FaultAction, Faults, SplitMix64};
 use sns_obs::log::{self as obs_log, Value};
+use sns_obs::trace::{self as obs_trace, TraceCtx};
 
 use crate::journal::{self, crc32, read_frames, JournalInner, OwnedOp};
 use crate::json::{self, Json};
@@ -458,7 +472,7 @@ impl ReplControl {
 // ---------------------------------------------------------------------------
 
 /// Leader-side replication gauges, published on `/stats`.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ReplLeaderGauges {
     /// Followers currently connected.
     pub followers_connected: u64,
@@ -469,13 +483,23 @@ pub struct ReplLeaderGauges {
     /// Milliseconds since the most recent ack from any follower
     /// (0 when no follower is connected).
     pub last_ack_ms: f64,
+    /// Per-follower `(peer, lag_records, apply_us)` — the labeled rows
+    /// behind `sns_repl_follower_lag_records{peer}` and
+    /// `sns_repl_apply_us{peer}`.
+    pub per_follower: Vec<(String, u64, u64)>,
 }
 
 struct FollowerInfo {
+    /// Label for per-peer metric families: the follower's self-reported
+    /// `node` from its v2 hello, or the socket peer address.
+    peer: String,
     sent_records: u64,
     acked_records: u64,
     acked: Vec<(u64, u64)>,
     last_ack: Instant,
+    /// The follower's last reported apply duration (µs), from the
+    /// optional `trace` field on its acks.
+    apply_us: u64,
 }
 
 /// The leader's replication hub: the listener, one streamer + ack-reader
@@ -576,6 +600,8 @@ impl ReplHub {
                 .sum();
             g.repl_lag_records = g.repl_lag_records.max(lag_records);
             g.repl_lag_bytes = g.repl_lag_bytes.max(lag_bytes);
+            g.per_follower
+                .push((info.peer.clone(), lag_records, info.apply_us));
             let since = info.last_ack.elapsed();
             freshest = Some(freshest.map_or(since, |f| f.min(since)));
         }
@@ -589,12 +615,20 @@ impl ReplHub {
         if let Some(cursors) = &cursors {
             self.inner.gate.record_ack(id, cursors);
         }
+        let apply_us = msg
+            .get("trace")
+            .and_then(|t| t.get("apply_us"))
+            .and_then(Json::as_f64)
+            .map(|v| v as u64);
         let mut followers = self.followers.lock().expect("followers lock");
         if let Some(info) = followers.get_mut(&id) {
             info.acked_records = applied;
             info.last_ack = Instant::now();
             if let Some(cursors) = cursors {
                 info.acked = cursors;
+            }
+            if let Some(us) = apply_us {
+                info.apply_us = us;
             }
         }
     }
@@ -687,19 +721,32 @@ fn serve_follower_inner(hub: &Arc<ReplHub>, stream: TcpStream, peer: SocketAddr)
     } else {
         claimed
     };
-    hub.inner.gate.register(id, vouched.clone());
+    // The follower's self-reported identity (v2 hello) labels its
+    // per-peer gauges and its ack spans on leader traces; a v1 follower
+    // is labeled by its socket address.
+    let node = hello
+        .get("node")
+        .and_then(Json::as_str)
+        .filter(|n| !n.is_empty())
+        .map_or_else(|| peer.to_string(), str::to_string);
+    hub.inner.gate.register(id, node.clone(), vouched.clone());
     hub.followers.lock().expect("followers lock").insert(
         id,
         FollowerInfo {
+            peer: node.clone(),
             sent_records: 0,
             acked_records: 0,
             acked: vouched,
             last_ack: Instant::now(),
+            apply_us: 0,
         },
     );
     obs_log::info(
         "repl_follower_connected",
-        &[("peer", Value::Str(&peer.to_string()))],
+        &[
+            ("peer", Value::Str(&peer.to_string())),
+            ("node", Value::Str(&node)),
+        ],
     );
 
     // Ack reader: a dedicated thread so acks flow while the streamer
@@ -808,17 +855,27 @@ fn stream_to_follower(
                     .ok()
                     .and_then(|t| json::parse(t).ok())
                     .ok_or_else(|| io::Error::other("journal record is not JSON"))?;
-                write_msg_injected(
-                    writer,
-                    &Json::obj([
-                        ("t", Json::str("rec")),
-                        ("shard", Json::Num(idx as f64)),
-                        ("gen", Json::Num(lgen as f64)),
-                        ("end", Json::Num(at as f64)),
-                        ("op", op),
-                    ]),
-                    &hub.faults,
-                )?;
+                // Journal records carry the originating request's trace
+                // id (`tr`, spliced in at append time); lift it to a
+                // frame-level trace context so the follower can open a
+                // child span without understanding op encodings.
+                let mut rec = vec![
+                    ("t", Json::str("rec")),
+                    ("shard", Json::Num(idx as f64)),
+                    ("gen", Json::Num(lgen as f64)),
+                    ("end", Json::Num(at as f64)),
+                ];
+                if let Some(tr) = op.get("tr").and_then(Json::as_f64) {
+                    rec.push((
+                        "trace",
+                        Json::obj([
+                            ("id", Json::Num(tr)),
+                            ("node", Json::str(hub.http_addr.clone())),
+                        ]),
+                    ));
+                }
+                rec.push(("op", op));
+                write_msg_injected(writer, &Json::obj(rec), &hub.faults)?;
                 sent_records += 1;
             }
             cursors[idx] = (lgen, lbytes);
@@ -1000,6 +1057,8 @@ fn apply_stream(
     // credential: a replicated pair shares one token.
     let mut hello = vec![
         ("t", Json::str("hello")),
+        ("v", Json::Num(2.0)),
+        ("node", Json::str(state.telemetry.node().to_string())),
         ("cursors", cursors_json(cursors)),
     ];
     if *resync {
@@ -1045,6 +1104,10 @@ fn apply_stream(
     let mut applied = 0u64; // rec messages applied on this connection
     let mut unacked = 0u64;
     let mut last_ack = Instant::now();
+    // Child spans opened for traced `rec` applies; they finish (and land
+    // in this node's flight recorder) when the covering ack goes out —
+    // the span's last stamp is literally "ack sent".
+    let mut spans = PendingSpans::default();
     // A requested resync stays requested until this connection has
     // delivered a snapshot for every shard (under resync the leader
     // snapshots all of them, empty ones included) — a connection that
@@ -1062,7 +1125,15 @@ fn apply_stream(
                         *resync = false;
                     }
                 }
-                apply_msg(state, control, &msg, cursors, known, &mut applied)?;
+                apply_msg(
+                    state,
+                    control,
+                    &msg,
+                    cursors,
+                    known,
+                    &mut applied,
+                    &mut spans,
+                )?;
                 unacked += 1;
             }
             None => {
@@ -1070,7 +1141,7 @@ fn apply_stream(
                 // ack (sync-mode leaders are waiting) and to honor a
                 // promotion request (the drain is complete).
                 if control.promotion_requested() {
-                    let _ = send_ack(&mut writer, cursors, applied);
+                    let _ = send_ack(&mut writer, cursors, applied, &mut spans, state);
                     control.complete_promotion();
                     return Ok(());
                 }
@@ -1078,22 +1149,47 @@ fn apply_stream(
         }
         let quiet = !reader.has_buffered();
         if (unacked > 0 && (quiet || unacked >= 64)) || last_ack.elapsed() >= ACK_HEARTBEAT {
-            send_ack(&mut writer, cursors, applied)?;
+            send_ack(&mut writer, cursors, applied, &mut spans, state)?;
             unacked = 0;
             last_ack = Instant::now();
         }
     }
 }
 
-fn send_ack(writer: &mut TcpStream, cursors: &[(u64, u64)], applied: u64) -> io::Result<()> {
-    write_msg(
-        writer,
-        &Json::obj([
-            ("t", Json::str("ack")),
-            ("cursors", cursors_json(cursors)),
-            ("applied", Json::Num(applied as f64)),
-        ]),
-    )
+/// Child spans waiting for their covering ack, plus the duration of the
+/// most recent apply (reported back to the leader on that ack).
+#[derive(Default)]
+struct PendingSpans {
+    pending: Vec<Arc<sns_obs::Trace>>,
+    last_apply_us: u64,
+}
+
+fn send_ack(
+    writer: &mut TcpStream,
+    cursors: &[(u64, u64)],
+    applied: u64,
+    spans: &mut PendingSpans,
+    state: &Arc<ServerState>,
+) -> io::Result<()> {
+    let mut msg = vec![
+        ("t", Json::str("ack")),
+        ("cursors", cursors_json(cursors)),
+        ("applied", Json::Num(applied as f64)),
+    ];
+    if spans.last_apply_us > 0 {
+        msg.push((
+            "trace",
+            Json::obj([("apply_us", Json::Num(spans.last_apply_us as f64))]),
+        ));
+    }
+    write_msg(writer, &Json::obj(msg))?;
+    // The ack is on the wire: every pending child span is complete.
+    for t in spans.pending.drain(..) {
+        t.stamp(obs_trace::Stage::ResponseWritten);
+        let done = state.telemetry.finish(&t);
+        state.stats.record_trace(&done);
+    }
+    Ok(())
 }
 
 fn apply_msg(
@@ -1103,6 +1199,7 @@ fn apply_msg(
     cursors: &mut [(u64, u64)],
     known: &mut [HashSet<String>],
     applied: &mut u64,
+    spans: &mut PendingSpans,
 ) -> io::Result<()> {
     // `repl.apply`: stall the follower (its acks stop flowing, sync-mode
     // leaders feel the lag) or fail the stream to force a reconnect.
@@ -1149,6 +1246,9 @@ fn apply_msg(
             }
             for (id, (code, owner)) in &desired {
                 ensure_session(state, id, code, *owner)?;
+                state
+                    .timelines
+                    .record(id, crate::timeline::Kind::Resync, "");
             }
             known[idx] = desired.into_keys().collect();
             cursors[idx] = (gen, bytes);
@@ -1173,6 +1273,26 @@ fn apply_msg(
                     "record shard out of range",
                 ));
             }
+            // A traced record opens a *child span*: recv → (journal,
+            // fsync — stamped by the local append through the
+            // thread-local) → LiveSync oracle → ack-sent. It carries the
+            // originating trace id + node, so a cluster-wide request can
+            // be stitched from each node's `/debug/traces`.
+            let child = msg.get("trace").and_then(|t| {
+                let tid = t.get("id").and_then(Json::as_f64)? as u64;
+                let node = t.get("node").and_then(Json::as_str).unwrap_or("");
+                state.telemetry.start_child_trace(
+                    "REPL",
+                    "/repl/apply",
+                    TraceCtx {
+                        origin_trace: tid,
+                        origin_node: node.to_string(),
+                    },
+                )
+            });
+            let began = Instant::now();
+            let _guard = child.as_ref().map(obs_trace::set_current);
+            obs_trace::stamp_current(obs_trace::Stage::ParseDone);
             let op = msg.get("op").and_then(journal::decode_op_value);
             match op {
                 Some(OwnedOp::Create(id, source, owner)) => {
@@ -1201,6 +1321,14 @@ fn apply_msg(
             cursors[idx] = (gen, end);
             *applied += 1;
             control.records_applied.fetch_add(1, Ordering::Relaxed);
+            // The LiveSync commit oracle has run (inside the session
+            // apply); the span now waits on its ack.
+            if let Some(t) = child {
+                t.stamp(obs_trace::Stage::PrepareDone);
+                t.set_status(200);
+                spans.last_apply_us = began.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                spans.pending.push(t);
+            }
         }
         // Unknown tags from a newer leader are skippable only if they
         // carry no positional meaning; nothing defined today does, so a

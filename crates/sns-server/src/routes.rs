@@ -1,14 +1,15 @@
 //! Request routing: URL + JSON glue between HTTP and the session store.
 
+use std::collections::HashMap;
 use std::net::IpAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use sns_obs::trace::Trace;
+use sns_obs::trace::{Trace, TraceCtx};
 use sns_obs::{log as obs_log, FlightRecorder};
 use sns_svg::{AttrRef, ShapeId, Zone};
-use sns_sync::OutputEdit;
+use sns_sync::{LiveStats, OutputEdit};
 
 use crate::http::{Request, Response};
 use crate::json::{self, Json};
@@ -16,6 +17,7 @@ use crate::replicate::ReplControl;
 use crate::session::Session;
 use crate::stats::{MirrorSnapshot, ServerStats};
 use crate::store::{InsertError, SessionStore};
+use crate::timeline::{Kind as TimelineKind, Timelines};
 
 /// Identity of the reactor a request arrived on, threaded through
 /// dispatch so session creation can mint ids whose store shard is
@@ -43,16 +45,52 @@ pub struct Telemetry {
     /// Completed-trace rings behind `GET /debug/traces`.
     pub flight: FlightRecorder,
     next_trace_id: AtomicU64,
+    /// This node's identity (resolved HTTP listen address) — carried as
+    /// the origin node in propagated replication trace contexts.
+    node: String,
+    /// Stall-watchdog threshold in microseconds (0 disables the sweep).
+    stall_us: u64,
+    /// In-flight pooled traces, one slot per reactor so each reactor
+    /// sweeps only its own entries without cross-reactor contention.
+    in_flight: Vec<Mutex<HashMap<u64, Arc<Trace>>>>,
 }
 
 impl Telemetry {
     /// Creates telemetry state; `enabled = false` (`--no-trace`) makes
     /// [`start_trace`](Telemetry::start_trace) a no-op returning `None`.
+    /// Single-reactor defaults; servers use
+    /// [`with_cluster`](Telemetry::with_cluster).
     pub fn new(enabled: bool, ring_capacity: usize, slow_threshold_us: u64) -> Telemetry {
+        Telemetry::with_cluster(
+            enabled,
+            ring_capacity,
+            slow_threshold_us,
+            1_000_000,
+            1,
+            "local".to_string(),
+        )
+    }
+
+    /// Full constructor: `stall_us` arms the watchdog (0 disables),
+    /// `reactors` sizes the in-flight registry, `node` names this process
+    /// in propagated trace contexts.
+    pub fn with_cluster(
+        enabled: bool,
+        ring_capacity: usize,
+        slow_threshold_us: u64,
+        stall_us: u64,
+        reactors: usize,
+        node: String,
+    ) -> Telemetry {
         Telemetry {
             enabled,
             flight: FlightRecorder::new(ring_capacity, slow_threshold_us),
             next_trace_id: AtomicU64::new(1),
+            node,
+            stall_us,
+            in_flight: (0..reactors.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
         }
     }
 
@@ -66,9 +104,97 @@ impl Telemetry {
         Some(Arc::new(Trace::new(id, method, path)))
     }
 
+    /// Allocates a *child* trace descending from a cross-node parent
+    /// context (a follower's apply span for a replicated record).
+    pub fn start_child_trace(&self, method: &str, path: &str, ctx: TraceCtx) -> Option<Arc<Trace>> {
+        if !self.enabled {
+            return None;
+        }
+        let id = self.next_trace_id.fetch_add(1, Ordering::Relaxed);
+        Some(Arc::new(Trace::with_ctx(id, method, path, Some(ctx))))
+    }
+
     /// Whether traces are being allocated.
     pub fn enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// This node's identity in propagated trace contexts.
+    pub fn node(&self) -> &str {
+        &self.node
+    }
+
+    /// The stall-watchdog threshold in microseconds (0 = disabled).
+    pub fn stall_us(&self) -> u64 {
+        self.stall_us
+    }
+
+    /// Registers a pooled in-flight trace with `reactor`'s watchdog slot.
+    pub fn track(&self, reactor: usize, trace: &Arc<Trace>) {
+        if self.stall_us == 0 {
+            return;
+        }
+        self.in_flight[reactor % self.in_flight.len()]
+            .lock()
+            .expect("in-flight slot lock")
+            .insert(trace.id, Arc::clone(trace));
+    }
+
+    /// Drops a trace from the watchdog registry (its completion reached
+    /// the reactor — response-write stalls are covered by write
+    /// deadlines, not the watchdog).
+    pub fn untrack(&self, reactor: usize, id: u64) {
+        if self.stall_us == 0 {
+            return;
+        }
+        self.in_flight[reactor % self.in_flight.len()]
+            .lock()
+            .expect("in-flight slot lock")
+            .remove(&id);
+    }
+
+    /// Sweeps `reactor`'s in-flight traces: any request older than the
+    /// stall threshold is snapshotted once — stage stamps so far plus
+    /// queue depth, reactor id, and the degraded flag — into the flight
+    /// recorder, and a `stall_detected` log record fires. Returns how
+    /// many new stalls were caught.
+    pub fn sweep_stalls(&self, reactor: usize, queue_depth: u64, degraded: bool) -> u64 {
+        if self.stall_us == 0 {
+            return 0;
+        }
+        let mut wedged = Vec::new();
+        {
+            let slot = self.in_flight[reactor % self.in_flight.len()]
+                .lock()
+                .expect("in-flight slot lock");
+            for t in slot.values() {
+                if t.elapsed_us() >= self.stall_us && t.mark_stalled() {
+                    wedged.push(Arc::clone(t));
+                }
+            }
+        }
+        let n = wedged.len() as u64;
+        for t in wedged {
+            let mut snap = t.finish();
+            snap.extra = format!(
+                ",\"stalled\":true,\"reactor\":{reactor},\"queue_depth\":{queue_depth},\"degraded\":{degraded}"
+            );
+            let elapsed = snap.total_us.max(t.elapsed_us());
+            self.flight.record(snap);
+            obs_log::warn(
+                "stall_detected",
+                &[
+                    ("id", obs_log::Value::U64(t.id)),
+                    ("method", obs_log::Value::Str(&t.method)),
+                    ("path", obs_log::Value::Str(&t.path)),
+                    ("elapsed_us", obs_log::Value::U64(elapsed)),
+                    ("reactor", obs_log::Value::U64(reactor as u64)),
+                    ("queue_depth", obs_log::Value::U64(queue_depth)),
+                    ("degraded", obs_log::Value::Bool(degraded)),
+                ],
+            );
+        }
+        n
     }
 
     /// Records a completed trace into the flight recorder; slow traces
@@ -99,6 +225,8 @@ pub struct ServerState {
     pub stats: ServerStats,
     /// Tracing + flight-recorder state.
     pub telemetry: Telemetry,
+    /// Per-session event timelines (`GET /debug/sessions/:id/timeline`).
+    pub timelines: Arc<Timelines>,
     /// Server start time (for uptime reporting).
     pub started: Instant,
     /// Live sessions one IP may hold before `POST /sessions` answers 429
@@ -254,6 +382,14 @@ pub fn dispatch(
     // because the backend's probe re-arms appends on its own once the
     // disk recovers (see docs/robustness.md).
     if state.store.backend().degraded() && is_write(&request.method, &segments) {
+        // Terminal stamp: a rejected write never reaches the journal
+        // stages but must not vanish from the flight recorder.
+        sns_obs::trace::stamp_current(sns_obs::trace::Stage::RejectedDegraded);
+        if let ["sessions", id, ..] = segments.as_slice() {
+            state
+                .timelines
+                .record(id, TimelineKind::RejectedDegraded, "");
+        }
         return error_response(
             503,
             "journal degraded: node is read-only until the disk recovers",
@@ -266,12 +402,18 @@ pub fn dispatch(
             Json::obj([
                 ("ok", Json::Bool(true)),
                 ("degraded", Json::Bool(state.store.backend().degraded())),
+                ("version", Json::str(crate::stats::VERSION)),
+                ("git_sha", Json::str(crate::stats::GIT_SHA)),
             ]),
         ),
         ("POST", ["promote"]) => promote(state),
         ("GET", ["stats"]) => stats(state),
         ("GET", ["metrics"]) => metrics(state),
         ("GET", ["debug", "traces"]) => debug_traces(state),
+        ("GET", ["debug", "sessions", id, "timeline"]) => match state.timelines.render_jsonl(id) {
+            Some(body) => Response::with_body(200, "application/x-ndjson", body),
+            None => error_response(404, "no timeline for that session"),
+        },
         ("POST", ["sessions"]) => create_session(state, &request.body, peer, reactor),
         ("GET", ["sessions", id, "canvas"]) => with_session(state, id, |s| Ok(s.canvas_json())),
         ("GET", ["sessions", id, "code"]) => with_session(state, id, |s| {
@@ -279,13 +421,18 @@ pub fn dispatch(
         }),
         ("PUT", ["sessions", id, "code"]) => set_code(state, id, &request.body),
         ("POST", ["sessions", id, "drag"]) => drag(state, id, &request.body),
-        ("POST", ["sessions", id, "commit"]) => with_session(state, id, |s| {
-            s.commit()?;
-            Ok(Json::obj([("code", Json::str(s.code()))]))
-        }),
+        ("POST", ["sessions", id, "commit"]) => {
+            with_session_ev(state, id, Some(TimelineKind::Commit), |s| {
+                s.commit()?;
+                Ok(Json::obj([("code", Json::str(s.code()))]))
+            })
+        }
         ("POST", ["sessions", id, "reconcile"]) => reconcile(state, id, &request.body),
         ("DELETE", ["sessions", id]) => match state.store.remove(id) {
-            Ok(true) => ok_json(200, Json::obj([("deleted", Json::Bool(true))])),
+            Ok(true) => {
+                state.timelines.record(id, TimelineKind::Deleted, "");
+                ok_json(200, Json::obj([("deleted", Json::Bool(true))]))
+            }
             Ok(false) => error_response(404, "no such session"),
             Err(e) => error_response(500, &format!("durability failure: {e}")),
         },
@@ -332,8 +479,10 @@ fn mirror(state: &Arc<ServerState>) -> MirrorSnapshot {
         repl_snapshots_applied: repl_apply.snapshots_applied,
         repl_connects: repl_apply.connects,
         repl_reconnect_backoff_ms: repl_apply.reconnect_backoff_ms,
+        follower_peers: repl_leader.per_follower,
         degraded: journal.degraded_shards > 0,
         slow_requests: state.telemetry.flight.slow_count(),
+        timeline_events: state.timelines.totals(),
         uptime_secs: state.started.elapsed().as_secs_f64(),
     }
 }
@@ -438,6 +587,21 @@ fn stats(state: &Arc<ServerState>) -> Response {
                 Json::Num(state.stats.quota_rejections() as f64),
             ),
             ("slow_requests", Json::Num(m.slow_requests as f64)),
+            ("stalls", Json::Num(state.stats.stalls() as f64)),
+            (
+                "timeline_sessions",
+                Json::Num(state.timelines.tracked_sessions() as f64),
+            ),
+            (
+                "timeline_events",
+                Json::Obj(
+                    TimelineKind::ALL
+                        .iter()
+                        .zip(m.timeline_events.iter())
+                        .map(|(k, &n)| (k.name().to_string(), Json::Num(n as f64)))
+                        .collect(),
+                ),
+            ),
             ("p50_ms", Json::Num(state.stats.quantile_ms(0.50))),
             ("p99_ms", Json::Num(state.stats.quantile_ms(0.99))),
             (
@@ -567,6 +731,11 @@ fn create_session(
                 }
             }
             state.stats.record_live(live_delta);
+            state.timelines.record(
+                &id,
+                TimelineKind::Created,
+                prepare_detail(TimelineKind::Created, &live_delta),
+            );
             ok_json(
                 201,
                 Json::obj([
@@ -584,6 +753,19 @@ fn create_session(
 fn with_session(
     state: &Arc<ServerState>,
     id: &str,
+    f: impl FnOnce(&mut Session) -> Result<Json, crate::session::SessionError>,
+) -> Response {
+    with_session_ev(state, id, None, f)
+}
+
+/// [`with_session`] plus a timeline event: when `f` succeeds and `ev` is
+/// set, the session's timeline records the event with a detail string
+/// derived from the live-stats delta (which prepare tier ran, whether a
+/// fallback fired).
+fn with_session_ev(
+    state: &Arc<ServerState>,
+    id: &str,
+    ev: Option<TimelineKind>,
     f: impl FnOnce(&mut Session) -> Result<Json, crate::session::SessionError>,
 ) -> Response {
     let Some(session) = state.store.get(id) else {
@@ -609,10 +791,54 @@ fn with_session(
     }
     guard.requests += 1;
     let result = f(&mut guard);
-    state.stats.record_live(guard.live_stats_delta());
+    let delta = guard.live_stats_delta();
+    drop(guard);
+    state.stats.record_live(delta);
+    if result.is_ok() {
+        if let Some(kind) = ev {
+            state
+                .timelines
+                .record(id, kind, prepare_detail(kind, &delta));
+        }
+    }
     match result {
         Ok(v) => ok_json(200, v),
         Err(e) => error_response(e.status, &e.msg),
+    }
+}
+
+/// Derives a timeline detail string from a live-stats delta: the prepare
+/// tier the operation took and any fallback reason. Drags carry the eval
+/// path instead (canvas patching vs full re-eval).
+fn prepare_detail(kind: TimelineKind, d: &LiveStats) -> String {
+    if kind == TimelineKind::Drag {
+        return if d.full_evals > 0 {
+            "eval=full".to_string()
+        } else {
+            "eval=fast".to_string()
+        };
+    }
+    let tier = if d.partial_prepares > 0 {
+        "partial"
+    } else if d.incremental_prepares > 0 {
+        "incremental"
+    } else if d.full_prepares > 0 {
+        "full"
+    } else {
+        "none"
+    };
+    let fallback = if d.fallback_escaped > 0 {
+        Some("escaped")
+    } else if d.fallback_structural > 0 {
+        Some("structural")
+    } else if d.fallback_reconcile > 0 {
+        Some("reconcile")
+    } else {
+        None
+    };
+    match fallback {
+        Some(f) => format!("tier={tier} fallback={f}"),
+        None => format!("tier={tier}"),
     }
 }
 
@@ -628,7 +854,9 @@ fn set_code(state: &Arc<ServerState>, id: &str, body: &[u8]) -> Response {
     else {
         return error_response(400, "body must carry `source`");
     };
-    with_session(state, id, |s| s.set_code(&source))
+    with_session_ev(state, id, Some(TimelineKind::SetCode), |s| {
+        s.set_code(&source)
+    })
 }
 
 fn field_f64(body: &Json, key: &str) -> Result<f64, Response> {
@@ -657,7 +885,9 @@ fn drag(state: &Arc<ServerState>, id: &str, body: &[u8]) -> Response {
         (Ok(dx), Ok(dy)) => (dx, dy),
         (Err(resp), _) | (_, Err(resp)) => return resp,
     };
-    with_session(state, id, |s| s.drag(shape, zone, dx, dy))
+    with_session_ev(state, id, Some(TimelineKind::Drag), |s| {
+        s.drag(shape, zone, dx, dy)
+    })
 }
 
 /// Attribute whitelist shared with the CLI's `reconcile` command.
@@ -708,5 +938,7 @@ fn reconcile(state: &Arc<ServerState>, id: &str, body: &[u8]) -> Response {
             new_value,
         });
     }
-    with_session(state, id, |s| s.reconcile(&edits))
+    with_session_ev(state, id, Some(TimelineKind::Commit), |s| {
+        s.reconcile(&edits)
+    })
 }

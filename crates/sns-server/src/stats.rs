@@ -12,8 +12,16 @@
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use sns_obs::metrics::{Counter, Gauge, Histogram, Registry};
+use sns_obs::metrics::{Counter, DynGaugeVec, Gauge, Histogram, Registry};
 use sns_obs::trace::{CompletedTrace, Stage};
+
+use crate::timeline;
+
+/// Crate version baked into `sns_build_info` and `/healthz`.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// Short git sha stamped by `build.rs` (`unknown` outside a checkout).
+pub const GIT_SHA: &str = env!("SNS_GIT_SHA");
 
 /// Point-in-time connection gauges published by the reactor.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -28,7 +36,7 @@ pub struct ConnGauges {
 
 /// A scrape-time snapshot of values owned by other subsystems, mirrored
 /// into the registry by [`ServerStats::refresh`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct MirrorSnapshot {
     /// Resident sessions.
     pub sessions: u64,
@@ -69,11 +77,17 @@ pub struct MirrorSnapshot {
     /// The reconnect delay the follower is currently serving, in
     /// milliseconds (0 while connected).
     pub repl_reconnect_backoff_ms: u64,
+    /// Per-connected-follower `(peer, lag in records, last apply µs)` —
+    /// feeds the labeled `sns_repl_follower_lag_records{peer}` /
+    /// `sns_repl_apply_us{peer}` families (leader side).
+    pub follower_peers: Vec<(String, u64, u64)>,
     /// Whether the journal has degraded to read-only after persistent
     /// disk failures.
     pub degraded: bool,
     /// Requests slower than the `--slow-ms` threshold.
     pub slow_requests: u64,
+    /// Total timeline events recorded, by kind (declaration order).
+    pub timeline_events: [u64; timeline::KINDS],
     /// Seconds since the server started.
     pub uptime_secs: f64,
 }
@@ -138,8 +152,12 @@ pub struct ServerStats {
     repl_snapshots_applied: Arc<Counter>,
     repl_connects: Arc<Counter>,
     repl_reconnect_backoff_ms: Arc<Gauge>,
+    repl_follower_lag_records: Arc<DynGaugeVec>,
+    repl_apply_us: Arc<DynGaugeVec>,
     degraded: Arc<Gauge>,
     slow_requests: Arc<Counter>,
+    stalls: Arc<Counter>,
+    timeline_events: Vec<Arc<Counter>>,
     uptime_seconds: Arc<Gauge>,
 }
 
@@ -320,12 +338,43 @@ impl ServerStats {
                 "sns_degraded",
                 "1 while the journal is degraded to read-only after persistent disk failures.",
             ),
+            repl_follower_lag_records: r.dyn_gauge_vec(
+                "sns_repl_follower_lag_records",
+                "Per-connected-follower replication lag, in journal records.",
+                "peer",
+            ),
+            repl_apply_us: r.dyn_gauge_vec(
+                "sns_repl_apply_us",
+                "Per-connected-follower apply latency self-reported in its last ack, \
+                 in microseconds.",
+                "peer",
+            ),
             slow_requests: r.counter(
                 "sns_slow_requests_total",
                 "Requests slower than the --slow-ms threshold.",
             ),
+            stalls: r.counter(
+                "sns_stalls_total",
+                "In-flight requests the watchdog caught exceeding --stall-ms.",
+            ),
+            timeline_events: r.counter_vec(
+                "sns_timeline_events_total",
+                "Per-session timeline events recorded, by kind.",
+                "kind",
+                timeline::Kind::ALL.iter().map(|k| k.name().to_string()),
+            ),
             uptime_seconds: r.gauge("sns_uptime_seconds", "Seconds since the server started."),
-            registry: r,
+            registry: {
+                r.info(
+                    "sns_build_info",
+                    "Build identity of this binary (value is always 1).",
+                    [
+                        ("version", VERSION.to_string()),
+                        ("git_sha", GIT_SHA.to_string()),
+                    ],
+                );
+                r
+            },
         }
     }
 
@@ -566,7 +615,34 @@ impl ServerStats {
             .set(m.repl_reconnect_backoff_ms as f64);
         self.degraded.set(if m.degraded { 1.0 } else { 0.0 });
         self.slow_requests.set(m.slow_requests);
+        for (c, &n) in self.timeline_events.iter().zip(m.timeline_events.iter()) {
+            c.set(n);
+        }
+        // Per-peer replication families: publish connected followers,
+        // drop series whose peer disconnected so stale labels don't
+        // linger across follower churn.
+        for (peer, lag, apply_us) in &m.follower_peers {
+            self.repl_follower_lag_records.set(peer, *lag as f64);
+            self.repl_apply_us.set(peer, *apply_us as f64);
+        }
+        for (peer, _) in self.repl_follower_lag_records.snapshot() {
+            if !m.follower_peers.iter().any(|(p, _, _)| *p == peer) {
+                self.repl_follower_lag_records.remove(&peer);
+                self.repl_apply_us.remove(&peer);
+            }
+        }
         self.uptime_seconds.set(m.uptime_secs);
+    }
+
+    /// Counts `n` stalls the watchdog caught this sweep.
+    pub fn record_stalls(&self, n: u64) {
+        self.stalls.add(n);
+    }
+
+    /// In-flight requests the watchdog has caught exceeding the stall
+    /// threshold.
+    pub fn stalls(&self) -> u64 {
+        self.stalls.get()
     }
 
     /// Renders every metric as Prometheus text exposition.
@@ -751,10 +827,77 @@ mod tests {
             "sns_journal_bytes",
             "sns_repl_follower",
             "sns_uptime_seconds",
+            "sns_build_info",
+            "sns_stalls_total",
+            "sns_timeline_events_total",
+            "sns_repl_follower_lag_records",
+            "sns_repl_apply_us",
         ] {
             assert!(text.contains(&format!("# TYPE {name} ")), "missing {name}");
         }
         assert!(text.contains("sns_sessions 3"));
         assert!(text.contains("sns_repl_follower 1"));
+        assert!(
+            text.contains(&format!(
+                "sns_build_info{{version=\"{VERSION}\",git_sha=\"{GIT_SHA}\"}} 1"
+            )),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn per_peer_families_follow_the_mirror() {
+        let stats = ServerStats::new();
+        stats.refresh(&MirrorSnapshot {
+            follower_peers: vec![
+                ("10.0.0.2:9090".to_string(), 12, 350),
+                ("10.0.0.3:9090".to_string(), 0, 90),
+            ],
+            ..MirrorSnapshot::default()
+        });
+        let text = stats.render_prometheus();
+        assert!(
+            text.contains("sns_repl_follower_lag_records{peer=\"10.0.0.2:9090\"} 12"),
+            "{text}"
+        );
+        assert!(
+            text.contains("sns_repl_apply_us{peer=\"10.0.0.3:9090\"} 90"),
+            "{text}"
+        );
+        // A disconnected peer's series is dropped on the next refresh.
+        stats.refresh(&MirrorSnapshot {
+            follower_peers: vec![("10.0.0.3:9090".to_string(), 1, 95)],
+            ..MirrorSnapshot::default()
+        });
+        let text = stats.render_prometheus();
+        assert!(!text.contains("10.0.0.2:9090"), "{text}");
+        assert!(
+            text.contains("sns_repl_follower_lag_records{peer=\"10.0.0.3:9090\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn timeline_totals_mirror_into_the_kind_family() {
+        let stats = ServerStats::new();
+        let mut events = [0u64; timeline::KINDS];
+        events[timeline::Kind::Commit as usize] = 7;
+        events[timeline::Kind::RejectedDegraded as usize] = 2;
+        stats.refresh(&MirrorSnapshot {
+            timeline_events: events,
+            ..MirrorSnapshot::default()
+        });
+        stats.record_stalls(3);
+        assert_eq!(stats.stalls(), 3);
+        let text = stats.render_prometheus();
+        assert!(
+            text.contains("sns_timeline_events_total{kind=\"commit\"} 7"),
+            "{text}"
+        );
+        assert!(
+            text.contains("sns_timeline_events_total{kind=\"rejected_degraded\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("sns_stalls_total 3"), "{text}");
     }
 }

@@ -85,6 +85,10 @@ pub struct SessionStore {
     /// Live sessions per creating IP, kept in lockstep with the shards
     /// (incremented under this lock before insert, decremented on remove).
     ip_counts: Mutex<HashMap<IpAddr, usize>>,
+    /// The per-session timeline registry, when the server wired one in:
+    /// demotion and fault-in are store-internal transitions the routes
+    /// layer never sees, so the store records them itself.
+    timelines: std::sync::OnceLock<Arc<crate::timeline::Timelines>>,
 }
 
 impl SessionStore {
@@ -107,6 +111,19 @@ impl SessionStore {
             evictions: AtomicU64::new(0),
             demotions: AtomicU64::new(0),
             ip_counts: Mutex::new(HashMap::new()),
+            timelines: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Wires the timeline registry in (once, at server construction) so
+    /// demotions and fault-ins land on session timelines.
+    pub fn set_timelines(&self, timelines: Arc<crate::timeline::Timelines>) {
+        let _ = self.timelines.set(timelines);
+    }
+
+    fn timeline_event(&self, id: &str, kind: crate::timeline::Kind) {
+        if let Some(tl) = self.timelines.get() {
+            tl.record(id, kind, "");
         }
     }
 
@@ -337,6 +354,8 @@ impl SessionStore {
                             owner: None,
                         },
                     );
+                    drop(shard);
+                    self.timeline_event(id, crate::timeline::Kind::FaultedIn);
                     return Some(arc);
                 }
                 Some(_) => continue, // stale copy; re-materialize
@@ -500,6 +519,7 @@ impl SessionStore {
         }
         if self.backend.durable() && self.backend.contains(&id) {
             self.demotions.fetch_add(1, Ordering::Relaxed);
+            self.timeline_event(&id, crate::timeline::Kind::Demoted);
         } else {
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }

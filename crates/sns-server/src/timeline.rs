@@ -1,0 +1,275 @@
+//! Per-session event timelines.
+//!
+//! Every session accumulates a bounded ring of typed events — commits
+//! with the prepare tier taken and any fallback reason, drag batches
+//! (coalesced), `set_code` with its incremental class, demotion and
+//! fault-in, degraded-window rejections, replication resyncs — served at
+//! `GET /debug/sessions/:id/timeline` as JSONL and summarized in
+//! `/stats`. The registry lives *outside* the session mutexes: reading a
+//! timeline must never block on a wedged session lock, because a wedged
+//! session is exactly when the timeline matters.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// The typed event vocabulary. Adding a kind is append-only: the JSONL
+/// schema names kinds, never indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Kind {
+    /// Session created (journaled or replicated install).
+    Created,
+    /// A commit was applied; detail carries `tier=` and any `fallback=`.
+    Commit,
+    /// A drag batch; consecutive drags coalesce into one event with a
+    /// rising `count`.
+    Drag,
+    /// Program text replaced; detail carries the incremental class.
+    SetCode,
+    /// A write was refused with 503 while the journal was degraded.
+    RejectedDegraded,
+    /// Demoted out of memory to the durable tier.
+    Demoted,
+    /// Faulted back in from the durable tier.
+    FaultedIn,
+    /// Reinstalled by a replication snapshot resync.
+    Resync,
+    /// Session deleted.
+    Deleted,
+}
+
+/// Number of event kinds.
+pub const KINDS: usize = 9;
+
+impl Kind {
+    /// Every kind, in declaration order.
+    pub const ALL: [Kind; KINDS] = [
+        Kind::Created,
+        Kind::Commit,
+        Kind::Drag,
+        Kind::SetCode,
+        Kind::RejectedDegraded,
+        Kind::Demoted,
+        Kind::FaultedIn,
+        Kind::Resync,
+        Kind::Deleted,
+    ];
+
+    /// Stable snake_case name (used in the JSONL schema and `/stats`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Kind::Created => "created",
+            Kind::Commit => "commit",
+            Kind::Drag => "drag",
+            Kind::SetCode => "set_code",
+            Kind::RejectedDegraded => "rejected_degraded",
+            Kind::Demoted => "demoted",
+            Kind::FaultedIn => "faulted_in",
+            Kind::Resync => "resync",
+            Kind::Deleted => "deleted",
+        }
+    }
+}
+
+/// One timeline entry.
+#[derive(Debug, Clone)]
+struct Event {
+    /// Milliseconds since the registry (≈ server) started.
+    at_ms: u64,
+    kind: Kind,
+    detail: String,
+    /// Coalesced repeats (drag batches arrive hundreds at a time).
+    count: u64,
+}
+
+/// A bounded per-session event ring.
+#[derive(Debug, Default)]
+struct Ring {
+    events: VecDeque<Event>,
+    /// `at_ms` of the newest event — eviction drops the coldest session.
+    last_ms: u64,
+}
+
+/// Events kept per session.
+const EVENTS_PER_SESSION: usize = 64;
+/// Sessions tracked per shard before the coldest is dropped.
+const SESSIONS_PER_SHARD: usize = 512;
+/// Registry shards (keyed by FNV of the session id).
+const SHARDS: usize = 16;
+
+/// The per-session timeline registry.
+pub struct Timelines {
+    epoch: Instant,
+    shards: Vec<Mutex<HashMap<String, Ring>>>,
+    totals: [AtomicU64; KINDS],
+}
+
+impl Default for Timelines {
+    fn default() -> Timelines {
+        Timelines::new()
+    }
+}
+
+impl Timelines {
+    /// Creates an empty registry; the clock starts now.
+    pub fn new() -> Timelines {
+        Timelines {
+            epoch: Instant::now(),
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            totals: Default::default(),
+        }
+    }
+
+    fn shard(&self, id: &str) -> &Mutex<HashMap<String, Ring>> {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in id.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        &self.shards[(h as usize) % SHARDS]
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis().min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Records one event on `id`'s timeline. A repeat of the newest
+    /// event (same kind, same detail) coalesces: its count rises and its
+    /// timestamp advances, so a thousand drag frames cost one slot.
+    pub fn record(&self, id: &str, kind: Kind, detail: impl Into<String>) {
+        let detail = detail.into();
+        let at_ms = self.now_ms();
+        self.totals[kind as usize].fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(id).lock().expect("timeline shard lock");
+        if !shard.contains_key(id) && shard.len() >= SESSIONS_PER_SHARD {
+            // Drop the coldest session so the registry stays bounded no
+            // matter how many sessions churn through the process.
+            if let Some(coldest) = shard
+                .iter()
+                .min_by_key(|(_, r)| r.last_ms)
+                .map(|(k, _)| k.clone())
+            {
+                shard.remove(&coldest);
+            }
+        }
+        let ring = shard.entry(id.to_string()).or_default();
+        ring.last_ms = at_ms;
+        if let Some(last) = ring.events.back_mut() {
+            if last.kind == kind && last.detail == detail {
+                last.count += 1;
+                last.at_ms = at_ms;
+                return;
+            }
+        }
+        if ring.events.len() >= EVENTS_PER_SESSION {
+            ring.events.pop_front();
+        }
+        ring.events.push_back(Event {
+            at_ms,
+            kind,
+            detail,
+            count: 1,
+        });
+    }
+
+    /// The JSONL timeline for `id` (oldest first), or `None` when the
+    /// session has no recorded events.
+    pub fn render_jsonl(&self, id: &str) -> Option<String> {
+        let shard = self.shard(id).lock().expect("timeline shard lock");
+        let ring = shard.get(id)?;
+        let mut out = String::new();
+        for e in &ring.events {
+            let mut pairs = vec![
+                ("at_ms", Json::Num(e.at_ms as f64)),
+                ("kind", Json::str(e.kind.name())),
+                ("count", Json::Num(e.count as f64)),
+            ];
+            if !e.detail.is_empty() {
+                pairs.push(("detail", Json::str(e.detail.clone())));
+            }
+            out.push_str(&Json::obj(pairs).to_string());
+            out.push('\n');
+        }
+        Some(out)
+    }
+
+    /// Total events recorded per kind (monotonic, survives ring
+    /// eviction) — mirrored into `sns_timeline_events_total{kind}`.
+    pub fn totals(&self) -> [u64; KINDS] {
+        let mut out = [0u64; KINDS];
+        for (o, t) in out.iter_mut().zip(&self.totals) {
+            *o = t.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Number of sessions currently holding a timeline.
+    pub fn tracked_sessions(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("timeline shard lock").len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_render_as_jsonl_in_order() {
+        let tl = Timelines::new();
+        tl.record("s1", Kind::Created, "");
+        tl.record("s1", Kind::Commit, "tier=full");
+        tl.record("s1", Kind::Commit, "tier=partial");
+        let dump = tl.render_jsonl("s1").expect("timeline");
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"kind\":\"created\""));
+        assert!(lines[1].contains("\"detail\":\"tier=full\""));
+        assert!(lines[2].contains("\"detail\":\"tier=partial\""));
+        assert!(tl.render_jsonl("nope").is_none());
+    }
+
+    #[test]
+    fn repeats_coalesce_and_totals_still_count_each() {
+        let tl = Timelines::new();
+        for _ in 0..100 {
+            tl.record("s1", Kind::Drag, "");
+        }
+        let dump = tl.render_jsonl("s1").expect("timeline");
+        assert_eq!(dump.lines().count(), 1);
+        assert!(dump.contains("\"count\":100"), "{dump}");
+        assert_eq!(tl.totals()[Kind::Drag as usize], 100);
+    }
+
+    #[test]
+    fn per_session_ring_is_bounded() {
+        let tl = Timelines::new();
+        for i in 0..(EVENTS_PER_SESSION + 10) {
+            // Alternate details so nothing coalesces.
+            tl.record("s1", Kind::Commit, format!("tier=t{i}"));
+        }
+        let dump = tl.render_jsonl("s1").expect("timeline");
+        assert_eq!(dump.lines().count(), EVENTS_PER_SESSION);
+        // Oldest evicted, newest kept.
+        assert!(!dump.contains("tier=t0"));
+        assert!(dump.contains(&format!("tier=t{}", EVENTS_PER_SESSION + 9)));
+    }
+
+    #[test]
+    fn session_count_is_bounded_per_shard() {
+        let tl = Timelines::new();
+        // Everything in one shard would need colliding hashes; instead
+        // just verify the global invariant loosely: far more sessions
+        // recorded than retained once the per-shard cap is exceeded.
+        for i in 0..(SESSIONS_PER_SHARD * SHARDS + 1000) {
+            tl.record(&format!("s{i}"), Kind::Created, "");
+        }
+        assert!(tl.tracked_sessions() <= SESSIONS_PER_SHARD * SHARDS);
+    }
+}

@@ -176,6 +176,170 @@ fn enospc_degrades_to_read_only_and_recovers_without_restart() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A write refused because the node is degraded still leaves a trace:
+/// the flight recorder stamps the request with the terminal
+/// `rejected_degraded` stage, and the session's timeline records the
+/// rejection — operators can see *which* sessions hit the read-only
+/// wall, not just that a 503 counter moved.
+#[test]
+fn degraded_rejections_are_trace_stamped_and_on_the_timeline() {
+    let dir = data_dir("reject-trace");
+    // A wide failure window keeps the node degraded for the whole test:
+    // the recovery probe keeps burning hits and keeps failing, so the
+    // 503 surface stays up while we inspect it.
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        data_dir: Some(dir.clone()),
+        fault_spec: Some("journal.write=enospc@2..2000;seed=11".to_string()),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(&config).expect("bind server");
+    let addr = server.local_addr().expect("local addr");
+    let shutdown = server.shutdown_handle();
+    let thread = std::thread::spawn(move || server.run());
+
+    let (status, _, body) = http(
+        addr,
+        "POST",
+        "/sessions",
+        "{\"source\":\"(svg [(rect 'red' 1 2 3 4)])\"}",
+    );
+    assert_eq!(status, 201, "{body}");
+    let id = field(&body, "id").to_string();
+    for _ in 0..3 {
+        let (status, _, _) = http(
+            addr,
+            "POST",
+            &format!("/sessions/{id}/drag"),
+            "{\"shape\":0,\"zone\":\"Interior\",\"dx\":5,\"dy\":0}",
+        );
+        assert_eq!(status, 200);
+        let (status, _, _) = http(addr, "POST", &format!("/sessions/{id}/commit"), "{}");
+        assert_eq!(status, 500);
+    }
+    assert!(healthz_degraded(addr), "three failures must degrade");
+
+    let (status, _, body) = http(addr, "POST", &format!("/sessions/{id}/commit"), "{}");
+    assert_eq!(status, 503, "{body}");
+
+    // The 503 is in the flight recorder with the terminal stage stamp.
+    let (status, _, traces) = http(addr, "GET", "/debug/traces", "");
+    assert_eq!(status, 200);
+    let rejected: Vec<&str> = traces
+        .lines()
+        .filter(|l| l.contains("\"rejected_degraded\""))
+        .collect();
+    assert!(
+        !rejected.is_empty(),
+        "no rejected_degraded stage in traces:\n{traces}"
+    );
+    assert!(
+        rejected.iter().any(|l| l.contains("\"status\":503")),
+        "rejected trace should carry the 503: {rejected:?}"
+    );
+
+    // And the session's timeline shows the rejection as an event.
+    let (status, _, timeline) = http(addr, "GET", &format!("/debug/sessions/{id}/timeline"), "");
+    assert_eq!(status, 200, "{timeline}");
+    assert!(
+        timeline.contains("\"kind\":\"rejected_degraded\""),
+        "timeline missing the rejection:\n{timeline}"
+    );
+
+    shutdown.shutdown();
+    thread.join().expect("server thread").expect("run");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The stall watchdog: a journal write wedged (injected delay) past
+/// `--stall-ms` gets its in-flight trace snapshotted into the flight
+/// recorder — marked `"stalled":true` with the reactor id and queue
+/// depth — and `sns_stalls_total` moves. The request itself still
+/// completes normally afterwards.
+#[test]
+fn stall_watchdog_snapshots_wedged_requests() {
+    let dir = data_dir("stall");
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        // One reactor: the sweep runs on the reactor that owns the
+        // wedged trace, and the probe loop below must wake that same
+        // reactor rather than a sibling.
+        threads: 1,
+        data_dir: Some(dir.clone()),
+        stall_ms: 50,
+        fault_spec: Some("journal.write=delay:400@1;seed=5".to_string()),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(&config).expect("bind server");
+    let addr = server.local_addr().expect("local addr");
+    let shutdown = server.shutdown_handle();
+    let thread = std::thread::spawn(move || server.run());
+
+    // The reactor only sweeps while it is awake; a probe loop stands in
+    // for the metrics scraper that keeps any real deployment's reactors
+    // iterating while a worker is wedged on the journal.
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let prober = {
+        let stop = std::sync::Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let _ = http(addr, "GET", "/healthz", "");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        })
+    };
+
+    // Hit 1 on `journal.write` is this create's record: the worker sits
+    // in the injected 400 ms delay while the watchdog (threshold 50 ms,
+    // sweep cadence ≤ 50 ms) snapshots it.
+    let t0 = Instant::now();
+    let (status, _, body) = http(
+        addr,
+        "POST",
+        "/sessions",
+        "{\"source\":\"(svg [(rect 'red' 1 2 3 4)])\"}",
+    );
+    assert_eq!(status, 201, "the stalled request still completes: {body}");
+    assert!(
+        t0.elapsed() >= Duration::from_millis(300),
+        "injected delay never fired: create took {:?}",
+        t0.elapsed()
+    );
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    prober.join().expect("prober thread");
+
+    let (status, _, metrics) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let stalls = metrics
+        .lines()
+        .find(|l| l.starts_with("sns_stalls_total "))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or_else(|| panic!("no sns_stalls_total sample:\n{metrics}"));
+    assert!(stalls >= 1.0, "watchdog never fired: {stalls}");
+
+    let (status, _, traces) = http(addr, "GET", "/debug/traces", "");
+    assert_eq!(status, 200);
+    let stalled: Vec<&str> = traces
+        .lines()
+        .filter(|l| l.contains("\"stalled\":true"))
+        .collect();
+    assert!(
+        !stalled.is_empty(),
+        "no stall snapshot in traces:\n{traces}"
+    );
+    for line in &stalled {
+        assert!(line.contains("\"reactor\":"), "{line}");
+        assert!(line.contains("\"queue_depth\":"), "{line}");
+        assert!(line.contains("\"degraded\":"), "{line}");
+    }
+
+    shutdown.shutdown();
+    thread.join().expect("server thread").expect("run");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn release_builds_refuse_fault_plans_only_in_release() {
     // In this (debug) build an armed plan must bind fine; the inverse —

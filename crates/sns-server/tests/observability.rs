@@ -352,3 +352,107 @@ fn probes_answer_while_pool_is_saturated() {
     assert!(shed >= 1, "pool never saturated; probe test proved nothing");
     handle.shutdown();
 }
+
+/// `GET /debug/sessions/:id/timeline` is one typed event per line —
+/// created, drags (coalesced), commit — and `/stats` summarizes the
+/// registry; an unknown session 404s.
+#[test]
+fn session_timeline_is_typed_jsonl_and_summarized_in_stats() {
+    let (addr, handle) = boot(config(2));
+    let id = drive_traffic(&addr, 4);
+
+    let mut c = Client::connect(&addr);
+    let (status, content_type, body) = c.get(&format!("/debug/sessions/{id}/timeline"));
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        content_type.starts_with("application/x-ndjson"),
+        "{content_type}"
+    );
+    let mut kinds = Vec::new();
+    let mut drag_count = 0.0;
+    for line in body.lines() {
+        let v = json::parse(line).unwrap_or_else(|e| panic!("bad timeline line {line}: {e:?}"));
+        assert!(v.get("at_ms").and_then(Json::as_f64).is_some(), "{line}");
+        let kind = v
+            .get("kind")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("no kind: {line}"))
+            .to_string();
+        let count = v.get("count").and_then(Json::as_f64).expect("count");
+        assert!(count >= 1.0, "{line}");
+        if kind == "drag" {
+            drag_count += count;
+        }
+        kinds.push(kind);
+    }
+    assert_eq!(kinds.first().map(String::as_str), Some("created"), "{body}");
+    assert!(kinds.iter().any(|k| k == "commit"), "{body}");
+    assert!(
+        drag_count >= 4.0,
+        "4 drags should be on the timeline (coalesced or not): {body}"
+    );
+
+    // The commit event carries the prepare-path detail.
+    let commit_line = body
+        .lines()
+        .find(|l| l.contains("\"kind\":\"commit\""))
+        .expect("commit event");
+    assert!(
+        commit_line.contains("\"detail\":"),
+        "commit event should say which prepare path ran: {commit_line}"
+    );
+
+    // /stats summarizes the registry without dumping the rings.
+    let (_, _, stats) = c.get("/stats");
+    let v = json::parse(&stats).expect("stats json");
+    let tracked = v
+        .get("timeline_sessions")
+        .and_then(Json::as_f64)
+        .expect("timeline_sessions in /stats");
+    assert!(tracked >= 1.0, "{stats}");
+    let events = v.get("timeline_events").expect("timeline_events in /stats");
+    assert!(
+        events.get("drag").and_then(Json::as_f64).unwrap_or(0.0) >= 4.0,
+        "{stats}"
+    );
+
+    let (status, _, body) = c.get("/debug/sessions/no-such-session/timeline");
+    assert_eq!(status, 404, "{body}");
+    handle.shutdown();
+}
+
+/// Release provenance: `/healthz` names the version and `/metrics`
+/// carries the constant `sns_build_info` gauge with version + git sha
+/// labels — so a scrape tells you *what* is running, not just how.
+#[test]
+fn build_info_is_on_healthz_and_metrics() {
+    let (addr, handle) = boot(config(1));
+    let mut c = Client::connect(&addr);
+
+    let (status, _, health) = c.get("/healthz");
+    assert_eq!(status, 200);
+    let v = json::parse(&health).expect("healthz json");
+    let version = v
+        .get("version")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("no version in /healthz: {health}"))
+        .to_string();
+    assert!(!version.is_empty());
+
+    let (status, _, metrics) = c.get("/metrics");
+    assert_eq!(status, 200);
+    let info_line = metrics
+        .lines()
+        .find(|l| l.starts_with("sns_build_info{"))
+        .unwrap_or_else(|| panic!("no sns_build_info sample:\n{metrics}"));
+    assert!(
+        info_line.contains(&format!("version=\"{version}\"")),
+        "{info_line}"
+    );
+    assert!(info_line.contains("git_sha=\""), "{info_line}");
+    assert!(
+        info_line.ends_with(" 1"),
+        "info gauge must be constant 1: {info_line}"
+    );
+    handle.shutdown();
+}

@@ -409,3 +409,171 @@ fn sync_replication_means_acked_implies_on_follower() {
     let _ = std::fs::remove_dir_all(&dir_l);
     let _ = std::fs::remove_dir_all(&dir_f);
 }
+
+/// Extracts the top-level numeric `"id"` from one `/debug/traces` JSONL
+/// line (the trace id, not the session id).
+fn trace_id(line: &str) -> u64 {
+    let pat = "\"id\":";
+    let start = line.find(pat).unwrap_or_else(|| panic!("no id in {line}")) + pat.len();
+    line[start..]
+        .split([',', '}'])
+        .next()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or_else(|| panic!("trace id not numeric in {line}"))
+}
+
+/// Cross-node trace propagation under synchronous replication: the
+/// leader's commit trace carries a per-follower ack span labeled with
+/// the follower's node id, the follower's flight recorder holds a REPL
+/// child span whose `origin` names the leader's trace id and node, and
+/// the per-peer gauge families show up on the leader's `/metrics`.
+#[test]
+fn commit_traces_propagate_to_follower_and_leader_stitches_acks() {
+    let dir_l = data_dir("trace-leader");
+    let dir_f = data_dir("trace-follower");
+    let leader = spawn(ServerConfig {
+        replicate_to: 1,
+        ..leader_config(&dir_l)
+    });
+    let follower = spawn(follower_config(&dir_f, leader.repl.expect("repl addr")));
+    wait_until("follower registration", Duration::from_secs(10), || {
+        num_field(
+            &http(leader.addr, "GET", "/stats", "").1,
+            "followers_connected",
+        ) >= 1.0
+    });
+    let follower_node = follower.addr.to_string();
+    let leader_node = leader.addr.to_string();
+
+    let id = create(leader.addr, "(svg [(rect 'gold' 10 20 30 40)])");
+    for step in 1..=3 {
+        drag_commit(leader.addr, &id, step as f64);
+    }
+
+    // Leader side: every commit trace was stitched with the follower's
+    // ack, labeled by the follower's node id.
+    let (status, traces) = http(leader.addr, "GET", "/debug/traces", "");
+    assert_eq!(status, 200);
+    let commit_path = format!("\"path\":\"/sessions/{id}/commit\"");
+    let commit_ids: Vec<u64> = traces
+        .lines()
+        .filter(|l| l.contains(&commit_path))
+        .map(|l| {
+            assert!(
+                l.contains(&format!("\"follower_acks\":{{\"{follower_node}\":")),
+                "commit trace not stitched with the follower ack: {l}"
+            );
+            trace_id(l)
+        })
+        .collect();
+    assert_eq!(commit_ids.len(), 3, "expected 3 commit traces:\n{traces}");
+
+    // Follower side: each leader commit shows up as a REPL child span
+    // whose origin is the leader's trace id and node identity. The span
+    // finishes when the covering ack is written, a hair after the
+    // leader's HTTP response — so poll.
+    wait_until("follower child spans", Duration::from_secs(5), || {
+        let (_, traces) = http(follower.addr, "GET", "/debug/traces", "");
+        commit_ids.iter().all(|tid| {
+            traces.lines().any(|l| {
+                l.contains(&format!(
+                    "\"origin\":{{\"trace\":{tid},\"node\":\"{leader_node}\"}}"
+                ))
+            })
+        })
+    });
+    let (_, ftraces) = http(follower.addr, "GET", "/debug/traces", "");
+    let child = ftraces
+        .lines()
+        .find(|l| l.contains(&format!("\"origin\":{{\"trace\":{},", commit_ids[0])))
+        .unwrap_or_else(|| panic!("no child span for {}:\n{ftraces}", commit_ids[0]));
+    assert!(child.contains("\"method\":\"REPL\""), "{child}");
+    assert!(child.contains("\"path\":\"/repl/apply\""), "{child}");
+    assert!(child.contains("\"status\":200"), "{child}");
+    for stage in ["parse_done", "prepare_done", "response_written"] {
+        assert!(child.contains(&format!("\"{stage}\"")), "{child}");
+    }
+
+    // The per-peer gauge families exist and are labeled by node id.
+    let (_, metrics) = http(leader.addr, "GET", "/metrics", "");
+    for family in ["sns_repl_follower_lag_records", "sns_repl_apply_us"] {
+        assert!(
+            metrics.contains(&format!("{family}{{peer=\"{follower_node}\"}}")),
+            "missing {family} for {follower_node}:\n{metrics}"
+        );
+    }
+
+    leader.stop();
+    follower.stop();
+    let _ = std::fs::remove_dir_all(&dir_l);
+    let _ = std::fs::remove_dir_all(&dir_f);
+}
+
+/// Trace propagation survives the snapshot path: a follower that caught
+/// up via snapshot resync (not a tail from offset zero) still opens
+/// child spans for the records streamed after the handoff, its timeline
+/// records the resync, and the origin ids keep matching the leader's.
+#[test]
+fn trace_propagation_survives_snapshot_resync() {
+    let dir_l = data_dir("snap-trace-leader");
+    let dir_f = data_dir("snap-trace-follower");
+    let leader = spawn(leader_config(&dir_l));
+    let leader_node = leader.addr.to_string();
+
+    // Deep enough history that the leader compacts: catch-up must go
+    // through the snapshot, not replay from offset zero.
+    let id = create(leader.addr, "(svg [(rect 'gold' 10 20 30 40)])");
+    let mut code = String::new();
+    for step in 1..=70 {
+        code = drag_commit(leader.addr, &id, step as f64);
+    }
+    wait_until("leader compaction", Duration::from_secs(5), || {
+        num_field(&http(leader.addr, "GET", "/stats", "").1, "snapshot_count") >= 1.0
+    });
+
+    let follower = spawn(follower_config(&dir_f, leader.repl.expect("repl listener")));
+    wait_until("snapshot catch-up", Duration::from_secs(10), || {
+        get_code(follower.addr, &id).as_deref() == Some(code.as_str())
+    });
+    let stats = http(follower.addr, "GET", "/stats", "").1;
+    assert!(
+        num_field(&stats, "repl_snapshots_applied") >= 1.0,
+        "catch-up should have used a snapshot: {stats}"
+    );
+
+    // The resync left a mark on the session's follower-side timeline.
+    let (status, timeline) = http(
+        follower.addr,
+        "GET",
+        &format!("/debug/sessions/{id}/timeline"),
+        "",
+    );
+    assert_eq!(status, 200, "{timeline}");
+    assert!(
+        timeline.contains("\"kind\":\"resync\""),
+        "follower timeline missing the resync event:\n{timeline}"
+    );
+
+    // A post-resync commit still propagates its trace context.
+    drag_commit(leader.addr, &id, 99.0);
+    let (_, traces) = http(leader.addr, "GET", "/debug/traces", "");
+    let commit_path = format!("\"path\":\"/sessions/{id}/commit\"");
+    let last_commit = traces
+        .lines()
+        .rfind(|l| l.contains(&commit_path))
+        .unwrap_or_else(|| panic!("no commit trace on leader:\n{traces}"));
+    let tid = trace_id(last_commit);
+    wait_until("post-resync child span", Duration::from_secs(5), || {
+        let (_, ftraces) = http(follower.addr, "GET", "/debug/traces", "");
+        ftraces.lines().any(|l| {
+            l.contains(&format!(
+                "\"origin\":{{\"trace\":{tid},\"node\":\"{leader_node}\"}}"
+            ))
+        })
+    });
+
+    leader.stop();
+    follower.stop();
+    let _ = std::fs::remove_dir_all(&dir_l);
+    let _ = std::fs::remove_dir_all(&dir_f);
+}
